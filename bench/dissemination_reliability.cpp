@@ -1,0 +1,71 @@
+// Extension bench: reliable payload dissemination over the §2 tree under
+// link loss. Sweeps the per-message drop probability and reports coverage,
+// retransmission overhead and completion time for the ack/retransmit
+// protocol versus fire-and-forget — quantifying what reliability costs on
+// top of the N-1-message tree.
+//
+// Flags: --peers=N --dims=D --retries=R --seed=S --csv --quick
+#include <iostream>
+
+#include "geometry/random_points.hpp"
+#include "multicast/dissemination.hpp"
+#include "multicast/space_partition.hpp"
+#include "overlay/empty_rect.hpp"
+#include "overlay/equilibrium.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace geomcast;
+  try {
+    const util::Flags flags(argc, argv);
+    const auto peers = static_cast<std::size_t>(
+        flags.get_int("peers", flags.get_bool("quick", false) ? 200 : 1000));
+    const auto dims = static_cast<std::size_t>(flags.get_int("dims", 2));
+    const auto retries = static_cast<std::size_t>(flags.get_int("retries", 10));
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+    util::Rng rng(seed);
+    const auto points = geometry::random_points(rng, peers, dims);
+    const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+    const auto tree = multicast::build_multicast_tree(graph, 0).tree;
+
+    util::Table table({"drop_prob", "mode", "delivered", "data_msgs", "retransmissions",
+                       "completion_s"});
+    for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+      for (const bool reliable : {true, false}) {
+        multicast::DisseminationConfig config;
+        config.max_retries = reliable ? retries : 0;
+        config.ack_timeout = 0.05;
+        sim::LossModel loss;
+        loss.drop_probability = drop;
+        const auto result = multicast::run_dissemination(
+            tree, config, sim::LatencyModel::constant(0.01), loss, seed + 1);
+        table.begin_row()
+            .add_number(drop, 2)
+            .add_cell(reliable ? "ack+retry" : "fire-and-forget")
+            .add_cell(std::to_string(result.delivered) + "/" + std::to_string(peers))
+            .add_integer(static_cast<long long>(result.data_messages))
+            .add_integer(static_cast<long long>(result.retransmissions))
+            .add_number(result.completion_time, 3);
+      }
+    }
+
+    if (flags.get_bool("csv", false)) {
+      table.print_csv(std::cout);
+    } else {
+      std::cout << "=== Extension: reliable dissemination over the S2 tree ===\n"
+                << "N=" << peers << ", D=" << dims << ", retries=" << retries
+                << ", ack timeout 50 ms, hop latency 10 ms, seed=" << seed << "\n\n";
+      table.print(std::cout);
+      std::cout << "\nReading: ack+retry holds full coverage as loss grows, paying\n"
+                   "retransmissions and tail latency; fire-and-forget loses whole\n"
+                   "subtrees (the tree amplifies a single early drop).\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "dissemination_reliability: " << error.what() << '\n';
+    return 1;
+  }
+}

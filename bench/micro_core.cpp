@@ -1,0 +1,110 @@
+// Throughput microbenchmarks (google-benchmark) for the hot paths behind
+// the figure reproductions: neighbour selection, equilibrium construction,
+// multicast tree construction and stable-tree assembly.
+#include <benchmark/benchmark.h>
+
+#include "geometry/random_points.hpp"
+#include "multicast/flooding.hpp"
+#include "multicast/space_partition.hpp"
+#include "overlay/empty_rect.hpp"
+#include "overlay/equilibrium.hpp"
+#include "overlay/hyperplane_k.hpp"
+#include "overlay/orthant_sweep.hpp"
+#include "stability/lifetime.hpp"
+#include "stability/stable_tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace geomcast;
+
+std::vector<geometry::Point> make_points(std::size_t n, std::size_t dims) {
+  util::Rng rng(0x5eedULL + n * 31 + dims);
+  return geometry::random_points(rng, n, dims);
+}
+
+void BM_EmptyRectSelect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dims = static_cast<std::size_t>(state.range(1));
+  const auto points = make_points(n, dims);
+  const auto candidates = overlay::candidates_excluding(points, 0);
+  const overlay::EmptyRectSelector selector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(points[0], candidates));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EmptyRectSelect)->Args({1000, 2})->Args({1000, 5})->Args({5000, 2});
+
+void BM_OrthogonalKSelect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dims = static_cast<std::size_t>(state.range(1));
+  const auto points = make_points(n, dims);
+  const auto candidates = overlay::candidates_excluding(points, 0);
+  const auto selector = overlay::HyperplaneKSelector::orthogonal(dims, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(points[0], candidates));
+  }
+}
+BENCHMARK(BM_OrthogonalKSelect)->Args({1000, 2})->Args({1000, 10});
+
+void BM_EquilibriumBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = make_points(n, 2);
+  const overlay::EmptyRectSelector selector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlay::build_equilibrium(points, selector));
+  }
+}
+BENCHMARK(BM_EquilibriumBuild)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_MulticastBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dims = static_cast<std::size_t>(state.range(1));
+  const auto points = make_points(n, dims);
+  const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multicast::build_multicast_tree(graph, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MulticastBuild)->Args({1000, 2})->Args({1000, 5});
+
+void BM_FloodingBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = make_points(n, 2);
+  const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multicast::build_flooding_tree(graph, 0));
+  }
+}
+BENCHMARK(BM_FloodingBuild)->Arg(1000);
+
+void BM_OrthantSweepIndexBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = make_points(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlay::OrthantSweepIndex(points));
+  }
+}
+BENCHMARK(BM_OrthantSweepIndexBuild)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_StableTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<double> departure_times;
+  const auto points = stability::lifetime_points(rng, n, 5, 1000.0, departure_times);
+  const overlay::OrthantSweepIndex index(points);
+  const auto selections = index.select_k(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stability::build_stable_tree_from_selections(
+        selections, points, departure_times));
+  }
+}
+BENCHMARK(BM_StableTreeBuild)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,179 @@
+// Experiment drivers: one function per figure panel of the paper plus the
+// ablations listed in DESIGN.md. Benches, tests and examples all call these
+// so the reported numbers come from exactly one implementation.
+//
+// Reproduction conventions (see EXPERIMENTS.md):
+//  * overlays are built at the full-knowledge equilibrium (the paper's own
+//    definition of the converged topology); the gossip/incremental paths
+//    are validated against it in the test suite;
+//  * every multicast construction is validated (N-1 messages, coverage,
+//    zone invariants) — a validation failure is reported in the row rather
+//    than silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/distance.hpp"
+#include "multicast/pick_policy.hpp"
+#include "stability/stable_tree.hpp"
+#include "util/table.hpp"
+
+namespace geomcast::analysis {
+
+// ---------------------------------------------------------------- Fig 1 a
+struct Fig1aConfig {
+  std::size_t peers = 1000;
+  std::vector<std::size_t> dims = {2, 3, 4, 5};
+  std::uint64_t seed = 42;
+};
+struct Fig1aRow {
+  std::size_t dims = 0;
+  std::size_t max_degree = 0;
+  double avg_degree = 0.0;
+  bool connected = false;
+};
+[[nodiscard]] std::vector<Fig1aRow> run_fig1a(const Fig1aConfig& config);
+[[nodiscard]] util::Table fig1a_table(const std::vector<Fig1aRow>& rows);
+
+// ---------------------------------------------------------------- Fig 1 b
+struct Fig1bConfig {
+  std::size_t peers = 1000;
+  std::vector<std::size_t> dims = {2, 3, 4, 5};
+  std::uint64_t seed = 42;
+  /// 0 = every peer initiates once (the paper's setup); otherwise the
+  /// first `roots` peers initiate (cheap smoke runs).
+  std::size_t roots = 0;
+};
+struct Fig1bRow {
+  std::size_t dims = 0;
+  /// max over sessions of (longest root-to-leaf path), and the average of
+  /// the per-session longest path — the two series of Fig 1 b.
+  std::size_t max_longest_path = 0;
+  double avg_longest_path = 0.0;
+  std::size_t max_children = 0;   // paper: bounded by 2^D
+  std::size_t sessions = 0;
+  std::size_t invalid_sessions = 0;  // validator failures (expected 0)
+};
+[[nodiscard]] std::vector<Fig1bRow> run_fig1b(const Fig1bConfig& config);
+[[nodiscard]] util::Table fig1b_table(const std::vector<Fig1bRow>& rows);
+
+// ---------------------------------------------------------------- Fig 1 c
+struct Fig1cConfig {
+  std::vector<std::size_t> peer_counts = {100, 200, 400, 700, 1000, 2000, 4000, 5000};
+  std::size_t dims = 2;
+  std::uint64_t seed = 42;
+};
+struct Fig1cRow {
+  std::size_t peers = 0;
+  std::size_t max_degree = 0;
+  double avg_degree = 0.0;
+  double ten_log10_n = 0.0;  // the paper's reference curve
+};
+[[nodiscard]] std::vector<Fig1cRow> run_fig1c(const Fig1cConfig& config);
+[[nodiscard]] util::Table fig1c_table(const std::vector<Fig1cRow>& rows);
+
+// -------------------------------------------------------------- Fig 1 d/e
+struct StabilitySweepConfig {
+  std::size_t peers = 1000;
+  std::vector<std::size_t> dims = {2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::size_t k_min = 1;
+  std::size_t k_max = 50;
+  std::uint64_t seed = 42;
+  stability::PreferredPolicy policy = stability::PreferredPolicy::kMaxT;
+  geometry::Metric metric = geometry::Metric::kL2;
+};
+struct StabilitySweepRow {
+  std::size_t dims = 0;
+  std::size_t k = 0;
+  std::size_t diameter = 0;       // Fig 1 d
+  std::size_t max_degree = 0;     // Fig 1 e
+  bool single_tree = false;       // §3 claim: preferred links form a tree
+  bool monotone = false;          // §3 claim: T decreases toward leaves
+};
+/// One pass produces both panels (same sweep, two metrics).
+[[nodiscard]] std::vector<StabilitySweepRow> run_stability_sweep(
+    const StabilitySweepConfig& config);
+[[nodiscard]] util::Table stability_table(const std::vector<StabilitySweepRow>& rows,
+                                          bool diameter_panel);
+
+// ------------------------------------------------- A1: message comparison
+struct MessageComparisonConfig {
+  std::size_t peers = 1000;
+  std::vector<std::size_t> dims = {2, 3, 4, 5};
+  std::uint64_t seed = 42;
+};
+struct MessageComparisonRow {
+  std::size_t dims = 0;
+  std::size_t peers = 0;
+  std::uint64_t space_partition_messages = 0;  // == N-1
+  std::uint64_t flooding_messages = 0;         // == 2E - (N-1)
+  std::uint64_t flooding_duplicates = 0;
+  double overhead_factor = 0.0;  // flooding / space-partition
+};
+[[nodiscard]] std::vector<MessageComparisonRow> run_message_comparison(
+    const MessageComparisonConfig& config);
+[[nodiscard]] util::Table message_comparison_table(
+    const std::vector<MessageComparisonRow>& rows);
+
+// ------------------------------------------------ A2: pick-policy ablation
+struct PickPolicyAblationConfig {
+  std::size_t peers = 1000;
+  std::size_t dims = 2;
+  std::uint64_t seed = 42;
+  std::size_t roots = 0;  // 0 = all peers initiate
+};
+struct PickPolicyRow {
+  multicast::PickPolicy policy = multicast::PickPolicy::kMedian;
+  std::size_t max_longest_path = 0;
+  double avg_longest_path = 0.0;
+  std::size_t max_children = 0;
+  std::size_t invalid_sessions = 0;
+};
+[[nodiscard]] std::vector<PickPolicyRow> run_pick_policy_ablation(
+    const PickPolicyAblationConfig& config);
+[[nodiscard]] util::Table pick_policy_table(const std::vector<PickPolicyRow>& rows);
+
+// ----------------------------------------------- A3: churn resilience
+struct ChurnComparisonConfig {
+  std::size_t peers = 1000;
+  std::size_t dims = 3;
+  std::size_t k = 3;
+  std::uint64_t seed = 42;
+};
+struct ChurnComparisonRow {
+  std::string tree_kind;  // "stable(§3)" or "random-spanning"
+  std::size_t disruptive_departures = 0;
+  std::size_t total_orphaned = 0;
+  std::size_t max_orphaned_at_once = 0;
+  std::size_t repair_failures = 0;  // with the §3 repair rule applied
+};
+[[nodiscard]] std::vector<ChurnComparisonRow> run_churn_comparison(
+    const ChurnComparisonConfig& config);
+[[nodiscard]] util::Table churn_table(const std::vector<ChurnComparisonRow>& rows);
+
+// ------------------------------------------ A4: neighbour-selection ablation
+struct SelectionAblationConfig {
+  std::size_t peers = 1000;
+  std::size_t dims = 2;
+  std::size_t k = 3;  // for the K-based selectors
+  std::uint64_t seed = 42;
+  std::size_t roots = 50;  // multicast sessions sampled per overlay
+};
+struct SelectionAblationRow {
+  std::string selector;
+  std::size_t max_degree = 0;
+  double avg_degree = 0.0;
+  /// Fraction of peers reached, averaged over sessions. 1.0 for the
+  /// empty-rectangle overlay (coverage property); K-based overlays may
+  /// leave zone gaps — that is the point of the ablation.
+  double avg_coverage = 0.0;
+  double avg_longest_path = 0.0;
+};
+[[nodiscard]] std::vector<SelectionAblationRow> run_selection_ablation(
+    const SelectionAblationConfig& config);
+[[nodiscard]] util::Table selection_ablation_table(
+    const std::vector<SelectionAblationRow>& rows);
+
+}  // namespace geomcast::analysis

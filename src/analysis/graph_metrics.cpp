@@ -1,0 +1,58 @@
+#include "analysis/graph_metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace geomcast::analysis {
+
+DegreeStats degree_stats(const overlay::OverlayGraph& graph) {
+  DegreeStats stats;
+  const std::size_t n = graph.size();
+  if (n == 0) return stats;
+  stats.min = graph.degree(0);
+  double total = 0.0;
+  for (overlay::PeerId p = 0; p < n; ++p) {
+    const std::size_t d = graph.degree(p);
+    stats.max = std::max(stats.max, d);
+    stats.min = std::min(stats.min, d);
+    total += static_cast<double>(d);
+  }
+  stats.avg = total / static_cast<double>(n);
+  return stats;
+}
+
+std::vector<std::size_t> bfs_depths(const overlay::OverlayGraph& graph,
+                                    overlay::PeerId source) {
+  std::vector<std::size_t> depth(graph.size(), kUnreachable);
+  depth[source] = 0;
+  std::deque<overlay::PeerId> queue{source};
+  while (!queue.empty()) {
+    const overlay::PeerId p = queue.front();
+    queue.pop_front();
+    for (overlay::PeerId q : graph.neighbors(p)) {
+      if (depth[q] == kUnreachable) {
+        depth[q] = depth[p] + 1;
+        queue.push_back(q);
+      }
+    }
+  }
+  return depth;
+}
+
+bool is_connected(const overlay::OverlayGraph& graph) {
+  if (graph.size() == 0) return true;
+  const auto depth = bfs_depths(graph, 0);
+  return std::none_of(depth.begin(), depth.end(),
+                      [](std::size_t d) { return d == kUnreachable; });
+}
+
+std::size_t graph_diameter(const overlay::OverlayGraph& graph) {
+  std::size_t best = 0;
+  for (overlay::PeerId p = 0; p < graph.size(); ++p) {
+    for (std::size_t d : bfs_depths(graph, p))
+      if (d != kUnreachable) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace geomcast::analysis

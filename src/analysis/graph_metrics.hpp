@@ -1,0 +1,32 @@
+// Structural metrics over overlay graphs: degree statistics (Fig 1 a, c),
+// connectivity, BFS distances and diameters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "overlay/graph.hpp"
+
+namespace geomcast::analysis {
+
+struct DegreeStats {
+  std::size_t max = 0;
+  std::size_t min = 0;
+  double avg = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const overlay::OverlayGraph& graph);
+
+/// Hop distance from `source` to every peer over the undirected adjacency;
+/// kUnreachable for peers in other components.
+inline constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+[[nodiscard]] std::vector<std::size_t> bfs_depths(const overlay::OverlayGraph& graph,
+                                                  overlay::PeerId source);
+
+[[nodiscard]] bool is_connected(const overlay::OverlayGraph& graph);
+
+/// Exact diameter via all-sources BFS — O(N * E), fine for the paper's
+/// N <= 5000 overlays.
+[[nodiscard]] std::size_t graph_diameter(const overlay::OverlayGraph& graph);
+
+}  // namespace geomcast::analysis

@@ -1,0 +1,62 @@
+#include "geometry/distance.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace geomcast::geometry {
+
+double l1_distance(const Point& a, const Point& b) noexcept {
+  assert(a.dims() == b.dims());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.dims(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+double l2_distance_sq(const Point& a, const Point& b) noexcept {
+  assert(a.dims() == b.dims());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.dims(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double l2_distance(const Point& a, const Point& b) noexcept {
+  return std::sqrt(l2_distance_sq(a, b));
+}
+
+double linf_distance(const Point& a, const Point& b) noexcept {
+  assert(a.dims() == b.dims());
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.dims(); ++i) best = std::max(best, std::abs(a[i] - b[i]));
+  return best;
+}
+
+double distance(Metric metric, const Point& a, const Point& b) noexcept {
+  switch (metric) {
+    case Metric::kL1: return l1_distance(a, b);
+    case Metric::kL2: return l2_distance(a, b);
+    case Metric::kLInf: return linf_distance(a, b);
+  }
+  return 0.0;  // unreachable
+}
+
+std::string to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kL1: return "l1";
+    case Metric::kL2: return "l2";
+    case Metric::kLInf: return "linf";
+  }
+  return "?";
+}
+
+Metric metric_from_string(const std::string& name) {
+  if (name == "l1") return Metric::kL1;
+  if (name == "l2") return Metric::kL2;
+  if (name == "linf") return Metric::kLInf;
+  throw std::invalid_argument("unknown metric '" + name + "' (expected l1|l2|linf)");
+}
+
+}  // namespace geomcast::geometry

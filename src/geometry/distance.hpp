@@ -1,0 +1,29 @@
+// Distance functions over virtual coordinates. The paper's §2 algorithm
+// sorts region members by L1 distance; the generic Hyperplanes method only
+// requires "a distance function", so L2 and L-infinity are provided too.
+#pragma once
+
+#include <string>
+
+#include "geometry/point.hpp"
+
+namespace geomcast::geometry {
+
+enum class Metric { kL1, kL2, kLInf };
+
+[[nodiscard]] double l1_distance(const Point& a, const Point& b) noexcept;
+[[nodiscard]] double l2_distance(const Point& a, const Point& b) noexcept;
+/// Squared Euclidean distance (monotone in L2; avoids the sqrt when only
+/// comparisons are needed).
+[[nodiscard]] double l2_distance_sq(const Point& a, const Point& b) noexcept;
+[[nodiscard]] double linf_distance(const Point& a, const Point& b) noexcept;
+
+/// Dispatches on the metric enum. For kL2 this returns the true (rooted)
+/// distance so values are comparable across metrics.
+[[nodiscard]] double distance(Metric metric, const Point& a, const Point& b) noexcept;
+
+[[nodiscard]] std::string to_string(Metric metric);
+/// Parses "l1" / "l2" / "linf" (case-sensitive); throws std::invalid_argument.
+[[nodiscard]] Metric metric_from_string(const std::string& name);
+
+}  // namespace geomcast::geometry

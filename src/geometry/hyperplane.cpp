@@ -1,0 +1,84 @@
+#include "geometry/hyperplane.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace geomcast::geometry {
+
+HyperplaneArrangement::HyperplaneArrangement(std::size_t dims,
+                                             std::vector<std::vector<double>> normals)
+    : dims_(dims), normals_(std::move(normals)) {
+  if (dims < 1 || dims > kMaxDims)
+    throw std::invalid_argument("arrangement dims out of range");
+  for (const auto& normal : normals_)
+    if (normal.size() != dims)
+      throw std::invalid_argument("hyperplane normal has wrong dimension");
+  exact_encoding_ = normals_.size() <= 32;
+}
+
+HyperplaneArrangement HyperplaneArrangement::empty(std::size_t dims) {
+  return HyperplaneArrangement(dims, {});
+}
+
+HyperplaneArrangement HyperplaneArrangement::orthogonal(std::size_t dims) {
+  std::vector<std::vector<double>> normals(dims, std::vector<double>(dims, 0.0));
+  for (std::size_t i = 0; i < dims; ++i) normals[i][i] = 1.0;
+  return HyperplaneArrangement(dims, std::move(normals));
+}
+
+HyperplaneArrangement HyperplaneArrangement::ternary(std::size_t dims) {
+  if (dims > 6)
+    throw std::invalid_argument(
+        "ternary arrangement limited to dims <= 6 ((3^D-1)/2 planes)");
+  std::vector<std::vector<double>> normals;
+  std::vector<double> coeff(dims, -1.0);
+  // Enumerate {-1,0,1}^D like a base-3 counter; keep vectors whose first
+  // nonzero coefficient is positive (dedup antipodal normals) and skip zero.
+  while (true) {
+    double first_nonzero = 0.0;
+    for (std::size_t i = 0; i < dims; ++i) {
+      if (coeff[i] != 0.0) {
+        first_nonzero = coeff[i];
+        break;
+      }
+    }
+    if (first_nonzero > 0.0) normals.push_back(coeff);
+    std::size_t pos = 0;
+    while (pos < dims && coeff[pos] == 1.0) coeff[pos++] = -1.0;
+    if (pos == dims) break;
+    coeff[pos] += 1.0;
+  }
+  return HyperplaneArrangement(dims, std::move(normals));
+}
+
+HyperplaneArrangement HyperplaneArrangement::custom(
+    std::size_t dims, std::vector<std::vector<double>> normals) {
+  return HyperplaneArrangement(dims, std::move(normals));
+}
+
+RegionKey HyperplaneArrangement::region_of(const Point& p, const Point& q) const noexcept {
+  assert(p.dims() == dims_ && q.dims() == dims_);
+  if (normals_.empty()) return RegionKey{0};
+
+  std::uint64_t key = 0;
+  for (std::size_t h = 0; h < normals_.size(); ++h) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < dims_; ++i) dot += normals_[h][i] * (q[i] - p[i]);
+    const std::uint64_t sign = dot > 0.0 ? 2u : (dot < 0.0 ? 1u : 0u);
+    if (exact_encoding_) {
+      key |= sign << (2 * h);
+    } else {
+      // FNV-1a over the sign stream for very large arrangements.
+      key = (key ^ sign) * 0x100000001b3ULL;
+    }
+  }
+  return RegionKey{key};
+}
+
+std::uint64_t HyperplaneArrangement::max_region_count() const noexcept {
+  const std::size_t h = normals_.size();
+  if (h >= 63) return ~std::uint64_t{0};
+  return std::uint64_t{1} << h;
+}
+
+}  // namespace geomcast::geometry

@@ -1,0 +1,83 @@
+// Hyperplane arrangements for the generic "Hyperplanes" neighbour-selection
+// method of the paper's reference [1].
+//
+// All hyperplanes pass through the (translated) origin, i.e. through the ego
+// peer. A candidate's region is the vector of signs of its dot products with
+// the plane normals. The paper names three instances:
+//   1. Orthogonal   — D planes x(i)=0            (regions = 2^D orthants)
+//   2. Ternary      — planes a·x=0, a ∈ {-1,0,1}^D (reference [2])
+//   3. Empty (H=0)  — a single region containing everything
+// Custom normal sets are supported as well.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace geomcast::geometry {
+
+/// Opaque region identifier. Two candidates share a region iff their sign
+/// signatures agree plane-by-plane. For arrangements with <= 32 planes the
+/// key is an exact base-4 encoding; larger arrangements fall back to an
+/// FNV-1a hash of the signature (collisions astronomically unlikely and
+/// harmless for neighbour selection: a collision only merges two regions).
+struct RegionKey {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool operator==(const RegionKey&) const noexcept = default;
+  [[nodiscard]] bool operator<(const RegionKey& other) const noexcept {
+    return value < other.value;
+  }
+};
+
+struct RegionKeyHash {
+  [[nodiscard]] std::size_t operator()(const RegionKey& key) const noexcept {
+    return static_cast<std::size_t>(key.value * 0x9e3779b97f4a7c15ULL >> 16);
+  }
+};
+
+class HyperplaneArrangement {
+ public:
+  /// H=0: one region (instance 3; plain K-closest selection).
+  [[nodiscard]] static HyperplaneArrangement empty(std::size_t dims);
+
+  /// The D orthogonal planes x(i)=0 (instance 1).
+  [[nodiscard]] static HyperplaneArrangement orthogonal(std::size_t dims);
+
+  /// All planes a·x=0 with a ∈ {-1,0,+1}^D, deduplicated up to sign
+  /// (first nonzero coefficient positive); (3^D - 1)/2 planes (instance 2).
+  /// Throws std::invalid_argument for dims > 6 (plane count explodes).
+  [[nodiscard]] static HyperplaneArrangement ternary(std::size_t dims);
+
+  /// Arrangement from explicit unit-free normals (each of size dims).
+  [[nodiscard]] static HyperplaneArrangement custom(std::size_t dims,
+                                                    std::vector<std::vector<double>> normals);
+
+  [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
+  [[nodiscard]] std::size_t plane_count() const noexcept { return normals_.size(); }
+
+  /// Region of candidate `q` relative to ego `p` (q translated so p is the
+  /// origin, then sign of every dot product). Points on a plane get sign 0,
+  /// forming their own (lower-dimensional) region — with the paper's
+  /// distinct-coordinate assumption this never happens for the orthogonal
+  /// arrangement.
+  [[nodiscard]] RegionKey region_of(const Point& p, const Point& q) const noexcept;
+
+  /// Upper bound on the number of distinct full-dimensional regions
+  /// (2^H for H planes; exact for the orthogonal arrangement).
+  [[nodiscard]] std::uint64_t max_region_count() const noexcept;
+
+  [[nodiscard]] const std::vector<std::vector<double>>& normals() const noexcept {
+    return normals_;
+  }
+
+ private:
+  HyperplaneArrangement(std::size_t dims, std::vector<std::vector<double>> normals);
+
+  std::size_t dims_ = 0;
+  std::vector<std::vector<double>> normals_;
+  bool exact_encoding_ = true;  // true when plane_count() <= 32
+};
+
+}  // namespace geomcast::geometry

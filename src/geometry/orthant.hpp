@@ -1,0 +1,35 @@
+// Orthant classification relative to an ego point — the Orthogonal
+// Hyperplanes region structure from the paper.
+//
+// After conceptually translating the ego peer P to the origin, the D
+// hyperplanes x(i)=0 split space into 2^D open orthants. A point Q with all
+// coordinates distinct from P's lies in exactly one of them. The orthant
+// code packs the side bits: bit i is set iff x(Q,i) > x(P,i).
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace geomcast::geometry {
+
+using OrthantCode = std::uint32_t;
+
+/// Number of orthants in D dimensions (2^D).
+[[nodiscard]] constexpr std::uint32_t orthant_count(std::size_t dims) noexcept {
+  return std::uint32_t{1} << dims;
+}
+
+/// Orthant of `q` relative to `ego`. Requires distinct coordinates in every
+/// dimension (the paper's standing assumption); equal coordinates are
+/// classified to the "below" side deterministically.
+[[nodiscard]] OrthantCode orthant_of(const Point& ego, const Point& q) noexcept;
+
+/// The open half-space product for an orthant: side i is (x(ego,i), +inf)
+/// when bit i of `code` is set, (-inf, x(ego,i)) otherwise. This is exactly
+/// the hyper-rectangle HR the paper intersects with Z(P) when delegating a
+/// responsibility zone.
+[[nodiscard]] Rect orthant_rect(const Point& ego, OrthantCode code) noexcept;
+
+}  // namespace geomcast::geometry

@@ -1,0 +1,17 @@
+#include "geometry/point.hpp"
+
+#include "util/stats.hpp"
+
+namespace geomcast::geometry {
+
+std::string Point::to_string(int decimals) const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < dims_; ++i) {
+    if (i) out += ", ";
+    out += util::format_number(coords_[i], decimals);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace geomcast::geometry

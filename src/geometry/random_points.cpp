@@ -1,0 +1,42 @@
+#include "geometry/random_points.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace geomcast::geometry {
+
+std::vector<Point> random_points(util::Rng& rng, std::size_t count, std::size_t dims,
+                                 double vmax) {
+  if (dims < 1 || dims > kMaxDims)
+    throw std::invalid_argument("random_points: dims out of range");
+  if (vmax <= 0.0) throw std::invalid_argument("random_points: vmax must be positive");
+
+  std::vector<Point> points(count, Point(dims));
+  // Draw per dimension and deduplicate there: sorting a scratch column makes
+  // duplicate detection O(N log N) instead of hashing doubles.
+  std::vector<double> column(count);
+  for (std::size_t d = 0; d < dims; ++d) {
+    while (true) {
+      for (auto& v : column) v = rng.uniform(0.0, vmax);
+      std::vector<double> sorted = column;
+      std::sort(sorted.begin(), sorted.end());
+      if (std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end()) break;
+    }
+    for (std::size_t i = 0; i < count; ++i) points[i][d] = column[i];
+  }
+  return points;
+}
+
+bool all_coordinates_distinct(const std::vector<Point>& points) {
+  if (points.empty()) return true;
+  const std::size_t dims = points.front().dims();
+  std::vector<double> column(points.size());
+  for (std::size_t d = 0; d < dims; ++d) {
+    for (std::size_t i = 0; i < points.size(); ++i) column[i] = points[i][d];
+    std::sort(column.begin(), column.end());
+    if (std::adjacent_find(column.begin(), column.end()) != column.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace geomcast::geometry

@@ -1,0 +1,24 @@
+// Random identifier generation matching the paper's workload: coordinates
+// uniform in [0, VMAX] with all coordinates distinct within each dimension.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::geometry {
+
+/// Draws `count` points with i.i.d. uniform coordinates in [0, vmax),
+/// re-drawing on (astronomically rare) per-dimension duplicates so the
+/// paper's "all coordinates in the same dimension are distinct" assumption
+/// holds exactly.
+[[nodiscard]] std::vector<Point> random_points(util::Rng& rng, std::size_t count,
+                                               std::size_t dims,
+                                               double vmax = kDefaultVmax);
+
+/// True iff no two points share a coordinate value in any dimension.
+[[nodiscard]] bool all_coordinates_distinct(const std::vector<Point>& points);
+
+}  // namespace geomcast::geometry

@@ -1,0 +1,96 @@
+#include "geometry/rect.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace geomcast::geometry {
+
+Rect Rect::whole_space(std::size_t dims) noexcept {
+  Rect rect(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    rect.lo_[i] = -kInf;
+    rect.hi_[i] = kInf;
+  }
+  return rect;
+}
+
+Rect Rect::cube(std::size_t dims, double lo, double hi) noexcept {
+  Rect rect(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    rect.lo_[i] = lo;
+    rect.hi_[i] = hi;
+  }
+  return rect;
+}
+
+Rect Rect::spanned_by(const Point& a, const Point& b) noexcept {
+  assert(a.dims() == b.dims());
+  Rect rect(a.dims());
+  for (std::size_t i = 0; i < a.dims(); ++i) {
+    rect.lo_[i] = std::min(a[i], b[i]);
+    rect.hi_[i] = std::max(a[i], b[i]);
+  }
+  return rect;
+}
+
+bool Rect::contains_interior(const Point& p) const noexcept {
+  assert(p.dims() == dims_);
+  for (std::size_t i = 0; i < dims_; ++i)
+    if (!(lo_[i] < p[i] && p[i] < hi_[i])) return false;
+  return true;
+}
+
+bool Rect::contains_closed(const Point& p) const noexcept {
+  assert(p.dims() == dims_);
+  for (std::size_t i = 0; i < dims_; ++i)
+    if (!(lo_[i] <= p[i] && p[i] <= hi_[i])) return false;
+  return true;
+}
+
+bool Rect::interior_empty() const noexcept {
+  for (std::size_t i = 0; i < dims_; ++i)
+    if (!(lo_[i] < hi_[i])) return true;
+  return false;
+}
+
+Rect Rect::intersect(const Rect& other) const noexcept {
+  assert(dims_ == other.dims_);
+  Rect rect(dims_);
+  for (std::size_t i = 0; i < dims_; ++i) {
+    rect.lo_[i] = std::max(lo_[i], other.lo_[i]);
+    rect.hi_[i] = std::min(hi_[i], other.hi_[i]);
+  }
+  return rect;
+}
+
+bool Rect::interior_subset_of(const Rect& other) const noexcept {
+  assert(dims_ == other.dims_);
+  if (interior_empty()) return true;  // empty set is a subset of anything
+  for (std::size_t i = 0; i < dims_; ++i)
+    if (lo_[i] < other.lo_[i] || hi_[i] > other.hi_[i]) return false;
+  return true;
+}
+
+bool Rect::operator==(const Rect& other) const noexcept {
+  if (dims_ != other.dims_) return false;
+  for (std::size_t i = 0; i < dims_; ++i)
+    if (lo_[i] != other.lo_[i] || hi_[i] != other.hi_[i]) return false;
+  return true;
+}
+
+std::string Rect::to_string(int decimals) const {
+  auto bound = [&](double v) -> std::string {
+    if (v == kInf) return "+inf";
+    if (v == -kInf) return "-inf";
+    return util::format_number(v, decimals);
+  };
+  std::string out;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    if (i) out += " x ";
+    out += "(" + bound(lo_[i]) + ", " + bound(hi_[i]) + ")";
+  }
+  return out;
+}
+
+}  // namespace geomcast::geometry

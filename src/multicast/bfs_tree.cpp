@@ -1,0 +1,29 @@
+#include "multicast/bfs_tree.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace geomcast::multicast {
+
+MulticastTree build_bfs_tree(const overlay::OverlayGraph& graph, overlay::PeerId root) {
+  const std::size_t n = graph.size();
+  if (root >= n) throw std::invalid_argument("build_bfs_tree: root out of range");
+
+  MulticastTree tree(n, root);
+  std::vector<bool> visited(n, false);
+  visited[root] = true;
+  std::deque<overlay::PeerId> queue{root};
+  while (!queue.empty()) {
+    const overlay::PeerId p = queue.front();
+    queue.pop_front();
+    for (overlay::PeerId q : graph.neighbors(p)) {
+      if (visited[q]) continue;
+      visited[q] = true;
+      tree.add_edge(p, q);
+      queue.push_back(q);
+    }
+  }
+  return tree;
+}
+
+}  // namespace geomcast::multicast

@@ -1,0 +1,16 @@
+// Centralized shortest-path-tree baseline: a BFS tree over the overlay,
+// computed with global knowledge. It lower-bounds root-to-leaf path lengths
+// on the given overlay and stands in for the "not fully decentralized"
+// class of solutions the paper's introduction mentions. No message model —
+// a coordinator with the full topology would build it out of band.
+#pragma once
+
+#include "multicast/tree.hpp"
+#include "overlay/graph.hpp"
+
+namespace geomcast::multicast {
+
+[[nodiscard]] MulticastTree build_bfs_tree(const overlay::OverlayGraph& graph,
+                                           overlay::PeerId root);
+
+}  // namespace geomcast::multicast

@@ -1,0 +1,125 @@
+#include "multicast/dissemination.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace geomcast::multicast {
+
+namespace {
+
+struct DataMsg {
+  std::uint64_t seq = 0;
+};
+struct AckMsg {
+  std::uint64_t seq = 0;
+};
+
+class DisseminationNode final : public sim::Node {
+ public:
+  DisseminationNode(PeerId id, const MulticastTree& tree,
+                    const DisseminationConfig& config, DisseminationResult& shared)
+      : sim::Node(id), tree_(tree), config_(config), shared_(shared) {}
+
+  void on_message(sim::Simulator& sim, const sim::Envelope& envelope) override {
+    switch (envelope.kind) {
+      case kDataKind:
+        handle_data(sim, envelope.from, std::any_cast<const DataMsg&>(envelope.payload));
+        break;
+      case kAckKind:
+        handle_ack(sim, std::any_cast<const AckMsg&>(envelope.payload));
+        break;
+      default:
+        throw std::logic_error("DisseminationNode: unexpected message kind");
+    }
+  }
+
+  /// Kicks off delivery at the root (no network hop for the root's copy).
+  void deliver_locally(sim::Simulator& sim) {
+    if (has_payload_) return;
+    has_payload_ = true;
+    ++shared_.delivered;
+    shared_.delivery_time[id()] = sim.now();
+    shared_.completion_time = sim.now();
+    forward_to_children(sim);
+  }
+
+ private:
+  void handle_data(sim::Simulator& sim, PeerId from, const DataMsg& msg) {
+    // Always (re-)ack: the previous ack may have been the lost message.
+    sim.send(id(), from, kAckKind, AckMsg{msg.seq});
+    ++shared_.ack_messages;
+    if (has_payload_) {
+      ++shared_.duplicate_data;
+      return;
+    }
+    deliver_locally(sim);
+  }
+
+  void forward_to_children(sim::Simulator& sim) {
+    for (PeerId child : tree_.children(id())) send_hop(sim, child, /*attempt=*/0);
+  }
+
+  void send_hop(sim::Simulator& sim, PeerId child, std::size_t attempt) {
+    const std::uint64_t seq = (static_cast<std::uint64_t>(id()) << 32) | child;
+    sim.send(id(), child, kDataKind, DataMsg{seq});
+    ++shared_.data_messages;
+    if (attempt > 0) ++shared_.retransmissions;
+    // Arm the retransmission timer; the ack handler cancels it.
+    pending_[child] = sim.schedule_after(config_.ack_timeout, [this, &sim, child, attempt]() {
+      pending_.erase(child);
+      if (attempt < config_.max_retries) {
+        send_hop(sim, child, attempt + 1);
+      } else {
+        ++shared_.abandoned_hops;
+      }
+    });
+  }
+
+  void handle_ack(sim::Simulator& sim, const AckMsg& msg) {
+    const auto child = static_cast<PeerId>(msg.seq & 0xffffffffu);
+    const auto it = pending_.find(child);
+    if (it == pending_.end()) return;  // late ack after a retransmission cycle
+    sim.cancel(it->second);
+    pending_.erase(it);
+  }
+
+  const MulticastTree& tree_;
+  const DisseminationConfig& config_;
+  DisseminationResult& shared_;
+  std::unordered_map<PeerId, sim::EventId> pending_;
+  bool has_payload_ = false;
+};
+
+}  // namespace
+
+DisseminationResult run_dissemination(const MulticastTree& tree,
+                                      const DisseminationConfig& config,
+                                      sim::LatencyModel latency, sim::LossModel loss,
+                                      std::uint64_t seed) {
+  const std::size_t n = tree.peer_count();
+  if (n == 0 || tree.root() == kInvalidPeer)
+    throw std::invalid_argument("run_dissemination: tree has no root");
+
+  DisseminationResult result;
+  result.delivery_time.assign(n, -1.0);
+
+  sim::Simulator sim(seed);
+  sim.network().set_latency(latency);
+  sim.network().set_loss(std::move(loss));
+
+  std::vector<std::unique_ptr<DisseminationNode>> nodes;
+  nodes.reserve(n);
+  for (PeerId p = 0; p < n; ++p) {
+    nodes.push_back(std::make_unique<DisseminationNode>(p, tree, config, result));
+    sim.add_node(*nodes[p]);
+  }
+  sim.schedule_at(0.0, [&]() { nodes[tree.root()]->deliver_locally(sim); });
+  sim.run_until_idle();
+  return result;
+}
+
+}  // namespace geomcast::multicast

@@ -1,0 +1,39 @@
+#include "multicast/flooding.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace geomcast::multicast {
+
+FloodingResult build_flooding_tree(const overlay::OverlayGraph& graph,
+                                   overlay::PeerId root) {
+  const std::size_t n = graph.size();
+  if (root >= n) throw std::invalid_argument("build_flooding_tree: root out of range");
+
+  FloodingResult result;
+  result.tree = MulticastTree(n, root);
+
+  // Deterministic synchronous flood: FIFO wave, so parents are first-hop
+  // senders exactly as with constant link latency.
+  std::vector<bool> received(n, false);
+  received[root] = true;
+  std::deque<overlay::PeerId> queue{root};
+  while (!queue.empty()) {
+    const overlay::PeerId p = queue.front();
+    queue.pop_front();
+    for (overlay::PeerId q : graph.neighbors(p)) {
+      if (q == result.tree.parent(p)) continue;  // don't echo to the parent
+      ++result.request_messages;
+      if (received[q]) {
+        ++result.duplicate_deliveries;
+        continue;
+      }
+      received[q] = true;
+      result.tree.add_edge(p, q);
+      queue.push_back(q);
+    }
+  }
+  return result;
+}
+
+}  // namespace geomcast::multicast

@@ -1,0 +1,26 @@
+// Flooding baseline: the classic "sensitive, chatty" way to build a
+// dissemination tree that the paper's introduction argues against. The
+// initiator floods; every peer forwards the request to all overlay
+// neighbours (except the sender) on first receipt and adopts the first
+// sender as its parent. Coverage is maximal for the overlay's connected
+// component, but the construction costs 2E - (N-1) messages instead of N-1.
+#pragma once
+
+#include <cstdint>
+
+#include "multicast/tree.hpp"
+#include "overlay/graph.hpp"
+
+namespace geomcast::multicast {
+
+struct FloodingResult {
+  MulticastTree tree;
+  std::uint64_t request_messages = 0;
+  /// Deliveries beyond the first at some peer (pure overhead).
+  std::uint64_t duplicate_deliveries = 0;
+};
+
+[[nodiscard]] FloodingResult build_flooding_tree(const overlay::OverlayGraph& graph,
+                                                 overlay::PeerId root);
+
+}  // namespace geomcast::multicast

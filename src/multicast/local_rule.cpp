@@ -1,0 +1,52 @@
+#include "multicast/local_rule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "geometry/orthant.hpp"
+#include "multicast/zone.hpp"
+
+namespace geomcast::multicast {
+
+std::vector<ZoneAssignment> partition_step(const geometry::Point& ego,
+                                           const geometry::Rect& zone,
+                                           std::span<const overlay::Candidate> neighbors,
+                                           PickPolicy policy, geometry::Metric metric,
+                                           util::Rng* rng) {
+  if (policy == PickPolicy::kRandom && rng == nullptr)
+    throw std::invalid_argument("partition_step: kRandom policy requires an rng");
+
+  struct Member {
+    overlay::PeerId id;
+    double dist;
+  };
+  // std::map keeps region iteration order deterministic (ascending code).
+  std::map<geometry::OrthantCode, std::vector<Member>> regions;
+  for (const overlay::Candidate& c : neighbors) {
+    if (!zone.contains_interior(c.point)) continue;
+    regions[geometry::orthant_of(ego, c.point)].push_back(
+        Member{c.id, geometry::distance(metric, ego, c.point)});
+  }
+
+  std::vector<ZoneAssignment> assignments;
+  assignments.reserve(regions.size());
+  for (auto& [orthant, members] : regions) {
+    std::sort(members.begin(), members.end(), [](const Member& a, const Member& b) {
+      if (a.dist != b.dist) return a.dist < b.dist;
+      return a.id < b.id;
+    });
+    std::size_t pick = 0;
+    switch (policy) {
+      case PickPolicy::kMedian: pick = (members.size() - 1) / 2; break;
+      case PickPolicy::kClosest: pick = 0; break;
+      case PickPolicy::kFarthest: pick = members.size() - 1; break;
+      case PickPolicy::kRandom: pick = rng->next_below(members.size()); break;
+    }
+    assignments.push_back(
+        ZoneAssignment{members[pick].id, child_zone(zone, ego, orthant)});
+  }
+  return assignments;
+}
+
+}  // namespace geomcast::multicast

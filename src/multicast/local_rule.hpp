@@ -1,0 +1,40 @@
+// The per-peer forwarding rule of the space-partitioning algorithm (§2).
+// This single function is the whole "decentralized" core: it uses only
+// information a real peer has locally — its own coordinates, the zone
+// description from the incoming request, and the identifiers of its overlay
+// neighbours. Both the synchronous builder and the message-driven protocol
+// call it, so they provably make identical decisions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/distance.hpp"
+#include "geometry/rect.hpp"
+#include "multicast/pick_policy.hpp"
+#include "overlay/peer.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::multicast {
+
+/// A delegated slice of the ego peer's responsibility zone.
+struct ZoneAssignment {
+  overlay::PeerId child = overlay::kInvalidPeer;
+  geometry::Rect zone;
+};
+
+/// Executes one step of the paper's rule for a peer located at `ego` that
+/// received responsibility zone `zone`:
+///   1. keep only neighbours strictly inside `zone`;
+///   2. classify them into orthant regions relative to `ego` (Orthogonal
+///      Hyperplanes classification);
+///   3. sort each region by distance (paper: L1) and select one delegate
+///      per `policy` (paper: median; lower median for even sizes);
+///   4. delegate `zone ∩ orthant half-space` to each selected neighbour.
+/// `rng` is only consulted by PickPolicy::kRandom (may be null otherwise).
+[[nodiscard]] std::vector<ZoneAssignment> partition_step(
+    const geometry::Point& ego, const geometry::Rect& zone,
+    std::span<const overlay::Candidate> neighbors, PickPolicy policy = PickPolicy::kMedian,
+    geometry::Metric metric = geometry::Metric::kL1, util::Rng* rng = nullptr);
+
+}  // namespace geomcast::multicast

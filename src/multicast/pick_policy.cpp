@@ -1,0 +1,26 @@
+#include "multicast/pick_policy.hpp"
+
+#include <stdexcept>
+
+namespace geomcast::multicast {
+
+std::string to_string(PickPolicy policy) {
+  switch (policy) {
+    case PickPolicy::kMedian: return "median";
+    case PickPolicy::kClosest: return "closest";
+    case PickPolicy::kFarthest: return "farthest";
+    case PickPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+PickPolicy pick_policy_from_string(const std::string& name) {
+  if (name == "median") return PickPolicy::kMedian;
+  if (name == "closest") return PickPolicy::kClosest;
+  if (name == "farthest") return PickPolicy::kFarthest;
+  if (name == "random") return PickPolicy::kRandom;
+  throw std::invalid_argument("unknown pick policy '" + name +
+                              "' (expected median|closest|farthest|random)");
+}
+
+}  // namespace geomcast::multicast

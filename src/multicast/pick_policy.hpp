@@ -1,0 +1,22 @@
+// Which neighbour of a region becomes the delegate for that region's slice
+// of the responsibility zone. The paper picks the MEDIAN-distance peer; the
+// alternatives exist for the ablation bench (bench/ablation_pick_policy).
+#pragma once
+
+#include <string>
+
+namespace geomcast::multicast {
+
+enum class PickPolicy {
+  kMedian,    // paper §2: median L1 distance within the region
+  kClosest,   // nearest neighbour of the region
+  kFarthest,  // farthest neighbour of the region
+  kRandom,    // uniform over the region's neighbours
+};
+
+[[nodiscard]] std::string to_string(PickPolicy policy);
+/// Parses "median" / "closest" / "farthest" / "random"; throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] PickPolicy pick_policy_from_string(const std::string& name);
+
+}  // namespace geomcast::multicast

@@ -1,0 +1,48 @@
+// Range-zone multicast: deliver to every peer inside an arbitrary target
+// hyper-rectangle instead of the whole space.
+//
+// This is the natural generalisation of the §2 algorithm (and the direction
+// of the authors' companion work on multidimensional range search, the
+// paper's reference [2]): run the same responsibility-zone recursion, but
+// only recurse into orthant slices whose zone intersects the target
+// rectangle. Peers reached whose identifier lies inside the target are
+// *deliveries*; peers reached only because the recursion must pass through
+// them are *relays* (they forward the request but do not consume the data).
+//
+// Correctness is inherited from the whole-space argument: the recursion is
+// the proven §2 recursion with subtrees that provably contain no target
+// peers pruned; every target peer in Z(P) lies in some child slice that
+// intersects the target and is therefore forwarded to.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/rect.hpp"
+#include "multicast/space_partition.hpp"
+#include "overlay/graph.hpp"
+
+namespace geomcast::multicast {
+
+struct RangeMulticastResult {
+  MulticastTree tree;  // spans deliveries and relays, rooted at the initiator
+  std::uint64_t request_messages = 0;
+  std::uint64_t duplicate_deliveries = 0;
+  /// Peers inside the target rectangle that received the request.
+  std::size_t delivered = 0;
+  /// Peers outside the target that the recursion had to route through.
+  std::size_t relays = 0;
+  std::vector<bool> is_delivery;  // per peer id
+};
+
+/// Builds the pruned construction rooted at `root` (which may lie outside
+/// `target`). Deterministic; uses the paper's median-L1 delegate rule.
+[[nodiscard]] RangeMulticastResult build_range_multicast(
+    const overlay::OverlayGraph& graph, overlay::PeerId root,
+    const geometry::Rect& target, const MulticastConfig& config = {});
+
+/// Number of peers of `graph` strictly inside `target` (oracle; for tests
+/// and reporting).
+[[nodiscard]] std::size_t peers_inside(const overlay::OverlayGraph& graph,
+                                       const geometry::Rect& target);
+
+}  // namespace geomcast::multicast

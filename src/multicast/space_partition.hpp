@@ -1,0 +1,46 @@
+// Synchronous in-memory execution of the space-partitioning multicast-tree
+// construction (§2). Semantically identical to the message-driven protocol
+// in protocol.hpp — both apply partition_step at every peer — but runs as a
+// simple work queue, which is what the figure benches need (Fig 1b runs
+// 1000 constructions per overlay).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "multicast/local_rule.hpp"
+#include "multicast/tree.hpp"
+#include "overlay/graph.hpp"
+
+namespace geomcast::multicast {
+
+struct MulticastConfig {
+  PickPolicy policy = PickPolicy::kMedian;
+  geometry::Metric metric = geometry::Metric::kL1;
+  /// Only used by PickPolicy::kRandom.
+  std::uint64_t rng_seed = 1;
+};
+
+struct BuildResult {
+  MulticastTree tree;
+  /// Tree-construction request messages sent (the paper's N-1 claim).
+  std::uint64_t request_messages = 0;
+  /// Requests delivered to a peer that already held a zone (must be 0; the
+  /// zones of selected neighbours are disjoint by construction).
+  std::uint64_t duplicate_deliveries = 0;
+  /// Responsibility zone each reached peer received (index = peer id);
+  /// unreached peers keep a default-constructed Rect.
+  std::vector<geometry::Rect> zones;
+  std::vector<bool> zone_assigned;
+};
+
+/// Builds the multicast tree rooted at `root` over `graph`'s undirected
+/// adjacency. Every peer only consults its own neighbours and the zone from
+/// its request — the function is a faithful sequentialisation of the
+/// decentralized algorithm.
+[[nodiscard]] BuildResult build_multicast_tree(const overlay::OverlayGraph& graph,
+                                               overlay::PeerId root,
+                                               const MulticastConfig& config = {});
+
+}  // namespace geomcast::multicast

@@ -1,0 +1,75 @@
+#include "multicast/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace geomcast::multicast {
+
+MulticastTree::MulticastTree(std::size_t peer_count, PeerId root)
+    : root_(root),
+      parent_(peer_count, kInvalidPeer),
+      children_(peer_count),
+      reached_count_(1) {
+  if (root >= peer_count) throw std::invalid_argument("MulticastTree: root out of range");
+}
+
+void MulticastTree::add_edge(PeerId parent, PeerId child) {
+  if (parent >= parent_.size() || child >= parent_.size())
+    throw std::invalid_argument("MulticastTree::add_edge: peer out of range");
+  if (child == root_) throw std::logic_error("MulticastTree::add_edge: root cannot be a child");
+  if (parent_[child] != kInvalidPeer)
+    throw std::logic_error("MulticastTree::add_edge: child already attached");
+  if (!reached(parent))
+    throw std::logic_error("MulticastTree::add_edge: parent not reached yet");
+  parent_[child] = parent;
+  children_[parent].push_back(child);
+  ++reached_count_;
+}
+
+std::size_t MulticastTree::tree_degree(PeerId p) const {
+  if (!reached(p)) return 0;
+  return children_.at(p).size() + (p == root_ ? 0 : 1);
+}
+
+std::vector<std::size_t> MulticastTree::depths() const {
+  std::vector<std::size_t> depth(parent_.size(), kUnreachedDepth);
+  if (root_ == kInvalidPeer) return depth;
+  depth[root_] = 0;
+  // children_ edges always point from already-reached parents, so a BFS over
+  // the children lists visits peers in non-decreasing depth.
+  std::vector<PeerId> frontier{root_};
+  std::vector<PeerId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (PeerId p : frontier) {
+      for (PeerId c : children_[p]) {
+        depth[c] = depth[p] + 1;
+        next.push_back(c);
+      }
+    }
+    frontier.swap(next);
+  }
+  return depth;
+}
+
+std::size_t MulticastTree::max_root_to_leaf_path() const {
+  std::size_t best = 0;
+  for (std::size_t d : depths())
+    if (d != kUnreachedDepth) best = std::max(best, d);
+  return best;
+}
+
+std::size_t MulticastTree::max_tree_degree() const {
+  std::size_t best = 0;
+  for (PeerId p = 0; p < parent_.size(); ++p)
+    best = std::max(best, tree_degree(p));
+  return best;
+}
+
+std::size_t MulticastTree::max_children() const {
+  std::size_t best = 0;
+  for (const auto& kids : children_) best = std::max(best, kids.size());
+  return best;
+}
+
+}  // namespace geomcast::multicast

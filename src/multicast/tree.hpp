@@ -1,0 +1,58 @@
+// The multicast tree produced by a construction run: parent/children links
+// over the peer set, plus the basic shape metrics the paper reports
+// (longest root-to-leaf path, per-peer tree degree).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "overlay/peer.hpp"
+
+namespace geomcast::multicast {
+
+using overlay::PeerId;
+using overlay::kInvalidPeer;
+
+class MulticastTree {
+ public:
+  MulticastTree() = default;
+  MulticastTree(std::size_t peer_count, PeerId root);
+
+  [[nodiscard]] std::size_t peer_count() const noexcept { return parent_.size(); }
+  [[nodiscard]] PeerId root() const noexcept { return root_; }
+
+  /// Links `child` under `parent`; both must be in range, `child` must not
+  /// already have a parent (throws std::logic_error — a duplicate delivery
+  /// is a protocol bug the validator reports separately).
+  void add_edge(PeerId parent, PeerId child);
+
+  [[nodiscard]] bool reached(PeerId p) const { return p == root_ || parent_.at(p) != kInvalidPeer; }
+  [[nodiscard]] std::size_t reached_count() const noexcept { return reached_count_; }
+  [[nodiscard]] PeerId parent(PeerId p) const { return parent_.at(p); }
+  [[nodiscard]] const std::vector<PeerId>& children(PeerId p) const { return children_.at(p); }
+  /// Number of tree edges (= messages sent by the space-partition scheme).
+  [[nodiscard]] std::size_t edge_count() const noexcept { return reached_count_ - 1; }
+
+  /// Tree degree: children + 1 for the parent link (root has no parent).
+  [[nodiscard]] std::size_t tree_degree(PeerId p) const;
+
+  /// Depth of every reached peer (root = 0); kUnreachedDepth otherwise.
+  static constexpr std::size_t kUnreachedDepth = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::vector<std::size_t> depths() const;
+
+  /// Longest root-to-leaf path, in edges (the paper's Fig 1b metric).
+  [[nodiscard]] std::size_t max_root_to_leaf_path() const;
+
+  /// Maximum tree degree over reached peers (paper: bounded by 2^D children
+  /// for the orthogonal-region construction).
+  [[nodiscard]] std::size_t max_tree_degree() const;
+  [[nodiscard]] std::size_t max_children() const;
+
+ private:
+  PeerId root_ = kInvalidPeer;
+  std::vector<PeerId> parent_;
+  std::vector<std::vector<PeerId>> children_;
+  std::size_t reached_count_ = 0;
+};
+
+}  // namespace geomcast::multicast

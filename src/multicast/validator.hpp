@@ -1,0 +1,43 @@
+// Checks every §2 claim on a finished construction:
+//   * coverage: all N peers received the request;
+//   * exactly N-1 messages, zero duplicate deliveries;
+//   * each peer lies strictly inside the zone it was delegated;
+//   * sibling zones are pairwise disjoint and exclude the delegating peer;
+//   * child zones are sub-rects of the parent zone;
+//   * at most 2^D children per peer (orthant regions bound the fan-out).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "multicast/space_partition.hpp"
+#include "overlay/graph.hpp"
+
+namespace geomcast::multicast {
+
+struct ValidationReport {
+  std::size_t peer_count = 0;
+  std::size_t reached_count = 0;
+  bool all_reached = false;
+  std::uint64_t request_messages = 0;
+  bool message_count_is_n_minus_1 = false;
+  std::uint64_t duplicate_deliveries = 0;
+  std::size_t max_children = 0;
+  bool children_bound_ok = false;   // max_children <= 2^D
+  bool peers_inside_zones = false;  // every reached peer inside its own zone
+  bool child_zones_nested = false;  // child zone subset of parent zone
+  bool sibling_zones_disjoint = false;
+  bool parent_outside_child_zones = false;
+
+  [[nodiscard]] bool valid() const {
+    return all_reached && message_count_is_n_minus_1 && duplicate_deliveries == 0 &&
+           children_bound_ok && peers_inside_zones && child_zones_nested &&
+           sibling_zones_disjoint && parent_outside_child_zones;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] ValidationReport validate_build(const overlay::OverlayGraph& graph,
+                                              const BuildResult& result);
+
+}  // namespace geomcast::multicast

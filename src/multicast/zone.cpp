@@ -1,0 +1,10 @@
+#include "multicast/zone.hpp"
+
+namespace geomcast::multicast {
+
+geometry::Rect child_zone(const geometry::Rect& parent_zone, const geometry::Point& ego,
+                          geometry::OrthantCode orthant) {
+  return parent_zone.intersect(geometry::orthant_rect(ego, orthant));
+}
+
+}  // namespace geomcast::multicast

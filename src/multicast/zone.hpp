@@ -1,0 +1,26 @@
+// Responsibility zones (paper §2). Z(P) is the open axis-aligned
+// hyper-rectangle of the coordinate space that P must deliver the multicast
+// data to, directly or indirectly. The initiator's zone is the whole space;
+// a child selected in some orthant region of P receives Z(P) clipped to
+// that orthant's open half-space product.
+#pragma once
+
+#include "geometry/orthant.hpp"
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace geomcast::multicast {
+
+/// Zone of the multicast initiator: the entire virtual coordinate space.
+[[nodiscard]] inline geometry::Rect initiator_zone(std::size_t dims) {
+  return geometry::Rect::whole_space(dims);
+}
+
+/// Z(Q) = Z(P) ∩ HR, where HR's side in dimension i is (-inf, x(P,i)) if
+/// x(Q,i) < x(P,i), else (x(P,i), +inf) — exactly the paper's rule. The
+/// orthant code must be `orthant_of(ego, q)` for the chosen child q.
+[[nodiscard]] geometry::Rect child_zone(const geometry::Rect& parent_zone,
+                                        const geometry::Point& ego,
+                                        geometry::OrthantCode orthant);
+
+}  // namespace geomcast::multicast

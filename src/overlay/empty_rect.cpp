@@ -1,0 +1,127 @@
+#include "overlay/empty_rect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/orthant.hpp"
+#include "geometry/rect.hpp"
+
+namespace geomcast::overlay {
+
+namespace {
+
+/// Candidate enriched with its offset magnitudes from the ego peer.
+struct Offset {
+  PeerId id;
+  geometry::OrthantCode orthant;
+  double l1;
+  std::array<double, geometry::kMaxDims> abs_delta;
+};
+
+/// True iff `a` dominates `b` componentwise (strictly closer to the ego in
+/// every dimension). Both must belong to the same orthant.
+bool dominates(const Offset& a, const Offset& b, std::size_t dims) noexcept {
+  for (std::size_t i = 0; i < dims; ++i)
+    if (a.abs_delta[i] >= b.abs_delta[i]) return false;
+  return true;
+}
+
+std::vector<PeerId> select_2d(const geometry::Point& ego,
+                              std::span<const Candidate> candidates) {
+  // Staircase sweep per quadrant: sort by |dx|, keep a running min of |dy|;
+  // a candidate is Pareto-minimal iff its |dy| beats the running min.
+  struct Entry {
+    PeerId id;
+    double ax, ay;
+  };
+  std::array<std::vector<Entry>, 4> quadrants;
+  for (const Candidate& c : candidates) {
+    const double dx = c.point[0] - ego[0];
+    const double dy = c.point[1] - ego[1];
+    const unsigned q = (dx > 0 ? 1u : 0u) | (dy > 0 ? 2u : 0u);
+    quadrants[q].push_back(Entry{c.id, std::abs(dx), std::abs(dy)});
+  }
+  std::vector<PeerId> result;
+  for (auto& quadrant : quadrants) {
+    std::sort(quadrant.begin(), quadrant.end(), [](const Entry& a, const Entry& b) {
+      if (a.ax != b.ax) return a.ax < b.ax;
+      return a.ay < b.ay;  // unreachable with distinct coordinates; keeps order total
+    });
+    double min_ay = geometry::kInf;
+    for (const Entry& e : quadrant) {
+      if (e.ay < min_ay) {
+        result.push_back(e.id);
+        min_ay = e.ay;
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+std::vector<PeerId> EmptyRectSelector::select(const geometry::Point& ego,
+                                              std::span<const Candidate> candidates) const {
+  const std::size_t dims = ego.dims();
+  if (dims == 2) return select_2d(ego, candidates);
+
+  std::vector<Offset> offsets;
+  offsets.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    Offset o;
+    o.id = c.id;
+    o.orthant = geometry::orthant_of(ego, c.point);
+    o.l1 = 0.0;
+    for (std::size_t i = 0; i < dims; ++i) {
+      o.abs_delta[i] = std::abs(c.point[i] - ego[i]);
+      o.l1 += o.abs_delta[i];
+    }
+    offsets.push_back(o);
+  }
+  // Scan in (orthant, L1) order so each orthant's accepted set is contiguous
+  // and every potential dominator of a candidate precedes it.
+  std::sort(offsets.begin(), offsets.end(), [](const Offset& a, const Offset& b) {
+    if (a.orthant != b.orthant) return a.orthant < b.orthant;
+    if (a.l1 != b.l1) return a.l1 < b.l1;
+    return a.id < b.id;
+  });
+
+  std::vector<PeerId> result;
+  std::vector<const Offset*> accepted;
+  geometry::OrthantCode current_orthant = 0;
+  bool first = true;
+  for (const Offset& o : offsets) {
+    if (first || o.orthant != current_orthant) {
+      accepted.clear();
+      current_orthant = o.orthant;
+      first = false;
+    }
+    const bool dominated = std::any_of(
+        accepted.begin(), accepted.end(),
+        [&](const Offset* a) { return dominates(*a, o, dims); });
+    if (!dominated) {
+      accepted.push_back(&o);
+      result.push_back(o.id);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<PeerId> EmptyRectSelector::select_brute_force(
+    const geometry::Point& ego, std::span<const Candidate> candidates) {
+  std::vector<PeerId> result;
+  for (const Candidate& q : candidates) {
+    const geometry::Rect box = geometry::Rect::spanned_by(ego, q.point);
+    const bool blocked = std::any_of(
+        candidates.begin(), candidates.end(), [&](const Candidate& r) {
+          return r.id != q.id && box.contains_interior(r.point);
+        });
+    if (!blocked) result.push_back(q.id);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,34 @@
+// The empty-rectangle neighbour rule used for the paper's §2 experiments:
+// Q ∈ I(P) is a neighbour of P iff the axis-aligned hyper-rectangle spanned
+// by the identifiers of P and Q contains no other member of I(P).
+//
+// With all per-dimension coordinates distinct, a third peer R can only lie
+// strictly inside that box if R sits in the same orthant as Q (relative to
+// P) and |x(R,i)-x(P,i)| < |x(Q,i)-x(P,i)| in every dimension — i.e. R
+// dominates Q componentwise. So the neighbours are exactly the Pareto-
+// minimal candidates of each orthant, which we extract in O(n·A + n log n)
+// per ego (A = answer size) by scanning candidates in increasing L1 order
+// and testing dominance against already-accepted peers only (any dominator
+// has a strictly smaller L1 norm, and dominance is transitive). A dedicated
+// 2-D path uses the classic staircase sweep. A brute-force O(n²) reference
+// exists for property tests.
+#pragma once
+
+#include "overlay/selector.hpp"
+
+namespace geomcast::overlay {
+
+class EmptyRectSelector final : public NeighborSelector {
+ public:
+  [[nodiscard]] std::vector<PeerId> select(
+      const geometry::Point& ego, std::span<const Candidate> candidates) const override;
+
+  [[nodiscard]] std::string name() const override { return "empty-rect"; }
+
+  /// O(n²) reference implementation: literal paper rule, checks every
+  /// candidate box against every other candidate.
+  [[nodiscard]] static std::vector<PeerId> select_brute_force(
+      const geometry::Point& ego, std::span<const Candidate> candidates);
+};
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,184 @@
+#include "overlay/gossip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace geomcast::overlay {
+
+namespace {
+std::uint64_t dedup_key(PeerId origin, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(origin) << 40) | (seq & ((1ULL << 40) - 1));
+}
+}  // namespace
+
+GossipNode::GossipNode(PeerId id, geometry::Point point, NodeAddress address,
+                       const NeighborSelector& selector, GossipConfig config)
+    : sim::Node(id),
+      point_(std::move(point)),
+      address_(std::move(address)),
+      selector_(selector),
+      config_(config),
+      knowledge_(config.tmax) {
+  if (config_.br < 2)
+    throw std::invalid_argument("GossipConfig: the paper requires BR >= 2");
+  if (config_.tmax <= config_.announce_period)
+    throw std::invalid_argument("GossipConfig: Tmax must exceed the announce period");
+}
+
+void GossipNode::activate(sim::Simulator& sim, const std::vector<Candidate>& bootstrap) {
+  active_ = true;
+  for (const Candidate& c : bootstrap) knowledge_.hear(c.id, c.point, sim.now());
+  reselect(sim);   // adopt initial neighbours immediately
+  announce(sim);   // make the join visible without waiting a full period
+
+  // Periodic timers, re-armed from their own callbacks. Nodes are owned by
+  // the driver and outlive the simulator run, so capturing `this` is safe.
+  sim.schedule_after(config_.announce_period, [this, &sim]() { periodic_announce(sim); });
+  sim.schedule_after(config_.reselect_period, [this, &sim]() { periodic_reselect(sim); });
+}
+
+void GossipNode::periodic_announce(sim::Simulator& sim) {
+  if (!active_) return;
+  announce(sim);
+  sim.schedule_after(config_.announce_period, [this, &sim]() { periodic_announce(sim); });
+}
+
+void GossipNode::periodic_reselect(sim::Simulator& sim) {
+  if (!active_) return;
+  reselect(sim);
+  sim.schedule_after(config_.reselect_period, [this, &sim]() { periodic_reselect(sim); });
+}
+
+void GossipNode::announce(sim::Simulator& sim) {
+  ++announce_seq_;
+  Announcement announcement{id(), point_, address_, announce_seq_, config_.br};
+  seen_.insert(dedup_key(id(), announce_seq_));
+  fanout(sim, announcement, /*except=*/id());
+}
+
+void GossipNode::fanout(sim::Simulator& sim, const Announcement& announcement,
+                        PeerId except) {
+  for (PeerId neighbor : undirected_neighbors()) {
+    if (neighbor == except || neighbor == announcement.origin) continue;
+    sim.send(id(), neighbor, kAnnounceKind, announcement);
+  }
+}
+
+void GossipNode::reselect(sim::Simulator& sim) {
+  knowledge_.expire(sim.now());
+  const auto candidates = knowledge_.candidates();
+  auto fresh = selector_.select(point_, candidates);
+  std::sort(fresh.begin(), fresh.end());
+  if (fresh == out_) {
+    ++stable_rounds_;
+    return;
+  }
+  stable_rounds_ = 0;
+  // Tell the peers on both sides of every changed link so their undirected
+  // adjacency (and hence announcement forwarding) stays accurate.
+  for (PeerId added : fresh)
+    if (!std::binary_search(out_.begin(), out_.end(), added))
+      sim.send(id(), added, kLinkAddKind, id());
+  for (PeerId removed : out_)
+    if (!std::binary_search(fresh.begin(), fresh.end(), removed))
+      sim.send(id(), removed, kLinkRemoveKind, id());
+  out_ = std::move(fresh);
+}
+
+std::vector<PeerId> GossipNode::undirected_neighbors() const {
+  std::vector<PeerId> result = out_;
+  result.insert(result.end(), in_links_.begin(), in_links_.end());
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+void GossipNode::on_message(sim::Simulator& sim, const sim::Envelope& envelope) {
+  if (!active_) return;  // messages addressed to not-yet-joined peers are stale
+  switch (envelope.kind) {
+    case kAnnounceKind:
+      handle_announcement(sim, envelope);
+      break;
+    case kLinkAddKind:
+      in_links_.insert(std::any_cast<PeerId>(envelope.payload));
+      break;
+    case kLinkRemoveKind:
+      in_links_.erase(std::any_cast<PeerId>(envelope.payload));
+      break;
+    default:
+      util::log_warn() << "gossip node " << id() << ": unknown message kind "
+                       << envelope.kind;
+  }
+}
+
+void GossipNode::handle_announcement(sim::Simulator& sim, const sim::Envelope& envelope) {
+  const auto& announcement = std::any_cast<const Announcement&>(envelope.payload);
+  if (announcement.origin == id()) return;
+  if (!seen_.insert(dedup_key(announcement.origin, announcement.seq)).second) return;
+  knowledge_.hear(announcement.origin, announcement.origin_point, sim.now());
+  if (announcement.ttl > 1) {
+    Announcement forwarded = announcement;
+    forwarded.ttl -= 1;
+    fanout(sim, forwarded, envelope.from);
+  }
+}
+
+GossipBuildResult build_overlay_with_gossip(const std::vector<geometry::Point>& points,
+                                            const NeighborSelector& selector,
+                                            const GossipConfig& config, std::uint64_t seed,
+                                            std::size_t stable_rounds_required,
+                                            double max_time_per_insert) {
+  sim::Simulator sim(seed);
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  nodes.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    NodeAddress address{"10.0.0." + std::to_string(i % 250 + 1),
+                        static_cast<std::uint16_t>(9000 + i)};
+    nodes.push_back(std::make_unique<GossipNode>(static_cast<PeerId>(i), points[i],
+                                                 address, selector, config));
+    sim.add_node(*nodes.back());
+  }
+
+  GossipBuildResult result{OverlayGraph{}, true, 0.0, 0, 0};
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<Candidate> bootstrap;
+    if (i > 0) {
+      const auto contact = static_cast<PeerId>(rng.next_below(i));
+      bootstrap.push_back(Candidate{contact, points[contact]});
+    }
+    nodes[i]->activate(sim, bootstrap);
+
+    // Let the overlay converge: every active node must report a stable
+    // selection for the required number of consecutive reselection rounds.
+    const double deadline = sim.now() + max_time_per_insert;
+    bool stable = false;
+    while (sim.now() < deadline) {
+      sim.run_until(sim.now() + config.reselect_period);
+      stable = std::all_of(nodes.begin(), nodes.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                           [&](const auto& node) {
+                             return node->stable_rounds() >= stable_rounds_required;
+                           });
+      if (stable) break;
+    }
+    if (!stable) result.converged = false;
+  }
+
+  std::vector<std::vector<PeerId>> out(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) out[i] = nodes[i]->selected();
+  result.graph = OverlayGraph(points, std::move(out));
+  result.sim_time = sim.now();
+  const auto& stats = sim.stats();
+  if (const auto it = stats.sent_by_kind.find(kAnnounceKind); it != stats.sent_by_kind.end())
+    result.announce_messages = it->second;
+  if (const auto add = stats.sent_by_kind.find(kLinkAddKind); add != stats.sent_by_kind.end())
+    result.link_messages += add->second;
+  if (const auto rem = stats.sent_by_kind.find(kLinkRemoveKind); rem != stats.sent_by_kind.end())
+    result.link_messages += rem->second;
+  return result;
+}
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,39 @@
+#include "overlay/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace geomcast::overlay {
+
+OverlayGraph::OverlayGraph(std::vector<geometry::Point> points,
+                           std::vector<std::vector<PeerId>> out)
+    : points_(std::move(points)), out_(std::move(out)) {
+  if (points_.size() != out_.size())
+    throw std::invalid_argument("OverlayGraph: points/out size mismatch");
+
+  const auto n = points_.size();
+  undirected_.assign(n, {});
+  for (std::size_t p = 0; p < n; ++p) {
+    std::sort(out_[p].begin(), out_[p].end());
+    out_[p].erase(std::unique(out_[p].begin(), out_[p].end()), out_[p].end());
+    for (PeerId q : out_[p]) {
+      if (q >= n) throw std::invalid_argument("OverlayGraph: selection out of range");
+      if (q == p) throw std::invalid_argument("OverlayGraph: self-selection");
+      undirected_[p].push_back(q);
+      undirected_[q].push_back(static_cast<PeerId>(p));
+    }
+  }
+  for (auto& adjacency : undirected_) {
+    std::sort(adjacency.begin(), adjacency.end());
+    adjacency.erase(std::unique(adjacency.begin(), adjacency.end()), adjacency.end());
+    edge_count_ += adjacency.size();
+  }
+  edge_count_ /= 2;
+}
+
+bool OverlayGraph::has_edge(PeerId a, PeerId b) const {
+  const auto& adjacency = neighbors(a);
+  return std::binary_search(adjacency.begin(), adjacency.end(), b);
+}
+
+}  // namespace geomcast::overlay

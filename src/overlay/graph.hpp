@@ -1,0 +1,52 @@
+// The overlay topology: which peers selected which, and the resulting
+// undirected adjacency. The paper reports degree statistics over this
+// graph (Fig 1 a, c) and runs both tree algorithms on top of it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "overlay/peer.hpp"
+
+namespace geomcast::overlay {
+
+class OverlayGraph {
+ public:
+  OverlayGraph() = default;
+
+  /// Builds from per-peer selections. `out[p]` is the list of peers p chose
+  /// (sorted or not). The undirected adjacency is the union p~q iff p chose
+  /// q or q chose p — a peer that selects q will exchange traffic with q
+  /// regardless of whether q reciprocates.
+  OverlayGraph(std::vector<geometry::Point> points, std::vector<std::vector<PeerId>> out);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] std::size_t dims() const noexcept {
+    return points_.empty() ? 0 : points_.front().dims();
+  }
+  [[nodiscard]] const geometry::Point& point(PeerId p) const { return points_.at(p); }
+  [[nodiscard]] const std::vector<geometry::Point>& points() const noexcept { return points_; }
+
+  /// Peers p selected (its own selection, sorted ascending).
+  [[nodiscard]] const std::vector<PeerId>& selected(PeerId p) const { return out_.at(p); }
+  /// Undirected neighbourhood (sorted ascending, no duplicates).
+  [[nodiscard]] const std::vector<PeerId>& neighbors(PeerId p) const { return undirected_.at(p); }
+
+  [[nodiscard]] bool has_edge(PeerId a, PeerId b) const;
+  [[nodiscard]] std::size_t degree(PeerId p) const { return neighbors(p).size(); }
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  [[nodiscard]] bool operator==(const OverlayGraph& other) const {
+    return points_ == other.points_ && undirected_ == other.undirected_;
+  }
+
+ private:
+  std::vector<geometry::Point> points_;
+  std::vector<std::vector<PeerId>> out_;
+  std::vector<std::vector<PeerId>> undirected_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace geomcast::overlay

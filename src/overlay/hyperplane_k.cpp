@@ -1,0 +1,55 @@
+#include "overlay/hyperplane_k.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace geomcast::overlay {
+
+HyperplaneKSelector::HyperplaneKSelector(geometry::HyperplaneArrangement arrangement,
+                                         std::size_t k, geometry::Metric metric)
+    : arrangement_(std::move(arrangement)), k_(k), metric_(metric) {
+  if (k_ == 0) throw std::invalid_argument("HyperplaneKSelector: K must be >= 1");
+}
+
+HyperplaneKSelector HyperplaneKSelector::orthogonal(std::size_t dims, std::size_t k,
+                                                    geometry::Metric metric) {
+  return HyperplaneKSelector(geometry::HyperplaneArrangement::orthogonal(dims), k, metric);
+}
+
+std::string HyperplaneKSelector::name() const {
+  return "hyperplanes(H=" + std::to_string(arrangement_.plane_count()) +
+         ",K=" + std::to_string(k_) + "," + geometry::to_string(metric_) + ")";
+}
+
+std::vector<PeerId> HyperplaneKSelector::select(
+    const geometry::Point& ego, std::span<const Candidate> candidates) const {
+  struct Scored {
+    PeerId id;
+    double dist;
+  };
+  std::unordered_map<geometry::RegionKey, std::vector<Scored>, geometry::RegionKeyHash>
+      regions;
+  for (const Candidate& c : candidates) {
+    const auto key = arrangement_.region_of(ego, c.point);
+    regions[key].push_back(Scored{c.id, geometry::distance(metric_, ego, c.point)});
+  }
+
+  std::vector<PeerId> result;
+  for (auto& [key, members] : regions) {
+    (void)key;
+    const std::size_t keep = std::min(k_, members.size());
+    // Ties broken by id so the selection is a deterministic function of the
+    // candidate *set* regardless of input order.
+    std::partial_sort(members.begin(), members.begin() + static_cast<std::ptrdiff_t>(keep),
+                      members.end(), [](const Scored& a, const Scored& b) {
+                        if (a.dist != b.dist) return a.dist < b.dist;
+                        return a.id < b.id;
+                      });
+    for (std::size_t i = 0; i < keep; ++i) result.push_back(members[i].id);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace geomcast::overlay

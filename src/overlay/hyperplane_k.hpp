@@ -1,0 +1,42 @@
+// The generic Hyperplanes neighbour-selection method (paper reference [1]):
+// translate so the ego peer is the origin, classify every known peer into
+// the region of a hyperplane arrangement, and keep the K closest peers of
+// each region under a configurable distance function.
+//
+// With the orthogonal arrangement this is the paper's "Orthogonal
+// Hyperplanes" method (used for the §3 stability experiments); with the
+// empty arrangement it degenerates to plain K-closest (instance 3).
+#pragma once
+
+#include "geometry/distance.hpp"
+#include "geometry/hyperplane.hpp"
+#include "overlay/selector.hpp"
+
+namespace geomcast::overlay {
+
+class HyperplaneKSelector final : public NeighborSelector {
+ public:
+  HyperplaneKSelector(geometry::HyperplaneArrangement arrangement, std::size_t k,
+                      geometry::Metric metric = geometry::Metric::kL2);
+
+  [[nodiscard]] std::vector<PeerId> select(
+      const geometry::Point& ego, std::span<const Candidate> candidates) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] const geometry::HyperplaneArrangement& arrangement() const noexcept {
+    return arrangement_;
+  }
+
+  /// Convenience factory for the paper's Orthogonal Hyperplanes method.
+  [[nodiscard]] static HyperplaneKSelector orthogonal(
+      std::size_t dims, std::size_t k, geometry::Metric metric = geometry::Metric::kL2);
+
+ private:
+  geometry::HyperplaneArrangement arrangement_;
+  std::size_t k_;
+  geometry::Metric metric_;
+};
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,41 @@
+#include "overlay/k_closest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace geomcast::overlay {
+
+KClosestSelector::KClosestSelector(std::size_t k, geometry::Metric metric)
+    : k_(k), metric_(metric) {
+  if (k_ == 0) throw std::invalid_argument("KClosestSelector: K must be >= 1");
+}
+
+std::string KClosestSelector::name() const {
+  return "k-closest(K=" + std::to_string(k_) + "," + geometry::to_string(metric_) + ")";
+}
+
+std::vector<PeerId> KClosestSelector::select(const geometry::Point& ego,
+                                             std::span<const Candidate> candidates) const {
+  struct Scored {
+    PeerId id;
+    double dist;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (const Candidate& c : candidates)
+    scored.push_back(Scored{c.id, geometry::distance(metric_, ego, c.point)});
+
+  const std::size_t keep = std::min(k_, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      if (a.dist != b.dist) return a.dist < b.dist;
+                      return a.id < b.id;
+                    });
+  std::vector<PeerId> result;
+  result.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) result.push_back(scored[i].id);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,26 @@
+// Instance 3 of the paper's Hyperplanes method: H = 0, i.e. a single region
+// containing all of space; the K closest known peers become neighbours.
+#pragma once
+
+#include "geometry/distance.hpp"
+#include "overlay/selector.hpp"
+
+namespace geomcast::overlay {
+
+class KClosestSelector final : public NeighborSelector {
+ public:
+  explicit KClosestSelector(std::size_t k, geometry::Metric metric = geometry::Metric::kL2);
+
+  [[nodiscard]] std::vector<PeerId> select(
+      const geometry::Point& ego, std::span<const Candidate> candidates) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+ private:
+  std::size_t k_;
+  geometry::Metric metric_;
+};
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,26 @@
+#include "overlay/knowledge.hpp"
+
+#include <algorithm>
+
+namespace geomcast::overlay {
+
+void KnowledgeSet::hear(PeerId peer, const geometry::Point& point, sim::SimTime now) {
+  auto& entry = entries_[peer];
+  entry.point = point;
+  entry.last_heard = std::max(entry.last_heard, now);
+}
+
+void KnowledgeSet::expire(sim::SimTime now) {
+  std::erase_if(entries_, [&](const auto& kv) { return kv.second.last_heard + tmax_ < now; });
+}
+
+std::vector<Candidate> KnowledgeSet::candidates() const {
+  std::vector<Candidate> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(Candidate{id, entry.point});
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,44 @@
+// The knowledge set I(P): peers from which existence announcements were
+// received during the previous Tmax seconds, with their identifiers
+// (coordinates) and network addresses.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "overlay/peer.hpp"
+#include "sim/time.hpp"
+
+namespace geomcast::overlay {
+
+class KnowledgeSet {
+ public:
+  explicit KnowledgeSet(sim::SimTime tmax) : tmax_(tmax) {}
+
+  /// Records (or refreshes) an announcement from `peer` heard at `now`.
+  void hear(PeerId peer, const geometry::Point& point, sim::SimTime now);
+
+  /// Forgets entries older than Tmax relative to `now`.
+  void expire(sim::SimTime now);
+
+  /// Forgets a specific peer (e.g. on an explicit leave notification).
+  void forget(PeerId peer) { entries_.erase(peer); }
+
+  [[nodiscard]] bool knows(PeerId peer) const { return entries_.count(peer) > 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] sim::SimTime tmax() const noexcept { return tmax_; }
+
+  /// Snapshot as a candidate vector (sorted by id for determinism).
+  [[nodiscard]] std::vector<Candidate> candidates() const;
+
+ private:
+  struct Entry {
+    geometry::Point point;
+    sim::SimTime last_heard = 0.0;
+  };
+  sim::SimTime tmax_;
+  std::unordered_map<PeerId, Entry> entries_;
+};
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,46 @@
+// Precomputed structure for sweeping K in the Orthogonal-Hyperplanes(K)
+// selection (Fig 1 d/e run K = 1..50 for each D). Building the equilibrium
+// from scratch per K costs O(N^2 log N) each; this index pays that once per
+// dimension and then materialises any K's out-lists by taking per-orthant
+// prefixes. select_k(k) is guaranteed to equal
+// HyperplaneKSelector::orthogonal(D, k, metric) under full knowledge
+// (tested in tests/overlay_orthant_sweep_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/distance.hpp"
+#include "geometry/orthant.hpp"
+#include "overlay/graph.hpp"
+#include "overlay/peer.hpp"
+
+namespace geomcast::overlay {
+
+class OrthantSweepIndex {
+ public:
+  OrthantSweepIndex(std::vector<geometry::Point> points,
+                    geometry::Metric metric = geometry::Metric::kL2);
+
+  /// Out-lists (per-peer selections) for the given K: the K closest peers
+  /// of each orthant, ties broken by id.
+  [[nodiscard]] std::vector<std::vector<PeerId>> select_k(std::size_t k) const;
+
+  /// Full overlay graph for the given K.
+  [[nodiscard]] OverlayGraph graph_for_k(std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  struct Entry {
+    geometry::OrthantCode orthant;
+    double dist;
+    PeerId id;
+  };
+  std::vector<geometry::Point> points_;
+  /// Per peer: all other peers sorted by (orthant, dist, id); orthant runs
+  /// are contiguous so per-K extraction is a single pass.
+  std::vector<std::vector<Entry>> sorted_;
+};
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,35 @@
+// Peer identity. A peer's *identifier* in the paper is its coordinate
+// vector; for bookkeeping we also give each peer a dense index (PeerId)
+// and keep the (ip, port) network address the paper mentions for joins —
+// it plays no role in any metric but keeps the API faithful.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "geometry/point.hpp"
+#include "sim/network.hpp"
+
+namespace geomcast::overlay {
+
+/// Dense peer index; equals the sim::NodeId of the peer's simulated node.
+using PeerId = sim::NodeId;
+inline constexpr PeerId kInvalidPeer = sim::kInvalidNode;
+
+/// Public transport endpoint (paper: "public IP and port").
+struct NodeAddress {
+  std::string ip = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] bool operator==(const NodeAddress&) const = default;
+  [[nodiscard]] std::string to_string() const { return ip + ":" + std::to_string(port); }
+};
+
+/// A peer as seen by neighbour-selection: identifier (coordinates) + index.
+struct Candidate {
+  PeerId id = kInvalidPeer;
+  geometry::Point point;
+};
+
+}  // namespace geomcast::overlay

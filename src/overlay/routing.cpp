@@ -1,0 +1,46 @@
+#include "overlay/routing.hpp"
+
+#include <stdexcept>
+
+#include "geometry/rect.hpp"
+
+namespace geomcast::overlay {
+
+RouteResult route_greedy(const OverlayGraph& graph, PeerId source, PeerId destination,
+                         std::size_t max_hops) {
+  if (source >= graph.size() || destination >= graph.size())
+    throw std::invalid_argument("route_greedy: peer out of range");
+
+  RouteResult result;
+  result.path.push_back(source);
+  PeerId current = source;
+  const geometry::Point& target = graph.point(destination);
+
+  while (current != destination && result.path.size() <= max_hops) {
+    const geometry::Rect corridor =
+        geometry::Rect::spanned_by(graph.point(current), target);
+    PeerId next = kInvalidPeer;
+    double best = 0.0;
+    for (PeerId q : graph.neighbors(current)) {
+      if (q == destination) {
+        next = q;
+        break;
+      }
+      // Only hops strictly inside the corridor make provable progress
+      // (componentwise closer to the destination in every dimension).
+      if (!corridor.contains_interior(graph.point(q))) continue;
+      const double dist = geometry::l1_distance(graph.point(q), target);
+      if (next == kInvalidPeer || dist < best) {
+        next = q;
+        best = dist;
+      }
+    }
+    if (next == kInvalidPeer) return result;  // stranded: no in-corridor neighbour
+    result.path.push_back(next);
+    current = next;
+  }
+  result.delivered = current == destination;
+  return result;
+}
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,39 @@
+// Greedy geometric unicast over the overlay — the point-to-point primitive
+// the paper's substrate reference ([1], multi-path data transfer) builds
+// on, and a second consumer of the empty-rectangle structure.
+//
+// To route from C to a destination peer B, forward to an overlay neighbour
+// strictly inside the box spanned by C and B (preferring the one closest to
+// B). On an empty-rectangle overlay at equilibrium such a neighbour always
+// exists (the Pareto-descent argument, docs/ALGORITHMS.md §1), it is
+// componentwise closer to B in every dimension, so the L1 distance strictly
+// decreases and the packet provably arrives. On overlays without the
+// coverage property the greedy step can strand; the router detects that and
+// reports failure instead of looping.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/distance.hpp"
+#include "overlay/graph.hpp"
+
+namespace geomcast::overlay {
+
+struct RouteResult {
+  bool delivered = false;
+  /// Visited peers, source first; ends at the destination iff delivered.
+  std::vector<PeerId> path;
+  [[nodiscard]] std::size_t hops() const noexcept {
+    return path.empty() ? 0 : path.size() - 1;
+  }
+};
+
+/// Routes greedily from `source` to `destination` using only local
+/// information at each hop (own coordinates, neighbours' coordinates, the
+/// destination identifier carried by the packet). `max_hops` bounds the
+/// walk defensively; the default exceeds any N used here.
+[[nodiscard]] RouteResult route_greedy(const OverlayGraph& graph, PeerId source,
+                                       PeerId destination, std::size_t max_hops = 100000);
+
+}  // namespace geomcast::overlay

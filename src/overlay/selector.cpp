@@ -1,0 +1,16 @@
+#include "overlay/selector.hpp"
+
+namespace geomcast::overlay {
+
+std::vector<Candidate> candidates_excluding(const std::vector<geometry::Point>& points,
+                                            PeerId ego_id) {
+  std::vector<Candidate> candidates;
+  candidates.reserve(points.empty() ? 0 : points.size() - 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i == ego_id) continue;
+    candidates.push_back(Candidate{static_cast<PeerId>(i), points[i]});
+  }
+  return candidates;
+}
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,37 @@
+// Neighbour-selection strategy interface (the paper's "neighbour selection
+// method"): given the ego peer's coordinates and its knowledge set I(P),
+// produce the set of overlay neighbours. Implementations must be
+// deterministic functions of their inputs so that (a) the overlay converges
+// to an equilibrium and (b) seeded experiments reproduce exactly.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "overlay/peer.hpp"
+
+namespace geomcast::overlay {
+
+class NeighborSelector {
+ public:
+  virtual ~NeighborSelector() = default;
+
+  /// Selects neighbours for `ego` among `candidates` (I(P), ego excluded).
+  /// Returns peer ids sorted ascending. Candidates may arrive in any order;
+  /// the result must not depend on it.
+  [[nodiscard]] virtual std::vector<PeerId> select(
+      const geometry::Point& ego, std::span<const Candidate> candidates) const = 0;
+
+  /// Human-readable name for tables and logs.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Convenience: builds the candidate vector for `ego_id` from a full point
+/// set (the "full knowledge" I(P) of the equilibrium definition).
+[[nodiscard]] std::vector<Candidate> candidates_excluding(
+    const std::vector<geometry::Point>& points, PeerId ego_id);
+
+}  // namespace geomcast::overlay

@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace geomcast::sim {
+
+EventId EventQueue::schedule(SimTime when, std::function<void()> action) {
+  if (when < last_popped_)
+    throw std::invalid_argument("EventQueue::schedule: time is in the past");
+  if (!action) throw std::invalid_argument("EventQueue::schedule: empty action");
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(action)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return pending_ids_.erase(id) > 0; }
+
+void EventQueue::drop_stale_head() const {
+  while (!heap_.empty() && pending_ids_.count(heap_.top().id) == 0) heap_.pop();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_stale_head();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: queue is empty");
+  return heap_.top().when;
+}
+
+bool EventQueue::run_next() {
+  drop_stale_head();
+  if (heap_.empty()) return false;
+  // Copy the entry out before running: the action may schedule new events,
+  // which can reallocate the heap's underlying storage.
+  Entry entry = heap_.top();
+  heap_.pop();
+  pending_ids_.erase(entry.id);
+  last_popped_ = entry.when;
+  entry.action();
+  return true;
+}
+
+}  // namespace geomcast::sim

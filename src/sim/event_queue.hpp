@@ -1,0 +1,62 @@
+// Deterministic event queue: events fire in (time, insertion-sequence)
+// order, so simultaneous events run in the order they were scheduled and
+// every run of a seeded simulation is bit-for-bit identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace geomcast::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `when`; returns a handle usable
+  /// with cancel(). `when` must be >= the last popped time (no scheduling
+  /// into the past).
+  EventId schedule(SimTime when, std::function<void()> action);
+
+  /// Cancels a pending event; returns false if it already ran, was already
+  /// cancelled, or never existed. Lazy removal: the heap entry stays until
+  /// it reaches the front.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept { return pending_ids_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_ids_.size(); }
+  /// Time of the earliest pending event; queue must not be empty.
+  [[nodiscard]] SimTime next_time() const;
+  [[nodiscard]] SimTime last_popped_time() const noexcept { return last_popped_; }
+
+  /// Pops and runs the earliest pending event. Returns false if nothing ran
+  /// (queue empty). Cancelled entries are skipped transparently.
+  bool run_next();
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  /// Removes heap entries whose id is no longer pending (cancelled).
+  void drop_stale_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_ids_;
+  EventId next_id_ = 1;
+  SimTime last_popped_ = kTimeZero;
+};
+
+}  // namespace geomcast::sim

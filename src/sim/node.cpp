@@ -1,0 +1,6 @@
+#include "sim/node.hpp"
+
+// Node is an interface with out-of-line-able pieces only in the vtable; this
+// translation unit anchors the vtable so the class has a home object file.
+
+namespace geomcast::sim {}  // namespace geomcast::sim

@@ -1,0 +1,34 @@
+// Actor base class for protocol participants. A Node reacts to delivered
+// envelopes and to timers it set; everything runs single-threaded inside
+// the Simulator's event loop (the paper's "multi-threaded Python framework"
+// is replaced by a deterministic sequential schedule — see DESIGN.md).
+#pragma once
+
+#include "sim/network.hpp"
+#include "sim/time.hpp"
+
+namespace geomcast::sim {
+
+class Simulator;
+
+class Node {
+ public:
+  explicit Node(NodeId id) noexcept : id_(id) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  /// Called once when the node is registered with a simulator, before any
+  /// message or timer fires. Use it to start periodic behaviour.
+  virtual void on_start(Simulator& sim) { (void)sim; }
+
+  /// Called for every envelope delivered to this node.
+  virtual void on_message(Simulator& sim, const Envelope& envelope) = 0;
+
+ private:
+  NodeId id_;
+};
+
+}  // namespace geomcast::sim

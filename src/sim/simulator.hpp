@@ -1,0 +1,66 @@
+// The simulation kernel: virtual clock + event queue + network + nodes.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  /// Registers a node. The simulator does NOT take ownership; the caller
+  /// must keep the node alive for the simulator's lifetime. Node ids must
+  /// be dense (0, 1, 2, ...) and registered in order.
+  void add_node(Node& node);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] Network& network() noexcept { return network_; }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return network_.stats(); }
+
+  /// Sends a message; it will be delivered (or dropped) per the network's
+  /// latency/loss models.
+  void send(NodeId from, NodeId to, MessageKind kind, std::any payload);
+
+  /// Observer invoked on every delivery, before the destination node's
+  /// handler — tracing/debugging hook; pass nullptr to clear.
+  using DeliveryObserver = std::function<void(SimTime, const Envelope&)>;
+  void set_delivery_observer(DeliveryObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Schedules a callback at an absolute virtual time / after a delay.
+  EventId schedule_at(SimTime when, std::function<void()> action);
+  EventId schedule_after(SimTime delay, std::function<void()> action);
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue drains or `max_events` fire.
+  /// Returns the number of events processed.
+  std::size_t run_until_idle(std::size_t max_events = 50'000'000);
+
+  /// Runs events with time <= `until`. Returns events processed.
+  std::size_t run_until(SimTime until, std::size_t max_events = 50'000'000);
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  void deliver(const Envelope& envelope);
+
+  SimTime now_ = kTimeZero;
+  EventQueue queue_;
+  Network network_;
+  std::vector<Node*> nodes_;
+  DeliveryObserver observer_;
+};
+
+}  // namespace geomcast::sim

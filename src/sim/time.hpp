@@ -1,0 +1,13 @@
+// Virtual time for the discrete-event simulator. Seconds as double: the
+// paper's protocol parameters (gossip period, Tmax, lifetimes T(P)) are all
+// durations, and double gives us exact arithmetic for the small integer
+// multiples the experiments use.
+#pragma once
+
+namespace geomcast::sim {
+
+using SimTime = double;
+
+inline constexpr SimTime kTimeZero = 0.0;
+
+}  // namespace geomcast::sim

@@ -1,0 +1,123 @@
+#include "stability/churn.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace geomcast::stability {
+
+namespace {
+std::vector<PeerId> departure_order(const std::vector<double>& departure_times) {
+  std::vector<PeerId> order(departure_times.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PeerId a, PeerId b) {
+    return departure_times[a] < departure_times[b];
+  });
+  return order;
+}
+
+/// Size of v's subtree restricted to alive nodes (children lists derived
+/// from the current parent array).
+std::size_t alive_subtree(const std::vector<std::vector<PeerId>>& children,
+                          const std::vector<bool>& alive, PeerId v) {
+  std::size_t count = 0;
+  std::vector<PeerId> stack{v};
+  while (!stack.empty()) {
+    const PeerId p = stack.back();
+    stack.pop_back();
+    for (PeerId c : children[p]) {
+      if (alive[c]) {
+        ++count;
+        stack.push_back(c);
+      }
+    }
+  }
+  return count;
+}
+}  // namespace
+
+ChurnReport simulate_departures(const std::vector<PeerId>& parent,
+                                const std::vector<double>& departure_times) {
+  const std::size_t n = parent.size();
+  if (departure_times.size() != n)
+    throw std::invalid_argument("simulate_departures: size mismatch");
+
+  std::vector<std::vector<PeerId>> children(n);
+  for (PeerId p = 0; p < n; ++p)
+    if (parent[p] != kInvalidPeer) children[parent[p]].push_back(p);
+
+  std::vector<bool> alive(n, true);
+  ChurnReport report;
+  for (PeerId v : departure_order(departure_times)) {
+    const std::size_t orphaned = alive_subtree(children, alive, v);
+    alive[v] = false;
+    ++report.departures;
+    if (orphaned > 0) {
+      ++report.disruptive_departures;
+      report.total_orphaned += orphaned;
+      report.max_orphaned_at_once = std::max(report.max_orphaned_at_once, orphaned);
+    }
+  }
+  return report;
+}
+
+RepairReport simulate_departures_with_repair(const overlay::OverlayGraph& graph,
+                                             const std::vector<PeerId>& parent,
+                                             const std::vector<double>& departure_times) {
+  const std::size_t n = parent.size();
+  if (departure_times.size() != n || graph.size() != n)
+    throw std::invalid_argument("simulate_departures_with_repair: size mismatch");
+
+  std::vector<PeerId> current_parent = parent;
+  std::vector<std::vector<PeerId>> children(n);
+  for (PeerId p = 0; p < n; ++p)
+    if (current_parent[p] != kInvalidPeer) children[current_parent[p]].push_back(p);
+
+  auto detach = [&](PeerId child) {
+    const PeerId up = current_parent[child];
+    if (up == kInvalidPeer) return;
+    auto& siblings = children[up];
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), child), siblings.end());
+    current_parent[child] = kInvalidPeer;
+  };
+
+  std::vector<bool> alive(n, true);
+  RepairReport report;
+  for (PeerId v : departure_order(departure_times)) {
+    alive[v] = false;
+    ++report.churn.departures;
+    // Orphans = v's live children at this instant.
+    std::vector<PeerId> orphans;
+    for (PeerId c : children[v])
+      if (alive[c]) orphans.push_back(c);
+    detach(v);
+
+    if (!orphans.empty()) {
+      ++report.churn.disruptive_departures;
+      report.churn.total_orphaned += orphans.size();
+      report.churn.max_orphaned_at_once =
+          std::max(report.churn.max_orphaned_at_once, orphans.size());
+    }
+    for (PeerId orphan : orphans) {
+      detach(orphan);
+      // §3 rule among the survivors: any alive overlay neighbour departing
+      // strictly later can adopt; prefer the latest-departing one.
+      PeerId adopter = kInvalidPeer;
+      for (PeerId q : graph.neighbors(orphan)) {
+        if (!alive[q] || departure_times[q] <= departure_times[orphan]) continue;
+        if (adopter == kInvalidPeer || departure_times[q] > departure_times[adopter])
+          adopter = q;
+      }
+      if (adopter == kInvalidPeer) {
+        ++report.repair_failures;
+      } else {
+        current_parent[orphan] = adopter;
+        children[adopter].push_back(orphan);
+        ++report.reattached;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace geomcast::stability

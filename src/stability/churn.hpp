@@ -1,0 +1,51 @@
+// Departure simulation. Peers leave at their announced times T(P), in
+// increasing order. For the §3 stable tree the invariant under test is that
+// a departing peer is always a LEAF of the remaining tree — departures
+// never disconnect anyone. For baseline trees (e.g. a random spanning tree
+// of the same overlay) a departing interior node orphans its remaining
+// subtree; the simulator counts those disruptions, quantifying the paper's
+// "very sensitive to node departures" remark.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stability/stable_tree.hpp"
+
+namespace geomcast::stability {
+
+struct ChurnReport {
+  std::size_t departures = 0;
+  /// Departures whose node still had live children (tree disconnections).
+  std::size_t disruptive_departures = 0;
+  /// Live peers orphaned across all departures (sum of orphaned subtree
+  /// sizes at the moment of each departure).
+  std::size_t total_orphaned = 0;
+  std::size_t max_orphaned_at_once = 0;
+  /// True iff every departure happened at a leaf (the §3 guarantee).
+  [[nodiscard]] bool departures_always_leaves() const noexcept {
+    return disruptive_departures == 0;
+  }
+};
+
+/// Plays all departures in increasing T order on an arbitrary parent
+/// structure (stable tree or baseline). A departure orphans the departing
+/// node's entire remaining subtree (no repair) — the metric the baseline
+/// comparison reports.
+[[nodiscard]] ChurnReport simulate_departures(const std::vector<PeerId>& parent,
+                                              const std::vector<double>& departure_times);
+
+/// Same, but at each departure orphaned children re-run the §3 preferred-
+/// neighbour rule among their still-alive overlay neighbours. Returns the
+/// number of re-attachments that failed (no alive neighbour with larger T,
+/// i.e. a real disconnection even with repair).
+struct RepairReport {
+  ChurnReport churn;
+  std::size_t reattached = 0;
+  std::size_t repair_failures = 0;
+};
+[[nodiscard]] RepairReport simulate_departures_with_repair(
+    const overlay::OverlayGraph& graph, const std::vector<PeerId>& parent,
+    const std::vector<double>& departure_times);
+
+}  // namespace geomcast::stability

@@ -1,0 +1,91 @@
+#include "stability/convergecast.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace geomcast::stability {
+
+namespace {
+
+/// Partial aggregate travelling up the tree.
+struct Partial {
+  double sum = 0.0;
+  std::size_t count = 0;
+};
+
+class AggregatorNode final : public sim::Node {
+ public:
+  AggregatorNode(PeerId id, const StableTree& tree, double own_value,
+                 ConvergecastResult& shared)
+      : sim::Node(id),
+        tree_(tree),
+        shared_(shared),
+        partial_{own_value, 1},
+        waiting_for_(tree.children[id].size()) {}
+
+  void on_start(sim::Simulator& sim) override {
+    // Leaves fire at t=0 — via the event queue, not inline, so that every
+    // node is registered before the first message is sent.
+    if (waiting_for_ == 0)
+      sim.schedule_at(0.0, [this, &sim]() { flush(sim); });
+  }
+
+  void on_message(sim::Simulator& sim, const sim::Envelope& envelope) override {
+    if (envelope.kind != kAggregateKind)
+      throw std::logic_error("AggregatorNode: unexpected message kind");
+    const auto& incoming = std::any_cast<const Partial&>(envelope.payload);
+    partial_.sum += incoming.sum;
+    partial_.count += incoming.count;
+    if (--waiting_for_ == 0) flush(sim);
+  }
+
+ private:
+  void flush(sim::Simulator& sim) {
+    const PeerId up = tree_.parent[id()];
+    if (up == kInvalidPeer) {
+      // Root: the wave is complete.
+      shared_.root_value = partial_.sum;
+      shared_.contributions = partial_.count;
+      shared_.completion_time = sim.now();
+    } else {
+      sim.send(id(), up, kAggregateKind, partial_);
+    }
+  }
+
+  const StableTree& tree_;
+  ConvergecastResult& shared_;
+  Partial partial_;
+  std::size_t waiting_for_;
+};
+
+}  // namespace
+
+ConvergecastResult run_convergecast(const StableTree& tree,
+                                    const std::vector<double>& values,
+                                    sim::LatencyModel latency, std::uint64_t seed) {
+  const std::size_t n = tree.size();
+  if (values.size() != n)
+    throw std::invalid_argument("run_convergecast: values size mismatch");
+  if (!tree.is_single_tree())
+    throw std::invalid_argument("run_convergecast: tree must be a single tree");
+
+  ConvergecastResult result;
+  sim::Simulator sim(seed);
+  sim.network().set_latency(latency);
+
+  std::vector<std::unique_ptr<AggregatorNode>> nodes;
+  nodes.reserve(n);
+  for (PeerId p = 0; p < n; ++p) {
+    nodes.push_back(std::make_unique<AggregatorNode>(p, tree, values[p], result));
+    sim.add_node(*nodes.back());
+  }
+  sim.run_until_idle();
+
+  result.messages = sim.stats().sent;
+  return result;
+}
+
+}  // namespace geomcast::stability

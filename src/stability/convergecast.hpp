@@ -1,0 +1,43 @@
+// Convergecast on the stability-optimised tree: every peer contributes a
+// value; interior peers wait for all children, fold the partial aggregates,
+// and forward one message to their preferred neighbour; the root ends up
+// with the aggregate of all N contributions using exactly N-1 messages.
+//
+// This is the §3 tree doing the job its motivations ask of it (sensor data
+// collection, cloud telemetry): because T decreases toward the leaves,
+// every aggregation wave that starts before the next departure completes
+// over peers that are all still alive.
+//
+// Runs message-by-message on the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "stability/stable_tree.hpp"
+
+namespace geomcast::stability {
+
+/// Message kind for aggregation payloads (distinct from gossip/multicast).
+inline constexpr sim::MessageKind kAggregateKind = 20;
+
+struct ConvergecastResult {
+  /// Aggregate (sum) the root computed.
+  double root_value = 0.0;
+  /// Contributions folded into root_value (must equal N on a single tree).
+  std::size_t contributions = 0;
+  std::uint64_t messages = 0;
+  /// Simulated time from start until the root finished folding.
+  double completion_time = 0.0;
+};
+
+/// Runs one aggregation wave over `tree` (which must be a single tree).
+/// `values[p]` is peer p's contribution; the aggregate is their sum.
+/// Latency model applies per hop; the wave starts at the leaves at t=0.
+[[nodiscard]] ConvergecastResult run_convergecast(
+    const StableTree& tree, const std::vector<double>& values,
+    sim::LatencyModel latency = sim::LatencyModel::constant(0.01),
+    std::uint64_t seed = 1);
+
+}  // namespace geomcast::stability

@@ -1,0 +1,43 @@
+#include "stability/lifetime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geometry/random_points.hpp"
+
+namespace geomcast::stability {
+
+std::vector<double> random_lifetimes(util::Rng& rng, std::size_t count, double lo,
+                                     double hi) {
+  if (hi <= lo) throw std::invalid_argument("random_lifetimes: empty interval");
+  std::vector<double> times(count);
+  while (true) {
+    for (auto& t : times) t = rng.uniform(lo, hi);
+    std::vector<double> sorted = times;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end()) break;
+  }
+  return times;
+}
+
+void apply_lifetime_coordinate(std::vector<geometry::Point>& points,
+                               const std::vector<double>& departure_times) {
+  if (points.size() != departure_times.size())
+    throw std::invalid_argument("apply_lifetime_coordinate: size mismatch");
+  std::vector<double> sorted = departure_times;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    throw std::invalid_argument("apply_lifetime_coordinate: departure times must be distinct");
+  for (std::size_t i = 0; i < points.size(); ++i) points[i][0] = departure_times[i];
+}
+
+std::vector<geometry::Point> lifetime_points(util::Rng& rng, std::size_t count,
+                                             std::size_t dims, double vmax,
+                                             std::vector<double>& departure_times_out) {
+  auto points = geometry::random_points(rng, count, dims, vmax);
+  departure_times_out = random_lifetimes(rng, count, 0.0, vmax);
+  apply_lifetime_coordinate(points, departure_times_out);
+  return points;
+}
+
+}  // namespace geomcast::stability

@@ -1,0 +1,31 @@
+// Lifetime coordinates (§3). Every peer knows the moment T(P) at which it
+// will leave — VM lease expiry in a cloud, battery horizon in a sensor
+// network — and encodes it as its FIRST coordinate: x(P,1) = T(P). The
+// remaining D-1 coordinates stay free for locality. All T values must be
+// distinct (the paper breaks ties by peer-specific properties; we perturb).
+#pragma once
+
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::stability {
+
+/// Draws `count` distinct departure times uniform in [lo, hi).
+[[nodiscard]] std::vector<double> random_lifetimes(util::Rng& rng, std::size_t count,
+                                                   double lo, double hi);
+
+/// Sets x(P,1) = T(P) for every peer (paper's encoding; dimension 0 here).
+/// Throws std::invalid_argument on size mismatch or duplicate times.
+void apply_lifetime_coordinate(std::vector<geometry::Point>& points,
+                               const std::vector<double>& departure_times);
+
+/// Generates a full §3 workload: D-dimensional identifiers whose first
+/// coordinate is the departure time and whose other coordinates are uniform
+/// in [0, vmax).
+[[nodiscard]] std::vector<geometry::Point> lifetime_points(
+    util::Rng& rng, std::size_t count, std::size_t dims, double vmax,
+    std::vector<double>& departure_times_out);
+
+}  // namespace geomcast::stability

@@ -1,0 +1,22 @@
+// Lifetime-oblivious baseline: a uniformly random spanning tree-ish
+// structure over the same overlay (randomised BFS from a random root).
+// This is the natural "existing solution" strawman for the §3 comparison —
+// structurally valid, but interior nodes depart mid-life and orphan their
+// subtrees.
+#pragma once
+
+#include <vector>
+
+#include "overlay/graph.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::stability {
+
+/// Returns parent links of a spanning tree of `graph`'s largest reachable
+/// set from a random root (kInvalidPeer marks the root / unreachable
+/// peers). Neighbour visit order is shuffled per node, so tree shape is
+/// random but reproducible from the rng state.
+[[nodiscard]] std::vector<overlay::PeerId> build_random_spanning_tree(
+    const overlay::OverlayGraph& graph, util::Rng& rng);
+
+}  // namespace geomcast::stability

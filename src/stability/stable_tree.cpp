@@ -1,0 +1,173 @@
+#include "stability/stable_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "geometry/distance.hpp"
+
+namespace geomcast::stability {
+
+std::string to_string(PreferredPolicy policy) {
+  switch (policy) {
+    case PreferredPolicy::kMaxT: return "max-T";
+    case PreferredPolicy::kMinAboveOwnT: return "min-above-own-T";
+    case PreferredPolicy::kClosestAboveOwnT: return "closest-above-own-T";
+  }
+  return "?";
+}
+
+namespace {
+/// Lower score wins; kInvalidPeer candidates never win.
+double preferred_score(PreferredPolicy policy, const geometry::Point& ego,
+                       const geometry::Point& candidate, double candidate_t) {
+  switch (policy) {
+    case PreferredPolicy::kMaxT: return -candidate_t;
+    case PreferredPolicy::kMinAboveOwnT: return candidate_t;
+    case PreferredPolicy::kClosestAboveOwnT:
+      return geometry::l2_distance_sq(ego, candidate);
+  }
+  return 0.0;
+}
+}  // namespace
+
+StableTree build_stable_tree_from_selections(
+    const std::vector<std::vector<PeerId>>& selections,
+    const std::vector<geometry::Point>& points,
+    const std::vector<double>& departure_times, PreferredPolicy policy) {
+  const std::size_t n = selections.size();
+  if (points.size() != n || departure_times.size() != n)
+    throw std::invalid_argument("build_stable_tree_from_selections: size mismatch");
+
+  StableTree tree;
+  tree.parent.assign(n, kInvalidPeer);
+  tree.children.assign(n, {});
+  tree.departure_time = departure_times;
+
+  std::vector<double> best_score(n, 0.0);
+  // Offer each directed edge to both endpoints: the undirected adjacency is
+  // the union of selections and reverse-selections.
+  auto offer = [&](PeerId p, PeerId q) {
+    if (departure_times[q] <= departure_times[p]) return;
+    const double score = preferred_score(policy, points[p], points[q], departure_times[q]);
+    if (tree.parent[p] == kInvalidPeer || score < best_score[p] ||
+        (score == best_score[p] && q < tree.parent[p])) {
+      tree.parent[p] = q;
+      best_score[p] = score;
+    }
+  };
+  for (PeerId p = 0; p < n; ++p) {
+    for (PeerId q : selections[p]) {
+      offer(p, q);
+      offer(q, p);
+    }
+  }
+  for (PeerId p = 0; p < n; ++p) {
+    if (tree.parent[p] == kInvalidPeer)
+      tree.roots.push_back(p);
+    else
+      tree.children[tree.parent[p]].push_back(p);
+  }
+  return tree;
+}
+
+StableTree build_stable_tree(const overlay::OverlayGraph& graph,
+                             const std::vector<double>& departure_times,
+                             PreferredPolicy policy) {
+  const std::size_t n = graph.size();
+  if (departure_times.size() != n)
+    throw std::invalid_argument("build_stable_tree: departure_times size mismatch");
+
+  StableTree tree;
+  tree.parent.assign(n, kInvalidPeer);
+  tree.children.assign(n, {});
+  tree.departure_time = departure_times;
+
+  for (PeerId p = 0; p < n; ++p) {
+    const double own_t = departure_times[p];
+    PeerId best = kInvalidPeer;
+    double best_score = 0.0;
+    for (PeerId q : graph.neighbors(p)) {
+      const double t = departure_times[q];
+      if (t <= own_t) continue;  // only strictly later-departing neighbours
+      double score = 0.0;
+      switch (policy) {
+        case PreferredPolicy::kMaxT: score = -t; break;            // maximise T
+        case PreferredPolicy::kMinAboveOwnT: score = t; break;     // minimise T
+        case PreferredPolicy::kClosestAboveOwnT:
+          score = geometry::l2_distance_sq(graph.point(p), graph.point(q));
+          break;
+      }
+      if (best == kInvalidPeer || score < best_score) {
+        best = q;
+        best_score = score;
+      }
+    }
+    tree.parent[p] = best;
+    if (best == kInvalidPeer) tree.roots.push_back(p);
+  }
+  for (PeerId p = 0; p < n; ++p)
+    if (tree.parent[p] != kInvalidPeer) tree.children[tree.parent[p]].push_back(p);
+  return tree;
+}
+
+bool StableTree::lifetimes_monotone() const {
+  for (PeerId p = 0; p < parent.size(); ++p) {
+    const PeerId up = parent[p];
+    if (up != kInvalidPeer && departure_time[up] <= departure_time[p]) return false;
+  }
+  return true;
+}
+
+std::size_t StableTree::max_degree() const {
+  std::size_t best = 0;
+  for (PeerId p = 0; p < parent.size(); ++p) {
+    const std::size_t degree = children[p].size() + (parent[p] != kInvalidPeer ? 1 : 0);
+    best = std::max(best, degree);
+  }
+  return best;
+}
+
+namespace {
+/// BFS over the undirected tree adjacency; returns (farthest node, depths).
+std::pair<PeerId, std::vector<std::size_t>> bfs_farthest(const StableTree& tree,
+                                                         PeerId start) {
+  constexpr auto kUnseen = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> depth(tree.size(), kUnseen);
+  depth[start] = 0;
+  std::deque<PeerId> queue{start};
+  PeerId farthest = start;
+  while (!queue.empty()) {
+    const PeerId p = queue.front();
+    queue.pop_front();
+    if (depth[p] > depth[farthest]) farthest = p;
+    auto visit = [&](PeerId q) {
+      if (q != kInvalidPeer && depth[q] == kUnseen) {
+        depth[q] = depth[p] + 1;
+        queue.push_back(q);
+      }
+    };
+    visit(tree.parent[p]);
+    for (PeerId c : tree.children[p]) visit(c);
+  }
+  return {farthest, std::move(depth)};
+}
+}  // namespace
+
+std::size_t tree_diameter(const StableTree& tree) {
+  if (tree.size() == 0) return 0;
+  std::vector<bool> visited(tree.size(), false);
+  std::size_t best = 0;
+  // Double-BFS per component (exact on trees/forests).
+  for (PeerId start = 0; start < tree.size(); ++start) {
+    if (visited[start]) continue;
+    const auto [far_node, depths_from_start] = bfs_farthest(tree, start);
+    for (PeerId p = 0; p < tree.size(); ++p)
+      if (depths_from_start[p] != static_cast<std::size_t>(-1)) visited[p] = true;
+    const auto [end_node, depths_from_far] = bfs_farthest(tree, far_node);
+    best = std::max(best, depths_from_far[end_node]);
+  }
+  return best;
+}
+
+}  // namespace geomcast::stability

@@ -1,0 +1,72 @@
+// Stability-optimised multicast trees (§3). Every peer P picks a *preferred
+// tree neighbour*: an overlay neighbour Q with T(Q) > T(P). Because every
+// link strictly increases T, the preferred links are acyclic; and whenever
+// every non-maximal peer finds such a neighbour (guaranteed with
+// Orthogonal-Hyperplanes selection: some positive-T-side orthant is
+// non-empty) they form a single tree rooted at the peer with the largest T.
+// Peers then depart in T order, so a departing peer is always a leaf.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "overlay/graph.hpp"
+
+namespace geomcast::stability {
+
+using overlay::PeerId;
+using overlay::kInvalidPeer;
+
+/// Which neighbour with larger T becomes the parent. The paper's
+/// experiments use kMaxT ("the overlay neighbour Q with the largest value
+/// T(Q)"); the paper text allows any choice ("secondary selection criteria
+/// may be used"), which the alternatives explore.
+enum class PreferredPolicy {
+  kMaxT,          // largest T(Q) among eligible neighbours (paper)
+  kMinAboveOwnT,  // smallest eligible T(Q): parent barely outlives the child
+  kClosestAboveOwnT,  // geometrically closest eligible neighbour (L2)
+};
+
+[[nodiscard]] std::string to_string(PreferredPolicy policy);
+
+struct StableTree {
+  /// parent[p] = preferred tree neighbour of p (kInvalidPeer if none).
+  std::vector<PeerId> parent;
+  std::vector<std::vector<PeerId>> children;
+  /// Peers with no preferred neighbour. The paper's construction yields
+  /// exactly one — the peer with the globally largest T.
+  std::vector<PeerId> roots;
+  std::vector<double> departure_time;
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent.size(); }
+  /// Single root and N-1 edges <=> the preferred links form one tree.
+  [[nodiscard]] bool is_single_tree() const noexcept { return roots.size() == 1; }
+  /// T strictly decreases from parent to child everywhere.
+  [[nodiscard]] bool lifetimes_monotone() const;
+  [[nodiscard]] std::size_t max_degree() const;
+};
+
+/// Builds the preferred-neighbour structure over the overlay graph.
+/// `departure_times[p]` = T(p); all values must be distinct.
+[[nodiscard]] StableTree build_stable_tree(const overlay::OverlayGraph& graph,
+                                           const std::vector<double>& departure_times,
+                                           PreferredPolicy policy = PreferredPolicy::kMaxT);
+
+/// Same tree, computed straight from per-peer selections (out-edges) without
+/// materialising the undirected adjacency — each directed edge is offered to
+/// both endpoints, which is exactly the union the OverlayGraph would build.
+/// Used by the Fig 1 d/e sweep where 450 (D, K) overlays would otherwise be
+/// constructed and sorted; guaranteed equal to build_stable_tree (tested).
+[[nodiscard]] StableTree build_stable_tree_from_selections(
+    const std::vector<std::vector<PeerId>>& selections,
+    const std::vector<geometry::Point>& points,
+    const std::vector<double>& departure_times,
+    PreferredPolicy policy = PreferredPolicy::kMaxT);
+
+/// Tree diameter in edges (longest path between any two peers), computed by
+/// double-BFS over the undirected tree adjacency. Forests return the
+/// largest component's diameter.
+[[nodiscard]] std::size_t tree_diameter(const StableTree& tree);
+
+}  // namespace geomcast::stability

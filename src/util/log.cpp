@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace geomcast::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& text) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::cerr << "[geomcast " << level_name(level) << "] " << text << '\n';
+}
+
+}  // namespace geomcast::util

@@ -1,0 +1,44 @@
+// Tiny leveled logger writing to stderr. Simulations are deterministic, so
+// logs exist for humans debugging runs, not for correctness; keep it simple.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace geomcast::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn so tests
+/// and benches stay quiet unless something is wrong.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const std::string& text);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+[[nodiscard]] inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+[[nodiscard]] inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+[[nodiscard]] inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace geomcast::util

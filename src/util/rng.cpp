@@ -1,0 +1,30 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace geomcast::util {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's multiply-and-shift rejection method: unbiased and avoids the
+  // expensive 64-bit modulo in the common case.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; 1 - next_double() is in (0, 1] so log() is finite.
+  return -mean * std::log(1.0 - next_double());
+}
+
+}  // namespace geomcast::util

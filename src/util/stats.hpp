@@ -1,0 +1,67 @@
+// Small statistics helpers used by every experiment driver: a constant-space
+// running accumulator (Welford) and a value collector for exact quantiles.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace geomcast::util {
+
+/// Constant-space accumulator for count/min/max/mean/variance.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Min/max/mean of an empty accumulator are 0 by convention.
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean() * static_cast<double>(count_); }
+  /// Population variance / standard deviation.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; offers exact order statistics. Intended for the
+/// experiment drivers where sample counts are at most a few million.
+class Distribution {
+ public:
+  void add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Exact quantile with linear interpolation; q in [0, 1]. Empty => 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Formats a double with trailing-zero trimming ("3.5", "12", "0.25").
+[[nodiscard]] std::string format_number(double value, int max_decimals = 3);
+
+}  // namespace geomcast::util

@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace geomcast::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table requires at least one column");
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::add_cell(std::string value) {
+  if (rows_.empty()) throw std::logic_error("add_cell before begin_row");
+  if (rows_.back().size() >= header_.size())
+    throw std::logic_error("row has more cells than header columns");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add_number(double value, int max_decimals) {
+  return add_cell(format_number(value, max_decimals));
+}
+
+Table& Table::add_integer(long long value) { return add_cell(std::to_string(value)); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      out << (c == 0 ? "| " : " ");
+      out << text << std::string(widths[c] - text.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out << (c == 0 ? "|-" : "-") << std::string(widths[c], '-') << "-|";
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char ch : cell) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(cells[c]);
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  print_csv(out);
+  return out.str();
+}
+
+}  // namespace geomcast::util

@@ -1,0 +1,174 @@
+// Smoke tests for every experiment driver at reduced scale: rows come back
+// well-formed, invariants hold, and the qualitative shapes the paper
+// reports are present even at small N.
+#include "analysis/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geomcast::analysis {
+namespace {
+
+TEST(Fig1aDriverTest, RowsWellFormed) {
+  Fig1aConfig config;
+  config.peers = 150;
+  config.dims = {2, 3};
+  const auto rows = run_fig1a(config);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.max_degree, 0u);
+    EXPECT_GT(row.avg_degree, 0.0);
+    EXPECT_LE(row.avg_degree, static_cast<double>(row.max_degree));
+    EXPECT_TRUE(row.connected);
+  }
+  EXPECT_EQ(rows[0].dims, 2u);
+  EXPECT_EQ(rows[1].dims, 3u);
+}
+
+TEST(Fig1aDriverTest, DegreeGrowsWithDimension) {
+  // The paper's Fig 1a shape: degrees increase sharply with D.
+  Fig1aConfig config;
+  config.peers = 300;
+  config.dims = {2, 4};
+  const auto rows = run_fig1a(config);
+  EXPECT_GT(rows[1].avg_degree, rows[0].avg_degree);
+}
+
+TEST(Fig1aDriverTest, TableRendering) {
+  Fig1aConfig config;
+  config.peers = 80;
+  config.dims = {2};
+  const auto table = fig1a_table(run_fig1a(config));
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.column_count(), 4u);
+}
+
+TEST(Fig1bDriverTest, RowsWellFormed) {
+  Fig1bConfig config;
+  config.peers = 120;
+  config.dims = {2, 3};
+  config.roots = 30;
+  const auto rows = run_fig1b(config);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.max_longest_path, 0u);
+    EXPECT_GT(row.avg_longest_path, 0.0);
+    EXPECT_LE(row.avg_longest_path, static_cast<double>(row.max_longest_path));
+    EXPECT_EQ(row.sessions, 30u);
+    EXPECT_EQ(row.invalid_sessions, 0u);
+    EXPECT_LE(row.max_children, std::size_t{1} << row.dims);
+  }
+}
+
+TEST(Fig1bDriverTest, AllRootsWhenRootsZero) {
+  Fig1bConfig config;
+  config.peers = 60;
+  config.dims = {2};
+  config.roots = 0;
+  const auto rows = run_fig1b(config);
+  EXPECT_EQ(rows[0].sessions, 60u);
+}
+
+TEST(Fig1cDriverTest, ReferenceCurveAndGrowth) {
+  Fig1cConfig config;
+  config.peer_counts = {100, 400};
+  const auto rows = run_fig1c(config);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NEAR(rows[0].ten_log10_n, 20.0, 1e-9);   // 10*log10(100)
+  EXPECT_NEAR(rows[1].ten_log10_n, 26.02, 0.01);  // 10*log10(400)
+  EXPECT_GE(rows[1].max_degree, rows[0].max_degree);
+}
+
+TEST(StabilitySweepDriverTest, InvariantsAcrossGrid) {
+  StabilitySweepConfig config;
+  config.peers = 120;
+  config.dims = {2, 4};
+  config.k_min = 1;
+  config.k_max = 4;
+  const auto rows = run_stability_sweep(config);
+  ASSERT_EQ(rows.size(), 2u * 4u);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.single_tree) << "D=" << row.dims << " K=" << row.k;
+    EXPECT_TRUE(row.monotone) << "D=" << row.dims << " K=" << row.k;
+    EXPECT_GT(row.diameter, 0u);
+    EXPECT_GT(row.max_degree, 0u);
+  }
+}
+
+TEST(StabilitySweepDriverTest, DiameterShrinksWithK) {
+  // Fig 1d shape: more neighbours => shallower trees. Compare K=1 vs K=16.
+  StabilitySweepConfig config;
+  config.peers = 300;
+  config.dims = {2};
+  config.k_min = 1;
+  config.k_max = 16;
+  const auto rows = run_stability_sweep(config);
+  EXPECT_GT(rows.front().diameter, rows.back().diameter);
+}
+
+TEST(StabilitySweepDriverTest, DegreeGrowsWithK) {
+  // Fig 1e shape.
+  StabilitySweepConfig config;
+  config.peers = 300;
+  config.dims = {2};
+  config.k_min = 1;
+  config.k_max = 16;
+  const auto rows = run_stability_sweep(config);
+  EXPECT_LT(rows.front().max_degree, rows.back().max_degree);
+}
+
+TEST(MessageComparisonDriverTest, SpacePartitionIsExactlyNMinus1) {
+  MessageComparisonConfig config;
+  config.peers = 150;
+  config.dims = {2, 3};
+  const auto rows = run_message_comparison(config);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.space_partition_messages, config.peers - 1);
+    EXPECT_GT(row.flooding_messages, row.space_partition_messages);
+    EXPECT_GT(row.overhead_factor, 1.0);
+  }
+}
+
+TEST(PickPolicyDriverTest, AllPoliciesValid) {
+  PickPolicyAblationConfig config;
+  config.peers = 120;
+  config.roots = 20;
+  const auto rows = run_pick_policy_ablation(config);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) EXPECT_EQ(row.invalid_sessions, 0u);
+}
+
+TEST(ChurnDriverTest, StableBeatsRandom) {
+  ChurnComparisonConfig config;
+  config.peers = 200;
+  const auto rows = run_churn_comparison(config);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].tree_kind, "stable(S3)");
+  EXPECT_EQ(rows[0].total_orphaned, 0u);
+  EXPECT_EQ(rows[0].repair_failures, 0u);
+  EXPECT_GT(rows[1].total_orphaned, 0u);
+}
+
+TEST(SelectionAblationDriverTest, EmptyRectHasFullCoverage) {
+  SelectionAblationConfig config;
+  config.peers = 150;
+  config.roots = 20;
+  const auto rows = run_selection_ablation(config);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].selector, "empty-rect");
+  EXPECT_DOUBLE_EQ(rows[0].avg_coverage, 1.0);
+  for (const auto& row : rows) EXPECT_GT(row.avg_degree, 0.0);
+}
+
+TEST(TableRenderersProduceAllRows, AllDrivers) {
+  StabilitySweepConfig config;
+  config.peers = 80;
+  config.dims = {2};
+  config.k_min = 1;
+  config.k_max = 3;
+  const auto rows = run_stability_sweep(config);
+  EXPECT_EQ(stability_table(rows, true).row_count(), rows.size());
+  EXPECT_EQ(stability_table(rows, false).row_count(), rows.size());
+}
+
+}  // namespace
+}  // namespace geomcast::analysis

@@ -1,0 +1,88 @@
+#include "analysis/graph_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/random_points.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::analysis {
+namespace {
+
+overlay::OverlayGraph path_graph(std::size_t n) {
+  util::Rng rng(n);
+  const auto points = geometry::random_points(rng, n, 2, 100.0);
+  std::vector<std::vector<overlay::PeerId>> out(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) out[i].push_back(static_cast<overlay::PeerId>(i + 1));
+  return overlay::OverlayGraph(points, std::move(out));
+}
+
+overlay::OverlayGraph star_graph(std::size_t n) {
+  util::Rng rng(n + 1);
+  const auto points = geometry::random_points(rng, n, 2, 100.0);
+  std::vector<std::vector<overlay::PeerId>> out(n);
+  for (std::size_t i = 1; i < n; ++i) out[0].push_back(static_cast<overlay::PeerId>(i));
+  return overlay::OverlayGraph(points, std::move(out));
+}
+
+TEST(GraphMetricsTest, DegreeStatsOnPath) {
+  const auto graph = path_graph(5);
+  const auto stats = degree_stats(graph);
+  EXPECT_EQ(stats.max, 2u);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg, 8.0 / 5.0);
+}
+
+TEST(GraphMetricsTest, DegreeStatsOnStar) {
+  const auto graph = star_graph(6);
+  const auto stats = degree_stats(graph);
+  EXPECT_EQ(stats.max, 5u);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg, 10.0 / 6.0);
+}
+
+TEST(GraphMetricsTest, EmptyGraphStats) {
+  const auto stats = degree_stats(overlay::OverlayGraph{});
+  EXPECT_EQ(stats.max, 0u);
+  EXPECT_EQ(stats.avg, 0.0);
+}
+
+TEST(GraphMetricsTest, BfsDepthsOnPath) {
+  const auto graph = path_graph(5);
+  const auto depth = bfs_depths(graph, 0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(depth[i], i);
+  const auto from_middle = bfs_depths(graph, 2);
+  EXPECT_EQ(from_middle[0], 2u);
+  EXPECT_EQ(from_middle[4], 2u);
+}
+
+TEST(GraphMetricsTest, ConnectivityDetection) {
+  EXPECT_TRUE(is_connected(path_graph(10)));
+  util::Rng rng(9);
+  const auto points = geometry::random_points(rng, 4, 2, 100.0);
+  // Two disjoint edges.
+  overlay::OverlayGraph disconnected(points, {{1}, {}, {3}, {}});
+  EXPECT_FALSE(is_connected(disconnected));
+}
+
+TEST(GraphMetricsTest, UnreachableMarked) {
+  util::Rng rng(10);
+  const auto points = geometry::random_points(rng, 3, 2, 100.0);
+  overlay::OverlayGraph graph(points, {{1}, {}, {}});
+  const auto depth = bfs_depths(graph, 0);
+  EXPECT_EQ(depth[2], kUnreachable);
+}
+
+TEST(GraphMetricsTest, DiameterOfPathAndStar) {
+  EXPECT_EQ(graph_diameter(path_graph(7)), 6u);
+  EXPECT_EQ(graph_diameter(star_graph(7)), 2u);
+}
+
+TEST(GraphMetricsTest, DiameterOfSingleton) {
+  util::Rng rng(11);
+  const auto points = geometry::random_points(rng, 1, 2, 100.0);
+  overlay::OverlayGraph graph(points, {{}});
+  EXPECT_EQ(graph_diameter(graph), 0u);
+}
+
+}  // namespace
+}  // namespace geomcast::analysis

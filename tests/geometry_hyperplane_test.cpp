@@ -1,0 +1,137 @@
+#include "geometry/hyperplane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geometry/orthant.hpp"
+#include "geometry/random_points.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::geometry {
+namespace {
+
+TEST(HyperplaneTest, EmptyArrangementHasOneRegion) {
+  const auto arrangement = HyperplaneArrangement::empty(3);
+  EXPECT_EQ(arrangement.plane_count(), 0u);
+  util::Rng rng(1);
+  const auto points = random_points(rng, 20, 3, 10.0);
+  const auto key0 = arrangement.region_of(points[0], points[1]);
+  for (std::size_t i = 2; i < points.size(); ++i)
+    EXPECT_EQ(arrangement.region_of(points[0], points[i]), key0);
+}
+
+TEST(HyperplaneTest, OrthogonalPlaneCountEqualsDims) {
+  for (std::size_t dims : {2u, 3u, 5u, 10u})
+    EXPECT_EQ(HyperplaneArrangement::orthogonal(dims).plane_count(), dims);
+}
+
+TEST(HyperplaneTest, OrthogonalRegionsMatchOrthants) {
+  // Orthogonal arrangement regions and orthant codes must induce the same
+  // partition (identical groupings, possibly different key values).
+  const auto arrangement = HyperplaneArrangement::orthogonal(3);
+  util::Rng rng(7);
+  const auto points = random_points(rng, 60, 3, 100.0);
+  const Point& ego = points[0];
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const bool same_region = arrangement.region_of(ego, points[i]) ==
+                               arrangement.region_of(ego, points[j]);
+      const bool same_orthant =
+          orthant_of(ego, points[i]) == orthant_of(ego, points[j]);
+      EXPECT_EQ(same_region, same_orthant);
+    }
+  }
+}
+
+TEST(HyperplaneTest, TernaryPlaneCount) {
+  // (3^D - 1) / 2 planes.
+  EXPECT_EQ(HyperplaneArrangement::ternary(2).plane_count(), 4u);
+  EXPECT_EQ(HyperplaneArrangement::ternary(3).plane_count(), 13u);
+  EXPECT_EQ(HyperplaneArrangement::ternary(4).plane_count(), 40u);
+}
+
+TEST(HyperplaneTest, TernaryRejectsLargeDims) {
+  EXPECT_THROW(HyperplaneArrangement::ternary(7), std::invalid_argument);
+}
+
+TEST(HyperplaneTest, TernaryNormalsHavePositiveLeadingCoefficient) {
+  const auto arrangement = HyperplaneArrangement::ternary(3);
+  for (const auto& normal : arrangement.normals()) {
+    double first = 0.0;
+    for (double c : normal) {
+      if (c != 0.0) {
+        first = c;
+        break;
+      }
+    }
+    EXPECT_GT(first, 0.0);
+  }
+}
+
+TEST(HyperplaneTest, TernaryRefinesOrthogonal) {
+  // The ternary arrangement contains the axis planes, so its partition
+  // refines the orthant partition: same ternary region => same orthant.
+  const auto ternary = HyperplaneArrangement::ternary(3);
+  util::Rng rng(8);
+  const auto points = random_points(rng, 60, 3, 100.0);
+  const Point& ego = points[0];
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (ternary.region_of(ego, points[i]) == ternary.region_of(ego, points[j])) {
+        EXPECT_EQ(orthant_of(ego, points[i]), orthant_of(ego, points[j]));
+      }
+    }
+  }
+}
+
+TEST(HyperplaneTest, RegionInvariantUnderTranslation) {
+  // region_of(p, q) only depends on q - p.
+  const auto arrangement = HyperplaneArrangement::ternary(2);
+  const Point p1{10.0, 20.0};
+  const Point q1{13.0, 17.0};
+  const Point p2{-5.0, 4.0};
+  const Point q2{-2.0, 1.0};  // same offset (3, -3)
+  EXPECT_EQ(arrangement.region_of(p1, q1), arrangement.region_of(p2, q2));
+}
+
+TEST(HyperplaneTest, AntipodalPointsGetDistinctRegions) {
+  const auto arrangement = HyperplaneArrangement::orthogonal(2);
+  const Point ego{0.0, 0.0};
+  EXPECT_NE(arrangement.region_of(ego, Point({1.0, 1.0})),
+            arrangement.region_of(ego, Point({-1.0, -1.0})));
+}
+
+TEST(HyperplaneTest, CustomArrangementValidatesDims) {
+  EXPECT_THROW(HyperplaneArrangement::custom(2, {{1.0, 0.0, 0.0}}), std::invalid_argument);
+  EXPECT_NO_THROW(HyperplaneArrangement::custom(3, {{1.0, 0.0, 0.0}}));
+}
+
+TEST(HyperplaneTest, CustomDiagonalPlaneSplitsSpace) {
+  const auto arrangement = HyperplaneArrangement::custom(2, {{1.0, -1.0}});
+  const Point ego{0.0, 0.0};
+  // Above the diagonal vs below the diagonal.
+  EXPECT_NE(arrangement.region_of(ego, Point({2.0, 1.0})),
+            arrangement.region_of(ego, Point({1.0, 2.0})));
+  EXPECT_EQ(arrangement.region_of(ego, Point({2.0, 1.0})),
+            arrangement.region_of(ego, Point({5.0, 1.0})));
+}
+
+TEST(HyperplaneTest, MaxRegionCount) {
+  EXPECT_EQ(HyperplaneArrangement::orthogonal(3).max_region_count(), 8u);
+  EXPECT_EQ(HyperplaneArrangement::empty(3).max_region_count(), 1u);
+}
+
+TEST(HyperplaneTest, OrthogonalRegionCountObservedAtMost2PowD) {
+  const auto arrangement = HyperplaneArrangement::orthogonal(4);
+  util::Rng rng(9);
+  const auto points = random_points(rng, 500, 4, 100.0);
+  std::set<std::uint64_t> keys;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    keys.insert(arrangement.region_of(points[0], points[i]).value);
+  EXPECT_LE(keys.size(), 16u);
+  EXPECT_GT(keys.size(), 8u);  // 500 random points should hit most orthants
+}
+
+}  // namespace
+}  // namespace geomcast::geometry

@@ -1,0 +1,88 @@
+#include "geometry/orthant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/random_points.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::geometry {
+namespace {
+
+TEST(OrthantTest, CountIsTwoToTheD) {
+  EXPECT_EQ(orthant_count(1), 2u);
+  EXPECT_EQ(orthant_count(2), 4u);
+  EXPECT_EQ(orthant_count(5), 32u);
+  EXPECT_EQ(orthant_count(10), 1024u);
+}
+
+TEST(OrthantTest, QuadrantCodes2D) {
+  const Point ego{5.0, 5.0};
+  EXPECT_EQ(orthant_of(ego, Point({4.0, 4.0})), 0u);  // both below
+  EXPECT_EQ(orthant_of(ego, Point({6.0, 4.0})), 1u);  // x above
+  EXPECT_EQ(orthant_of(ego, Point({4.0, 6.0})), 2u);  // y above
+  EXPECT_EQ(orthant_of(ego, Point({6.0, 6.0})), 3u);  // both above
+}
+
+TEST(OrthantTest, OrthantRectContainsItsPoints) {
+  const Point ego{1.0, 2.0, 3.0};
+  util::Rng rng(5);
+  const auto points = random_points(rng, 200, 3, 10.0);
+  for (const auto& q : points) {
+    if (q == ego) continue;
+    const auto code = orthant_of(ego, q);
+    EXPECT_TRUE(orthant_rect(ego, code).contains_interior(q))
+        << "q=" << q.to_string() << " code=" << code;
+  }
+}
+
+TEST(OrthantTest, OrthantRectsExcludeEgo) {
+  const Point ego{4.0, 4.0};
+  for (OrthantCode code = 0; code < orthant_count(2); ++code)
+    EXPECT_FALSE(orthant_rect(ego, code).contains_interior(ego));
+}
+
+TEST(OrthantTest, DistinctOrthantRectsAreDisjoint) {
+  const Point ego{0.0, 0.0, 0.0};
+  const auto n = orthant_count(3);
+  for (OrthantCode a = 0; a < n; ++a)
+    for (OrthantCode b = a + 1; b < n; ++b)
+      EXPECT_TRUE(orthant_rect(ego, a).interior_disjoint(orthant_rect(ego, b)))
+          << "orthants " << a << " and " << b;
+}
+
+// The orthant partition must classify every point (with distinct
+// coordinates) into exactly one region whose rect contains it.
+class OrthantPartitionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrthantPartitionTest, ExactlyOneRegionContainsEachPoint) {
+  const auto dims = static_cast<std::size_t>(GetParam());
+  util::Rng rng(123 + dims);
+  const auto points = random_points(rng, 50, dims, 100.0);
+  const Point& ego = points[0];
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    int containing = 0;
+    for (OrthantCode code = 0; code < orthant_count(dims); ++code)
+      if (orthant_rect(ego, code).contains_interior(points[i])) ++containing;
+    EXPECT_EQ(containing, 1) << "point " << points[i].to_string();
+    EXPECT_TRUE(orthant_rect(ego, orthant_of(ego, points[i])).contains_interior(points[i]));
+  }
+}
+
+TEST_P(OrthantPartitionTest, CodeBitsMatchCoordinateComparisons) {
+  const auto dims = static_cast<std::size_t>(GetParam());
+  util::Rng rng(321 + dims);
+  const auto points = random_points(rng, 30, dims, 100.0);
+  const Point& ego = points[0];
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const auto code = orthant_of(ego, points[i]);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const bool bit = (code >> d) & 1u;
+      EXPECT_EQ(bit, points[i][d] > ego[d]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, OrthantPartitionTest, ::testing::Values(1, 2, 3, 4, 5, 8, 10));
+
+}  // namespace
+}  // namespace geomcast::geometry

@@ -1,0 +1,123 @@
+#include "geometry/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/distance.hpp"
+#include "geometry/random_points.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::geometry {
+namespace {
+
+TEST(PointTest, DefaultZeroInitialised) {
+  Point p(3);
+  EXPECT_EQ(p.dims(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(p[i], 0.0);
+}
+
+TEST(PointTest, InitializerList) {
+  Point p{1.0, 2.0, 3.0};
+  EXPECT_EQ(p.dims(), 3u);
+  EXPECT_EQ(p[0], 1.0);
+  EXPECT_EQ(p[1], 2.0);
+  EXPECT_EQ(p[2], 3.0);
+}
+
+TEST(PointTest, MutableAccess) {
+  Point p(2);
+  p[0] = 5.5;
+  p[1] = -1.0;
+  EXPECT_EQ(p[0], 5.5);
+  EXPECT_EQ(p[1], -1.0);
+}
+
+TEST(PointTest, EqualityRequiresSameDims) {
+  EXPECT_NE(Point({1.0, 2.0}), Point({1.0, 2.0, 0.0}));
+  EXPECT_EQ(Point({1.0, 2.0}), Point({1.0, 2.0}));
+  EXPECT_NE(Point({1.0, 2.0}), Point({1.0, 2.5}));
+}
+
+TEST(PointTest, Minus) {
+  const auto diff = Point({5.0, 3.0}).minus(Point({2.0, 7.0}));
+  EXPECT_EQ(diff[0], 3.0);
+  EXPECT_EQ(diff[1], -4.0);
+}
+
+TEST(PointTest, ToStringFormatsCoordinates) {
+  EXPECT_EQ(Point({1.5, 2.0}).to_string(), "(1.5, 2)");
+}
+
+TEST(DistanceTest, L1KnownValue) {
+  EXPECT_DOUBLE_EQ(l1_distance(Point({0.0, 0.0}), Point({3.0, 4.0})), 7.0);
+}
+
+TEST(DistanceTest, L2KnownValue) {
+  EXPECT_DOUBLE_EQ(l2_distance(Point({0.0, 0.0}), Point({3.0, 4.0})), 5.0);
+  EXPECT_DOUBLE_EQ(l2_distance_sq(Point({0.0, 0.0}), Point({3.0, 4.0})), 25.0);
+}
+
+TEST(DistanceTest, LInfKnownValue) {
+  EXPECT_DOUBLE_EQ(linf_distance(Point({0.0, 0.0}), Point({3.0, 4.0})), 4.0);
+}
+
+TEST(DistanceTest, DispatchMatchesDirectFunctions) {
+  const Point a{1.0, -2.0, 3.0};
+  const Point b{-4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(distance(Metric::kL1, a, b), l1_distance(a, b));
+  EXPECT_DOUBLE_EQ(distance(Metric::kL2, a, b), l2_distance(a, b));
+  EXPECT_DOUBLE_EQ(distance(Metric::kLInf, a, b), linf_distance(a, b));
+}
+
+TEST(DistanceTest, MetricNamesRoundTrip) {
+  for (auto metric : {Metric::kL1, Metric::kL2, Metric::kLInf})
+    EXPECT_EQ(metric_from_string(to_string(metric)), metric);
+  EXPECT_THROW((void)metric_from_string("hamming"), std::invalid_argument);
+}
+
+// Metric axioms checked over random point pairs for every metric and
+// dimension the paper uses.
+class MetricPropertyTest : public ::testing::TestWithParam<std::tuple<Metric, int>> {};
+
+TEST_P(MetricPropertyTest, Axioms) {
+  const auto [metric, dims] = GetParam();
+  util::Rng rng(1000 + dims);
+  const auto points = random_points(rng, 30, static_cast<std::size_t>(dims), 100.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(distance(metric, points[i], points[i]), 0.0);
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double d_ij = distance(metric, points[i], points[j]);
+      EXPECT_GT(d_ij, 0.0);  // distinct points
+      EXPECT_DOUBLE_EQ(d_ij, distance(metric, points[j], points[i]));  // symmetry
+      for (std::size_t k = 0; k < points.size(); ++k) {
+        const double via = distance(metric, points[i], points[k]) +
+                           distance(metric, points[k], points[j]);
+        EXPECT_LE(d_ij, via + 1e-9);  // triangle inequality
+      }
+    }
+  }
+}
+
+TEST_P(MetricPropertyTest, NormOrdering) {
+  // L-inf <= L2 <= L1 for every pair.
+  const auto [metric, dims] = GetParam();
+  (void)metric;
+  util::Rng rng(2000 + dims);
+  const auto points = random_points(rng, 20, static_cast<std::size_t>(dims), 100.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double l1 = l1_distance(points[i], points[j]);
+      const double l2 = l2_distance(points[i], points[j]);
+      const double li = linf_distance(points[i], points[j]);
+      EXPECT_LE(li, l2 + 1e-9);
+      EXPECT_LE(l2, l1 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetricsAndDims, MetricPropertyTest,
+    ::testing::Combine(::testing::Values(Metric::kL1, Metric::kL2, Metric::kLInf),
+                       ::testing::Values(2, 3, 5, 10)));
+
+}  // namespace
+}  // namespace geomcast::geometry

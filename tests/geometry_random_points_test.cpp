@@ -1,0 +1,76 @@
+#include "geometry/random_points.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geomcast::geometry {
+namespace {
+
+TEST(RandomPointsTest, CountAndDims) {
+  util::Rng rng(1);
+  const auto points = random_points(rng, 100, 4, 50.0);
+  ASSERT_EQ(points.size(), 100u);
+  for (const auto& p : points) EXPECT_EQ(p.dims(), 4u);
+}
+
+TEST(RandomPointsTest, CoordinatesWithinRange) {
+  util::Rng rng(2);
+  const auto points = random_points(rng, 500, 3, 10.0);
+  for (const auto& p : points)
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_GE(p[d], 0.0);
+      EXPECT_LT(p[d], 10.0);
+    }
+}
+
+TEST(RandomPointsTest, PerDimensionDistinctness) {
+  // The paper's standing assumption; enforced by construction.
+  util::Rng rng(3);
+  const auto points = random_points(rng, 2000, 2, 1000.0);
+  EXPECT_TRUE(all_coordinates_distinct(points));
+}
+
+TEST(RandomPointsTest, DeterministicFromSeed) {
+  util::Rng a(42), b(42);
+  const auto pa = random_points(a, 50, 3, 100.0);
+  const auto pb = random_points(b, 50, 3, 100.0);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(RandomPointsTest, DifferentSeedsDiffer) {
+  util::Rng a(42), b(43);
+  EXPECT_NE(random_points(a, 50, 3, 100.0), random_points(b, 50, 3, 100.0));
+}
+
+TEST(RandomPointsTest, EmptyRequest) {
+  util::Rng rng(4);
+  EXPECT_TRUE(random_points(rng, 0, 2, 10.0).empty());
+}
+
+TEST(RandomPointsTest, InvalidArgumentsThrow) {
+  util::Rng rng(5);
+  EXPECT_THROW(random_points(rng, 10, 0, 10.0), std::invalid_argument);
+  EXPECT_THROW(random_points(rng, 10, kMaxDims + 1, 10.0), std::invalid_argument);
+  EXPECT_THROW(random_points(rng, 10, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(random_points(rng, 10, 2, -5.0), std::invalid_argument);
+}
+
+TEST(RandomPointsTest, DistinctnessCheckerDetectsDuplicates) {
+  std::vector<Point> points{Point({1.0, 2.0}), Point({1.0, 3.0})};  // dup in dim 0
+  EXPECT_FALSE(all_coordinates_distinct(points));
+  points[1][0] = 4.0;
+  EXPECT_TRUE(all_coordinates_distinct(points));
+}
+
+TEST(RandomPointsTest, UniformCoverage) {
+  // Mean coordinate should be near vmax/2 in every dimension.
+  util::Rng rng(6);
+  const auto points = random_points(rng, 20000, 2, 100.0);
+  for (std::size_t d = 0; d < 2; ++d) {
+    double sum = 0.0;
+    for (const auto& p : points) sum += p[d];
+    EXPECT_NEAR(sum / static_cast<double>(points.size()), 50.0, 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace geomcast::geometry

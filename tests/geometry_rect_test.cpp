@@ -1,0 +1,144 @@
+#include "geometry/rect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/random_points.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::geometry {
+namespace {
+
+TEST(RectTest, WholeSpaceContainsEverything) {
+  const auto space = Rect::whole_space(3);
+  EXPECT_TRUE(space.contains_interior(Point({0.0, 0.0, 0.0})));
+  EXPECT_TRUE(space.contains_interior(Point({1e18, -1e18, 42.0})));
+  EXPECT_FALSE(space.interior_empty());
+}
+
+TEST(RectTest, CubeBounds) {
+  const auto cube = Rect::cube(2, 0.0, 10.0);
+  EXPECT_TRUE(cube.contains_interior(Point({5.0, 5.0})));
+  EXPECT_FALSE(cube.contains_interior(Point({0.0, 5.0})));   // boundary is out
+  EXPECT_TRUE(cube.contains_closed(Point({0.0, 5.0})));      // but closed-in
+  EXPECT_FALSE(cube.contains_closed(Point({-0.1, 5.0})));
+}
+
+TEST(RectTest, SpannedByOrdersCorners) {
+  const auto rect = Rect::spanned_by(Point({5.0, 1.0}), Point({2.0, 9.0}));
+  EXPECT_EQ(rect.lo(0), 2.0);
+  EXPECT_EQ(rect.hi(0), 5.0);
+  EXPECT_EQ(rect.lo(1), 1.0);
+  EXPECT_EQ(rect.hi(1), 9.0);
+}
+
+TEST(RectTest, SpannedByContainsCornersClosedOnly) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, 4.0};
+  const auto rect = Rect::spanned_by(a, b);
+  EXPECT_TRUE(rect.contains_closed(a));
+  EXPECT_TRUE(rect.contains_closed(b));
+  EXPECT_FALSE(rect.contains_interior(a));
+  EXPECT_FALSE(rect.contains_interior(b));
+  EXPECT_TRUE(rect.contains_interior(Point({2.0, 3.0})));
+}
+
+TEST(RectTest, InteriorEmptyWhenDegenerate) {
+  const auto degenerate = Rect::spanned_by(Point({1.0, 2.0}), Point({1.0, 5.0}));
+  EXPECT_TRUE(degenerate.interior_empty());  // zero width in dim 0
+  EXPECT_FALSE(Rect::cube(2, 0.0, 1.0).interior_empty());
+}
+
+TEST(RectTest, IntersectOverlapping) {
+  const auto a = Rect::cube(2, 0.0, 10.0);
+  auto b = Rect::cube(2, 5.0, 15.0);
+  const auto inter = a.intersect(b);
+  EXPECT_EQ(inter.lo(0), 5.0);
+  EXPECT_EQ(inter.hi(0), 10.0);
+  EXPECT_FALSE(inter.interior_empty());
+}
+
+TEST(RectTest, IntersectDisjointIsEmpty) {
+  const auto a = Rect::cube(2, 0.0, 1.0);
+  const auto b = Rect::cube(2, 2.0, 3.0);
+  EXPECT_TRUE(a.intersect(b).interior_empty());
+  EXPECT_TRUE(a.interior_disjoint(b));
+}
+
+TEST(RectTest, TouchingRectsHaveDisjointInteriors) {
+  const auto a = Rect::cube(1, 0.0, 1.0);
+  const auto b = Rect::cube(1, 1.0, 2.0);
+  EXPECT_TRUE(a.interior_disjoint(b));
+}
+
+TEST(RectTest, IntersectWithWholeSpaceIsIdentity) {
+  const auto a = Rect::cube(3, -2.0, 7.0);
+  EXPECT_EQ(a.intersect(Rect::whole_space(3)), a);
+}
+
+TEST(RectTest, HalfOpenUnboundedSides) {
+  // Zones use sides like (-inf, x) and (x, +inf).
+  Rect rect(2);
+  rect.set_lo(0, -kInf);
+  rect.set_hi(0, 5.0);
+  rect.set_lo(1, 3.0);
+  rect.set_hi(1, kInf);
+  EXPECT_TRUE(rect.contains_interior(Point({-1e12, 4.0})));
+  EXPECT_FALSE(rect.contains_interior(Point({5.0, 4.0})));
+  EXPECT_FALSE(rect.contains_interior(Point({0.0, 3.0})));
+  EXPECT_TRUE(rect.contains_interior(Point({0.0, 1e12})));
+}
+
+TEST(RectTest, SubsetRelation) {
+  const auto outer = Rect::cube(2, 0.0, 10.0);
+  const auto inner = Rect::cube(2, 2.0, 8.0);
+  EXPECT_TRUE(inner.interior_subset_of(outer));
+  EXPECT_FALSE(outer.interior_subset_of(inner));
+  EXPECT_TRUE(outer.interior_subset_of(outer));
+}
+
+TEST(RectTest, EmptySubsetOfAnything) {
+  const auto empty = Rect::spanned_by(Point({1.0, 1.0}), Point({1.0, 2.0}));
+  EXPECT_TRUE(empty.interior_subset_of(Rect::cube(2, 100.0, 200.0)));
+}
+
+TEST(RectTest, EqualityAndInequality) {
+  EXPECT_EQ(Rect::cube(2, 0.0, 1.0), Rect::cube(2, 0.0, 1.0));
+  EXPECT_NE(Rect::cube(2, 0.0, 1.0), Rect::cube(2, 0.0, 2.0));
+  EXPECT_NE(Rect::cube(2, 0.0, 1.0), Rect::cube(3, 0.0, 1.0));
+}
+
+TEST(RectTest, ToStringShowsInfinities) {
+  const auto space = Rect::whole_space(1);
+  EXPECT_EQ(space.to_string(), "(-inf, +inf)");
+  EXPECT_EQ(Rect::cube(1, 0.0, 2.5).to_string(), "(0, 2.5)");
+}
+
+// Property: intersection is the set-theoretic AND for sampled points.
+class RectIntersectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectIntersectionPropertyTest, IntersectionMatchesMembership) {
+  const auto dims = static_cast<std::size_t>(GetParam());
+  util::Rng rng(99 + dims);
+  for (int trial = 0; trial < 50; ++trial) {
+    Rect a(dims), b(dims);
+    for (std::size_t i = 0; i < dims; ++i) {
+      const double a_lo = rng.uniform(0.0, 50.0);
+      const double b_lo = rng.uniform(0.0, 50.0);
+      a.set_lo(i, a_lo);
+      a.set_hi(i, a_lo + rng.uniform(1.0, 50.0));
+      b.set_lo(i, b_lo);
+      b.set_hi(i, b_lo + rng.uniform(1.0, 50.0));
+    }
+    const Rect inter = a.intersect(b);
+    const auto samples = random_points(rng, 100, dims, 100.0);
+    for (const auto& p : samples) {
+      EXPECT_EQ(inter.contains_interior(p),
+                a.contains_interior(p) && b.contains_interior(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RectIntersectionPropertyTest, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace geomcast::geometry

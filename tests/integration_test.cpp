@@ -1,0 +1,121 @@
+// End-to-end scenarios across the whole stack: gossip-built overlays feeding
+// the multicast protocol, lifetime workloads driving stability trees on the
+// same coordinates, and cross-path equivalences.
+#include <gtest/gtest.h>
+
+#include "analysis/graph_metrics.hpp"
+#include "geometry/random_points.hpp"
+#include "multicast/protocol.hpp"
+#include "multicast/space_partition.hpp"
+#include "multicast/validator.hpp"
+#include "overlay/empty_rect.hpp"
+#include "overlay/equilibrium.hpp"
+#include "overlay/gossip.hpp"
+#include "overlay/hyperplane_k.hpp"
+#include "stability/churn.hpp"
+#include "stability/lifetime.hpp"
+#include "stability/stable_tree.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast {
+namespace {
+
+TEST(IntegrationTest, GossipOverlayThenMulticastProtocol) {
+  // Full §2 pipeline at message level: build the overlay with live gossip,
+  // then run the tree-construction protocol over it.
+  util::Rng rng(901);
+  const auto points = geometry::random_points(rng, 30, 2, 100.0);
+  overlay::EmptyRectSelector selector;
+  const auto overlay_result =
+      overlay::build_overlay_with_gossip(points, selector, overlay::GossipConfig{}, 902);
+  ASSERT_TRUE(overlay_result.converged);
+  ASSERT_TRUE(analysis::is_connected(overlay_result.graph));
+
+  const auto mc = multicast::run_multicast_protocol(overlay_result.graph, 0);
+  // Gossip-scoped knowledge can differ from the oracle topology, but the
+  // equilibrium it reaches is still an empty-rect fixed point of the local
+  // views, and in practice covers everyone at this scale.
+  EXPECT_EQ(mc.build.tree.reached_count(), overlay_result.graph.size());
+  EXPECT_EQ(mc.build.request_messages, overlay_result.graph.size() - 1);
+  EXPECT_EQ(mc.build.duplicate_deliveries, 0u);
+}
+
+TEST(IntegrationTest, MulticastCheaperThanGossipRound) {
+  // Perspective check the paper implies: one tree construction (N-1 msgs)
+  // is far below the cost of even a single BR-hop announce round.
+  util::Rng rng(903);
+  const auto points = geometry::random_points(rng, 25, 2, 100.0);
+  overlay::EmptyRectSelector selector;
+  const auto overlay_result =
+      overlay::build_overlay_with_gossip(points, selector, overlay::GossipConfig{}, 904);
+  EXPECT_GT(overlay_result.announce_messages, overlay_result.graph.size() - 1);
+}
+
+TEST(IntegrationTest, StabilityTreeOnGossipBuiltOverlay) {
+  // §3 end-to-end: lifetime coordinates, gossip-maintained Orthogonal-K
+  // overlay, preferred-neighbour tree, full churn playback.
+  util::Rng rng(905);
+  std::vector<double> departure_times;
+  const auto points = stability::lifetime_points(rng, 25, 3, 1000.0, departure_times);
+  const auto selector = overlay::HyperplaneKSelector::orthogonal(3, 2);
+  const auto overlay_result =
+      overlay::build_overlay_with_gossip(points, selector, overlay::GossipConfig{}, 906);
+  ASSERT_TRUE(overlay_result.converged);
+
+  const auto tree = stability::build_stable_tree(overlay_result.graph, departure_times);
+  EXPECT_TRUE(tree.lifetimes_monotone());
+  // Gossip equilibria under BR-scoped knowledge still give every non-max
+  // peer a longer-lived neighbour here; verify and play the departures.
+  ASSERT_TRUE(tree.is_single_tree());
+  const auto churn = stability::simulate_departures(tree.parent, departure_times);
+  EXPECT_TRUE(churn.departures_always_leaves());
+}
+
+TEST(IntegrationTest, SameWorkloadBothSections) {
+  // The two contributions compose: build one overlay per section on the
+  // same coordinates (with T as the first coordinate) and run both.
+  util::Rng rng(907);
+  std::vector<double> departure_times;
+  const auto points = stability::lifetime_points(rng, 150, 2, 1000.0, departure_times);
+
+  // §2 on the empty-rect overlay.
+  const auto er_graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+  const auto mc = multicast::build_multicast_tree(er_graph, 0);
+  EXPECT_TRUE(multicast::validate_build(er_graph, mc).valid());
+
+  // §3 on the Orthogonal-K overlay.
+  const auto ok_graph =
+      overlay::build_equilibrium(points, overlay::HyperplaneKSelector::orthogonal(2, 3));
+  const auto tree = stability::build_stable_tree(ok_graph, departure_times);
+  EXPECT_TRUE(tree.is_single_tree());
+  EXPECT_TRUE(
+      stability::simulate_departures(tree.parent, departure_times).departures_always_leaves());
+}
+
+TEST(IntegrationTest, StableTreeAlsoWorksOnEmptyRectOverlay) {
+  // The empty-rect overlay also guarantees a neighbour in every non-empty
+  // orthant, so the §3 argument carries over to the §2 overlay.
+  util::Rng rng(908);
+  std::vector<double> departure_times;
+  const auto points = stability::lifetime_points(rng, 200, 2, 1000.0, departure_times);
+  const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+  const auto tree = stability::build_stable_tree(graph, departure_times);
+  EXPECT_TRUE(tree.is_single_tree());
+  EXPECT_TRUE(tree.lifetimes_monotone());
+}
+
+TEST(IntegrationTest, EndToEndDeterminism) {
+  auto run_once = [] {
+    util::Rng rng(909);
+    const auto points = geometry::random_points(rng, 100, 3, 100.0);
+    const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+    const auto mc = multicast::build_multicast_tree(graph, 42);
+    std::vector<overlay::PeerId> parents;
+    for (overlay::PeerId p = 0; p < graph.size(); ++p) parents.push_back(mc.tree.parent(p));
+    return parents;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace geomcast

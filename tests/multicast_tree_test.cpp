@@ -1,0 +1,100 @@
+#include "multicast/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "multicast/pick_policy.hpp"
+
+namespace geomcast::multicast {
+namespace {
+
+TEST(MulticastTreeTest, FreshTreeHasOnlyRoot) {
+  MulticastTree tree(5, 2);
+  EXPECT_EQ(tree.root(), 2u);
+  EXPECT_EQ(tree.reached_count(), 1u);
+  EXPECT_TRUE(tree.reached(2));
+  EXPECT_FALSE(tree.reached(0));
+  EXPECT_EQ(tree.edge_count(), 0u);
+}
+
+TEST(MulticastTreeTest, RootOutOfRangeThrows) {
+  EXPECT_THROW(MulticastTree(3, 5), std::invalid_argument);
+}
+
+TEST(MulticastTreeTest, AddEdgeLinks) {
+  MulticastTree tree(4, 0);
+  tree.add_edge(0, 1);
+  tree.add_edge(1, 2);
+  EXPECT_EQ(tree.parent(1), 0u);
+  EXPECT_EQ(tree.parent(2), 1u);
+  EXPECT_EQ(tree.children(0), (std::vector<PeerId>{1}));
+  EXPECT_EQ(tree.reached_count(), 3u);
+  EXPECT_EQ(tree.edge_count(), 2u);
+}
+
+TEST(MulticastTreeTest, DuplicateAttachThrows) {
+  MulticastTree tree(3, 0);
+  tree.add_edge(0, 1);
+  EXPECT_THROW(tree.add_edge(0, 1), std::logic_error);
+}
+
+TEST(MulticastTreeTest, RootAsChildThrows) {
+  MulticastTree tree(3, 0);
+  EXPECT_THROW(tree.add_edge(1, 0), std::logic_error);
+}
+
+TEST(MulticastTreeTest, UnreachedParentThrows) {
+  MulticastTree tree(4, 0);
+  EXPECT_THROW(tree.add_edge(2, 3), std::logic_error);
+}
+
+TEST(MulticastTreeTest, DepthsBfs) {
+  MulticastTree tree(6, 0);
+  tree.add_edge(0, 1);
+  tree.add_edge(0, 2);
+  tree.add_edge(1, 3);
+  tree.add_edge(3, 4);
+  const auto depth = tree.depths();
+  EXPECT_EQ(depth[0], 0u);
+  EXPECT_EQ(depth[1], 1u);
+  EXPECT_EQ(depth[2], 1u);
+  EXPECT_EQ(depth[3], 2u);
+  EXPECT_EQ(depth[4], 3u);
+  EXPECT_EQ(depth[5], MulticastTree::kUnreachedDepth);
+  EXPECT_EQ(tree.max_root_to_leaf_path(), 3u);
+}
+
+TEST(MulticastTreeTest, TreeDegreeCountsParentLink) {
+  MulticastTree tree(4, 0);
+  tree.add_edge(0, 1);
+  tree.add_edge(0, 2);
+  tree.add_edge(1, 3);
+  EXPECT_EQ(tree.tree_degree(0), 2u);  // two children, no parent
+  EXPECT_EQ(tree.tree_degree(1), 2u);  // one child + parent
+  EXPECT_EQ(tree.tree_degree(2), 1u);  // leaf
+  EXPECT_EQ(tree.max_tree_degree(), 2u);
+  EXPECT_EQ(tree.max_children(), 2u);
+}
+
+TEST(MulticastTreeTest, StarTopologyDegrees) {
+  MulticastTree tree(6, 0);
+  for (PeerId p = 1; p < 6; ++p) tree.add_edge(0, p);
+  EXPECT_EQ(tree.max_tree_degree(), 5u);
+  EXPECT_EQ(tree.max_root_to_leaf_path(), 1u);
+}
+
+TEST(MulticastTreeTest, ChainDepth) {
+  MulticastTree tree(10, 0);
+  for (PeerId p = 1; p < 10; ++p) tree.add_edge(p - 1, p);
+  EXPECT_EQ(tree.max_root_to_leaf_path(), 9u);
+  EXPECT_EQ(tree.max_tree_degree(), 2u);
+}
+
+TEST(PickPolicyTest, StringRoundTrip) {
+  for (auto policy : {PickPolicy::kMedian, PickPolicy::kClosest, PickPolicy::kFarthest,
+                      PickPolicy::kRandom})
+    EXPECT_EQ(pick_policy_from_string(to_string(policy)), policy);
+  EXPECT_THROW((void)pick_policy_from_string("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geomcast::multicast

@@ -1,0 +1,88 @@
+#include "multicast/zone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/random_points.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::multicast {
+namespace {
+
+TEST(ZoneTest, InitiatorZoneIsWholeSpace) {
+  const auto zone = initiator_zone(3);
+  EXPECT_TRUE(zone.contains_interior(geometry::Point({0.0, 0.0, 0.0})));
+  EXPECT_TRUE(zone.contains_interior(geometry::Point({1e15, -1e15, 3.0})));
+}
+
+TEST(ZoneTest, ChildZoneMatchesPaperRule) {
+  // Paper: side i of HR is (-inf, x(P,i)) if x(Q,i) < x(P,i), else (x(P,i), +inf).
+  const geometry::Point ego{5.0, 7.0};
+  const auto parent = initiator_zone(2);
+  const geometry::Point q{3.0, 9.0};  // below in dim 0, above in dim 1
+  const auto zone = child_zone(parent, ego, geometry::orthant_of(ego, q));
+  EXPECT_EQ(zone.lo(0), -geometry::kInf);
+  EXPECT_EQ(zone.hi(0), 5.0);
+  EXPECT_EQ(zone.lo(1), 7.0);
+  EXPECT_EQ(zone.hi(1), geometry::kInf);
+  EXPECT_TRUE(zone.contains_interior(q));
+  EXPECT_FALSE(zone.contains_interior(ego));
+}
+
+TEST(ZoneTest, ChildZoneClippedByParent) {
+  const geometry::Point ego{5.0, 5.0};
+  const auto parent = geometry::Rect::cube(2, 0.0, 10.0);
+  const geometry::Point q{7.0, 8.0};
+  const auto zone = child_zone(parent, ego, geometry::orthant_of(ego, q));
+  EXPECT_EQ(zone.lo(0), 5.0);
+  EXPECT_EQ(zone.hi(0), 10.0);
+  EXPECT_EQ(zone.lo(1), 5.0);
+  EXPECT_EQ(zone.hi(1), 10.0);
+}
+
+TEST(ZoneTest, SiblingZonesDisjointAndExcludeEgo) {
+  util::Rng rng(81);
+  const auto points = geometry::random_points(rng, 20, 3, 100.0);
+  const geometry::Point& ego = points[0];
+  const auto parent = geometry::Rect::cube(3, -50.0, 150.0);
+  std::vector<geometry::Rect> zones;
+  for (geometry::OrthantCode code = 0; code < geometry::orthant_count(3); ++code)
+    zones.push_back(child_zone(parent, ego, code));
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    EXPECT_FALSE(zones[i].contains_interior(ego));
+    for (std::size_t j = i + 1; j < zones.size(); ++j)
+      EXPECT_TRUE(zones[i].interior_disjoint(zones[j]));
+  }
+}
+
+TEST(ZoneTest, ZoneUnionCoversParentMinusEgoSlabs) {
+  // Every point of the parent zone that shares no coordinate with the ego
+  // lies in exactly one child zone.
+  util::Rng rng(82);
+  const geometry::Point ego{50.0, 50.0};
+  const auto parent = geometry::Rect::cube(2, 0.0, 100.0);
+  const auto samples = geometry::random_points(rng, 500, 2, 100.0);
+  for (const auto& sample : samples) {
+    if (sample[0] == ego[0] || sample[1] == ego[1]) continue;
+    int containing = 0;
+    for (geometry::OrthantCode code = 0; code < 4; ++code)
+      if (child_zone(parent, ego, code).contains_interior(sample)) ++containing;
+    EXPECT_EQ(containing, 1) << sample.to_string();
+  }
+}
+
+TEST(ZoneTest, NestedSubdivisionStaysInsideAncestors) {
+  const auto space = initiator_zone(2);
+  const geometry::Point root{50.0, 50.0};
+  const geometry::Point child{70.0, 80.0};
+  const geometry::Point grandchild{60.0, 90.0};
+  const auto zone1 = child_zone(space, root, geometry::orthant_of(root, child));
+  const auto zone2 = child_zone(zone1, child, geometry::orthant_of(child, grandchild));
+  EXPECT_TRUE(zone1.interior_subset_of(space));
+  EXPECT_TRUE(zone2.interior_subset_of(zone1));
+  EXPECT_TRUE(zone2.contains_interior(grandchild));
+  EXPECT_FALSE(zone2.contains_interior(child));
+  EXPECT_FALSE(zone2.contains_interior(root));
+}
+
+}  // namespace
+}  // namespace geomcast::multicast

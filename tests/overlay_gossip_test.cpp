@@ -1,0 +1,195 @@
+#include "overlay/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/graph_metrics.hpp"
+#include "geometry/random_points.hpp"
+#include "overlay/empty_rect.hpp"
+#include "overlay/equilibrium.hpp"
+#include "overlay/hyperplane_k.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::overlay {
+namespace {
+
+double edge_similarity(const OverlayGraph& a, const OverlayGraph& b) {
+  std::size_t shared = 0, total_a = 0, total_b = 0;
+  for (PeerId p = 0; p < a.size(); ++p)
+    for (PeerId q : a.neighbors(p))
+      if (q > p) {
+        ++total_a;
+        if (b.has_edge(p, q)) ++shared;
+      }
+  for (PeerId p = 0; p < b.size(); ++p)
+    for (PeerId q : b.neighbors(p))
+      if (q > p) ++total_b;
+  const std::size_t union_size = total_a + total_b - shared;
+  return union_size == 0 ? 1.0 : static_cast<double>(shared) / static_cast<double>(union_size);
+}
+
+TEST(GossipConfigTest, ValidatesPaperConstraints) {
+  GossipConfig bad_br;
+  bad_br.br = 1;  // paper requires BR >= 2
+  EXPECT_THROW(GossipNode(0, geometry::Point({1.0, 2.0}), NodeAddress{}, EmptyRectSelector{},
+                          bad_br),
+               std::invalid_argument);
+
+  GossipConfig bad_tmax;
+  bad_tmax.tmax = 0.5;
+  bad_tmax.announce_period = 1.0;  // Tmax must exceed the gossip period
+  EXPECT_THROW(GossipNode(0, geometry::Point({1.0, 2.0}), NodeAddress{}, EmptyRectSelector{},
+                          bad_tmax),
+               std::invalid_argument);
+}
+
+TEST(GossipTest, TwoPeersDiscoverEachOther) {
+  const std::vector<geometry::Point> points{geometry::Point({10.0, 10.0}),
+                                            geometry::Point({20.0, 30.0})};
+  EmptyRectSelector selector;
+  const auto result = build_overlay_with_gossip(points, selector, GossipConfig{}, 1);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.graph.has_edge(0, 1));
+}
+
+TEST(GossipTest, ConvergesToEquilibriumSmallN) {
+  util::Rng rng(71);
+  const auto points = geometry::random_points(rng, 24, 2, 100.0);
+  EmptyRectSelector selector;
+  const auto result = build_overlay_with_gossip(points, selector, GossipConfig{}, 2);
+  EXPECT_TRUE(result.converged);
+  const auto oracle = build_equilibrium(points, selector);
+  // BR-scoped gossip reaches "the same (or close to)" the full-knowledge
+  // topology (paper §1). Demand high similarity and connectivity.
+  EXPECT_GE(edge_similarity(result.graph, oracle), 0.85);
+  EXPECT_TRUE(analysis::is_connected(result.graph));
+}
+
+TEST(GossipTest, LargerBrGetsCloserToOracle) {
+  util::Rng rng(72);
+  const auto points = geometry::random_points(rng, 24, 2, 100.0);
+  EmptyRectSelector selector;
+  GossipConfig near_config;
+  near_config.br = 2;
+  GossipConfig far_config;
+  far_config.br = 6;  // with 24 peers, 6 hops ≈ whole overlay
+  const auto near_result = build_overlay_with_gossip(points, selector, near_config, 3);
+  const auto far_result = build_overlay_with_gossip(points, selector, far_config, 3);
+  const auto oracle = build_equilibrium(points, selector);
+  EXPECT_GE(edge_similarity(far_result.graph, oracle) + 1e-9,
+            edge_similarity(near_result.graph, oracle));
+}
+
+TEST(GossipTest, AnnouncementsAreCounted) {
+  util::Rng rng(73);
+  const auto points = geometry::random_points(rng, 10, 2, 100.0);
+  const auto result =
+      build_overlay_with_gossip(points, EmptyRectSelector{}, GossipConfig{}, 4);
+  EXPECT_GT(result.announce_messages, 0u);
+  EXPECT_GT(result.link_messages, 0u);
+  EXPECT_GT(result.sim_time, 0.0);
+}
+
+TEST(GossipTest, DeterministicAcrossRuns) {
+  util::Rng rng(74);
+  const auto points = geometry::random_points(rng, 16, 2, 100.0);
+  EmptyRectSelector selector;
+  const auto a = build_overlay_with_gossip(points, selector, GossipConfig{}, 5);
+  const auto b = build_overlay_with_gossip(points, selector, GossipConfig{}, 5);
+  EXPECT_EQ(a.graph, b.graph);
+  EXPECT_EQ(a.announce_messages, b.announce_messages);
+}
+
+TEST(GossipTest, ConvergesDespiteAnnouncementLoss) {
+  // Lossy links: announcements are periodic, and Tmax spans several
+  // periods, so occasional drops only delay knowledge refresh. The overlay
+  // must still stabilise and stay connected.
+  util::Rng rng(79);
+  const auto points = geometry::random_points(rng, 18, 2, 100.0);
+  EmptyRectSelector selector;
+
+  sim::Simulator sim(80);
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    nodes.push_back(std::make_unique<GossipNode>(static_cast<PeerId>(i), points[i],
+                                                 NodeAddress{}, selector, GossipConfig{}));
+    sim.add_node(*nodes.back());
+  }
+  sim.network().set_loss(sim::LossModel{0.1, nullptr});
+  util::Rng bootstrap_rng(81);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<Candidate> bootstrap;
+    if (i > 0) {
+      const auto contact = static_cast<PeerId>(bootstrap_rng.next_below(i));
+      bootstrap.push_back(Candidate{contact, points[contact]});
+    }
+    nodes[i]->activate(sim, bootstrap);
+    sim.run_until(sim.now() + 10.0);
+  }
+  sim.run_until(sim.now() + 30.0);
+
+  std::vector<std::vector<PeerId>> out(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) out[i] = nodes[i]->selected();
+  const OverlayGraph graph(points, std::move(out));
+  EXPECT_TRUE(analysis::is_connected(graph));
+  EXPECT_GT(sim.stats().dropped, 0u);  // loss actually happened
+}
+
+TEST(GossipTest, CrashedPeerForgottenAfterTmax) {
+  // A peer that leaves without notice stops announcing; survivors must drop
+  // it from their selections once its last announcement ages past Tmax.
+  util::Rng rng(76);
+  const auto points = geometry::random_points(rng, 12, 2, 100.0);
+  EmptyRectSelector selector;
+  GossipConfig config;
+
+  sim::Simulator sim(77);
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    nodes.push_back(std::make_unique<GossipNode>(static_cast<PeerId>(i), points[i],
+                                                 NodeAddress{}, selector, config));
+    sim.add_node(*nodes.back());
+  }
+  util::Rng bootstrap_rng(78);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<Candidate> bootstrap;
+    if (i > 0) {
+      const auto contact = static_cast<PeerId>(bootstrap_rng.next_below(i));
+      bootstrap.push_back(Candidate{contact, points[contact]});
+    }
+    nodes[i]->activate(sim, bootstrap);
+    sim.run_until(sim.now() + 8.0);
+  }
+
+  const PeerId victim = 3;
+  bool someone_knew_victim = false;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i == victim) continue;
+    const auto& selected = nodes[i]->selected();
+    someone_knew_victim |= std::find(selected.begin(), selected.end(), victim) != selected.end();
+  }
+  ASSERT_TRUE(someone_knew_victim) << "test needs the victim to be someone's neighbour";
+
+  nodes[victim]->deactivate();
+  // Run well past Tmax so the victim's announcements expire everywhere and
+  // every survivor has re-selected.
+  sim.run_until(sim.now() + config.tmax + 4 * config.reselect_period);
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i == victim) continue;
+    const auto& selected = nodes[i]->selected();
+    EXPECT_TRUE(std::find(selected.begin(), selected.end(), victim) == selected.end())
+        << "peer " << i << " still selects the crashed peer";
+  }
+}
+
+TEST(GossipTest, WorksWithOrthogonalKSelector) {
+  util::Rng rng(75);
+  const auto points = geometry::random_points(rng, 20, 3, 100.0);
+  const auto selector = HyperplaneKSelector::orthogonal(3, 2);
+  const auto result = build_overlay_with_gossip(points, selector, GossipConfig{}, 6);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(analysis::is_connected(result.graph));
+}
+
+}  // namespace
+}  // namespace geomcast::overlay

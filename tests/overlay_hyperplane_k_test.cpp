@@ -1,0 +1,142 @@
+#include "overlay/hyperplane_k.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "geometry/orthant.hpp"
+#include "geometry/random_points.hpp"
+#include "overlay/k_closest.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::overlay {
+namespace {
+
+std::vector<Candidate> to_candidates(const std::vector<geometry::Point>& points,
+                                     std::size_t ego_index) {
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (i != ego_index) candidates.push_back({static_cast<PeerId>(i), points[i]});
+  return candidates;
+}
+
+TEST(HyperplaneKTest, RejectsZeroK) {
+  EXPECT_THROW(HyperplaneKSelector::orthogonal(2, 0), std::invalid_argument);
+  EXPECT_THROW(KClosestSelector(0), std::invalid_argument);
+}
+
+TEST(HyperplaneKTest, SelectsKPerOrthantExactly) {
+  // Brute-force check: group by orthant, sort by distance, take K.
+  util::Rng rng(11);
+  const auto points = geometry::random_points(rng, 200, 3, 100.0);
+  for (std::size_t k : {1u, 2u, 5u}) {
+    const auto selector = HyperplaneKSelector::orthogonal(3, k);
+    for (std::size_t ego = 0; ego < 20; ++ego) {
+      const auto candidates = to_candidates(points, ego);
+      const auto fast = selector.select(points[ego], candidates);
+
+      std::map<geometry::OrthantCode, std::vector<std::pair<double, PeerId>>> groups;
+      for (const auto& c : candidates)
+        groups[geometry::orthant_of(points[ego], c.point)].push_back(
+            {geometry::l2_distance(points[ego], c.point), c.id});
+      std::vector<PeerId> expected;
+      for (auto& [code, members] : groups) {
+        (void)code;
+        std::sort(members.begin(), members.end());
+        for (std::size_t i = 0; i < std::min(k, members.size()); ++i)
+          expected.push_back(members[i].second);
+      }
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(fast, expected) << "ego=" << ego << " k=" << k;
+    }
+  }
+}
+
+TEST(HyperplaneKTest, EmptyArrangementEqualsKClosest) {
+  util::Rng rng(12);
+  const auto points = geometry::random_points(rng, 150, 4, 100.0);
+  const HyperplaneKSelector degenerate(geometry::HyperplaneArrangement::empty(4), 7);
+  const KClosestSelector direct(7);
+  for (std::size_t ego = 0; ego < 15; ++ego) {
+    const auto candidates = to_candidates(points, ego);
+    EXPECT_EQ(degenerate.select(points[ego], candidates),
+              direct.select(points[ego], candidates));
+  }
+}
+
+TEST(HyperplaneKTest, KLargerThanCandidatesKeepsAll) {
+  util::Rng rng(13);
+  const auto points = geometry::random_points(rng, 10, 2, 100.0);
+  const auto selector = HyperplaneKSelector::orthogonal(2, 100);
+  const auto result = selector.select(points[0], to_candidates(points, 0));
+  EXPECT_EQ(result.size(), 9u);
+}
+
+TEST(HyperplaneKTest, KClosestRespectsK) {
+  util::Rng rng(14);
+  const auto points = geometry::random_points(rng, 100, 3, 100.0);
+  const KClosestSelector selector(5);
+  const auto result = selector.select(points[0], to_candidates(points, 0));
+  EXPECT_EQ(result.size(), 5u);
+}
+
+TEST(HyperplaneKTest, KClosestPicksNearest) {
+  const geometry::Point ego{0.0, 0.0};
+  const std::vector<Candidate> candidates{{1, geometry::Point({10.0, 0.1})},
+                                          {2, geometry::Point({1.0, 0.2})},
+                                          {3, geometry::Point({2.0, 0.3})},
+                                          {4, geometry::Point({50.0, 0.4})}};
+  const KClosestSelector selector(2);
+  EXPECT_EQ(selector.select(ego, candidates), (std::vector<PeerId>{2, 3}));
+}
+
+TEST(HyperplaneKTest, MetricChangesSelection) {
+  // A point can be L1-closer but L2-farther.
+  const geometry::Point ego{0.0, 0.0};
+  const std::vector<Candidate> candidates{{1, geometry::Point({3.0, 3.0})},   // L1=6, L2~4.24
+                                          {2, geometry::Point({0.1, 4.95})}}; // L1=5.05, L2~4.95
+  const KClosestSelector l1(1, geometry::Metric::kL1);
+  const KClosestSelector l2(1, geometry::Metric::kL2);
+  EXPECT_EQ(l1.select(ego, candidates), (std::vector<PeerId>{2}));
+  EXPECT_EQ(l2.select(ego, candidates), (std::vector<PeerId>{1}));
+}
+
+TEST(HyperplaneKTest, OrderInvariance) {
+  util::Rng rng(15);
+  const auto points = geometry::random_points(rng, 80, 3, 100.0);
+  const auto selector = HyperplaneKSelector::orthogonal(3, 2);
+  auto candidates = to_candidates(points, 0);
+  const auto baseline = selector.select(points[0], candidates);
+  util::Rng shuffle_rng(16);
+  for (int trial = 0; trial < 5; ++trial) {
+    shuffle_rng.shuffle(candidates);
+    EXPECT_EQ(selector.select(points[0], candidates), baseline);
+  }
+}
+
+TEST(HyperplaneKTest, TernaryArrangementSelectsAtMostKPerRegion) {
+  util::Rng rng(17);
+  const auto points = geometry::random_points(rng, 120, 3, 100.0);
+  const auto arrangement = geometry::HyperplaneArrangement::ternary(3);
+  const HyperplaneKSelector selector(arrangement, 2);
+  const auto candidates = to_candidates(points, 0);
+  const auto result = selector.select(points[0], candidates);
+  std::map<std::uint64_t, int> per_region;
+  for (PeerId q : result)
+    ++per_region[arrangement.region_of(points[0], points[q]).value];
+  for (const auto& [region, count] : per_region) {
+    (void)region;
+    EXPECT_LE(count, 2);
+  }
+  // Ternary refines orthogonal => at least as many neighbours as orthogonal.
+  const auto ortho = HyperplaneKSelector::orthogonal(3, 2).select(points[0], candidates);
+  EXPECT_GE(result.size(), ortho.size());
+}
+
+TEST(HyperplaneKTest, NamesDescribeConfiguration) {
+  EXPECT_EQ(HyperplaneKSelector::orthogonal(3, 4).name(), "hyperplanes(H=3,K=4,l2)");
+  EXPECT_EQ(KClosestSelector(9, geometry::Metric::kL1).name(), "k-closest(K=9,l1)");
+}
+
+}  // namespace
+}  // namespace geomcast::overlay

@@ -1,0 +1,95 @@
+#include "overlay/knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geomcast::overlay {
+namespace {
+
+const geometry::Point kP1{1.0, 2.0};
+const geometry::Point kP2{3.0, 4.0};
+
+TEST(KnowledgeSetTest, StartsEmpty) {
+  KnowledgeSet knowledge(5.0);
+  EXPECT_EQ(knowledge.size(), 0u);
+  EXPECT_FALSE(knowledge.knows(3));
+  EXPECT_TRUE(knowledge.candidates().empty());
+  EXPECT_DOUBLE_EQ(knowledge.tmax(), 5.0);
+}
+
+TEST(KnowledgeSetTest, HearRecordsPeer) {
+  KnowledgeSet knowledge(5.0);
+  knowledge.hear(7, kP1, 1.0);
+  EXPECT_TRUE(knowledge.knows(7));
+  EXPECT_EQ(knowledge.size(), 1u);
+  const auto candidates = knowledge.candidates();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].id, 7u);
+  EXPECT_EQ(candidates[0].point, kP1);
+}
+
+TEST(KnowledgeSetTest, ExpiryDropsStaleEntries) {
+  // Paper: I(P) holds announcements from the previous Tmax seconds.
+  KnowledgeSet knowledge(5.0);
+  knowledge.hear(1, kP1, 0.0);
+  knowledge.hear(2, kP2, 4.0);
+  knowledge.expire(6.0);  // entry 1 heard 6s ago > Tmax, entry 2 only 2s ago
+  EXPECT_FALSE(knowledge.knows(1));
+  EXPECT_TRUE(knowledge.knows(2));
+}
+
+TEST(KnowledgeSetTest, BoundaryExactlyTmaxSurvives) {
+  KnowledgeSet knowledge(5.0);
+  knowledge.hear(1, kP1, 0.0);
+  knowledge.expire(5.0);  // last_heard + Tmax == now: not yet stale
+  EXPECT_TRUE(knowledge.knows(1));
+  knowledge.expire(5.0001);
+  EXPECT_FALSE(knowledge.knows(1));
+}
+
+TEST(KnowledgeSetTest, RefreshExtendsLifetime) {
+  KnowledgeSet knowledge(5.0);
+  knowledge.hear(1, kP1, 0.0);
+  knowledge.hear(1, kP1, 4.0);  // periodic re-announcement
+  knowledge.expire(8.0);
+  EXPECT_TRUE(knowledge.knows(1));
+}
+
+TEST(KnowledgeSetTest, HearNeverMovesLastHeardBackwards) {
+  // A delayed duplicate of an old announcement must not shorten the entry's
+  // remaining lifetime.
+  KnowledgeSet knowledge(5.0);
+  knowledge.hear(1, kP1, 10.0);
+  knowledge.hear(1, kP1, 2.0);  // stale duplicate arrives late
+  knowledge.expire(12.0);
+  EXPECT_TRUE(knowledge.knows(1));
+}
+
+TEST(KnowledgeSetTest, HearUpdatesCoordinates) {
+  KnowledgeSet knowledge(5.0);
+  knowledge.hear(1, kP1, 0.0);
+  knowledge.hear(1, kP2, 1.0);  // peer re-announced with new identifier
+  EXPECT_EQ(knowledge.candidates()[0].point, kP2);
+}
+
+TEST(KnowledgeSetTest, ForgetRemovesImmediately) {
+  KnowledgeSet knowledge(5.0);
+  knowledge.hear(1, kP1, 0.0);
+  knowledge.forget(1);
+  EXPECT_FALSE(knowledge.knows(1));
+  EXPECT_EQ(knowledge.size(), 0u);
+}
+
+TEST(KnowledgeSetTest, CandidatesSortedById) {
+  KnowledgeSet knowledge(5.0);
+  knowledge.hear(9, kP1, 0.0);
+  knowledge.hear(2, kP2, 0.0);
+  knowledge.hear(5, kP1, 0.0);
+  const auto candidates = knowledge.candidates();
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0].id, 2u);
+  EXPECT_EQ(candidates[1].id, 5u);
+  EXPECT_EQ(candidates[2].id, 9u);
+}
+
+}  // namespace
+}  // namespace geomcast::overlay

@@ -1,0 +1,77 @@
+#include "overlay/orthant_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/random_points.hpp"
+#include "overlay/equilibrium.hpp"
+#include "overlay/hyperplane_k.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::overlay {
+namespace {
+
+// The index must reproduce HyperplaneKSelector::orthogonal exactly for
+// every K — it exists purely as a speedup for the Fig 1 d/e sweeps.
+class OrthantSweepAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OrthantSweepAgreementTest, MatchesDirectSelectorForAllK) {
+  const auto [dims, k] = GetParam();
+  util::Rng rng(100 + dims * 10 + k);
+  const auto points =
+      geometry::random_points(rng, 120, static_cast<std::size_t>(dims), 100.0);
+  const OrthantSweepIndex index(points);
+  const auto direct = build_equilibrium(
+      points, HyperplaneKSelector::orthogonal(static_cast<std::size_t>(dims),
+                                              static_cast<std::size_t>(k)));
+  EXPECT_EQ(index.graph_for_k(static_cast<std::size_t>(k)), direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OrthantSweepAgreementTest,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                                            ::testing::Values(1, 2, 5, 20)));
+
+TEST(OrthantSweepTest, SelectionsGrowMonotonicallyWithK) {
+  util::Rng rng(55);
+  const auto points = geometry::random_points(rng, 150, 3, 100.0);
+  const OrthantSweepIndex index(points);
+  auto smaller = index.select_k(2);
+  auto larger = index.select_k(4);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (PeerId q : smaller[p])
+      EXPECT_TRUE(std::binary_search(larger[p].begin(), larger[p].end(), q))
+          << "K=2 selection of " << p << " not inside K=4 selection";
+  }
+}
+
+TEST(OrthantSweepTest, HugeKSelectsEveryone) {
+  util::Rng rng(56);
+  const auto points = geometry::random_points(rng, 40, 2, 100.0);
+  const OrthantSweepIndex index(points);
+  const auto all = index.select_k(1000);
+  for (std::size_t p = 0; p < points.size(); ++p)
+    EXPECT_EQ(all[p].size(), points.size() - 1);
+}
+
+TEST(OrthantSweepTest, MetricIsRespected) {
+  util::Rng rng(57);
+  const auto points = geometry::random_points(rng, 100, 2, 100.0);
+  const OrthantSweepIndex l1_index(points, geometry::Metric::kL1);
+  const auto direct =
+      build_equilibrium(points, HyperplaneKSelector::orthogonal(2, 3, geometry::Metric::kL1));
+  EXPECT_EQ(l1_index.graph_for_k(3), direct);
+}
+
+TEST(OrthantSweepTest, EmptyAndTinyInputs) {
+  const OrthantSweepIndex empty({});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.select_k(3).empty());
+
+  const OrthantSweepIndex single({geometry::Point({1.0, 2.0})});
+  const auto out = single.select_k(3);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].empty());
+}
+
+}  // namespace
+}  // namespace geomcast::overlay

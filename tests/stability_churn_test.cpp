@@ -1,0 +1,144 @@
+#include "stability/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/random_points.hpp"
+#include "overlay/equilibrium.hpp"
+#include "overlay/hyperplane_k.hpp"
+#include "overlay/orthant_sweep.hpp"
+#include "stability/lifetime.hpp"
+#include "stability/random_parent.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::stability {
+namespace {
+
+struct Workload {
+  std::vector<geometry::Point> points;
+  std::vector<double> departure_times;
+  overlay::OverlayGraph graph;
+};
+
+Workload make_workload(std::size_t n, std::size_t dims, std::size_t k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Workload w;
+  w.points = lifetime_points(rng, n, dims, 1000.0, w.departure_times);
+  w.graph = overlay::OrthantSweepIndex(w.points).graph_for_k(k);
+  return w;
+}
+
+// The paper's §3 punchline, as a property over (D, K, seed): departures in
+// T order never disconnect the stable tree.
+class StableChurnPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(StableChurnPropertyTest, DeparturesAlwaysAtLeaves) {
+  const auto [dims, k, seed] = GetParam();
+  const auto w = make_workload(200, static_cast<std::size_t>(dims),
+                               static_cast<std::size_t>(k), seed);
+  const auto tree = build_stable_tree(w.graph, w.departure_times);
+  ASSERT_TRUE(tree.is_single_tree());
+  const auto report = simulate_departures(tree.parent, w.departure_times);
+  EXPECT_TRUE(report.departures_always_leaves());
+  EXPECT_EQ(report.departures, w.graph.size());
+  EXPECT_EQ(report.total_orphaned, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StableChurnPropertyTest,
+                         ::testing::Combine(::testing::Values(2, 3, 6, 10),
+                                            ::testing::Values(1, 5, 25),
+                                            ::testing::Values(300u, 301u)));
+
+TEST(ChurnTest, RandomSpanningTreeSuffersDisruptions) {
+  const auto w = make_workload(300, 3, 3, 310);
+  util::Rng rng(311);
+  const auto parent = build_random_spanning_tree(w.graph, rng);
+  const auto report = simulate_departures(parent, w.departure_times);
+  // Lifetime-oblivious trees have interior nodes departing mid-life; with
+  // 300 peers that is overwhelmingly likely to orphan someone.
+  EXPECT_GT(report.disruptive_departures, 0u);
+  EXPECT_GT(report.total_orphaned, 0u);
+  EXPECT_GE(report.max_orphaned_at_once, 1u);
+}
+
+TEST(ChurnTest, StableTreeBeatsRandomTree) {
+  const auto w = make_workload(300, 3, 3, 320);
+  const auto stable = build_stable_tree(w.graph, w.departure_times);
+  util::Rng rng(321);
+  const auto random_parent = build_random_spanning_tree(w.graph, rng);
+  const auto stable_report = simulate_departures(stable.parent, w.departure_times);
+  const auto random_report = simulate_departures(random_parent, w.departure_times);
+  EXPECT_EQ(stable_report.total_orphaned, 0u);
+  EXPECT_GT(random_report.total_orphaned, stable_report.total_orphaned);
+}
+
+TEST(ChurnTest, RepairReattachesOrphans) {
+  const auto w = make_workload(250, 3, 3, 330);
+  util::Rng rng(331);
+  const auto parent = build_random_spanning_tree(w.graph, rng);
+  const auto report = simulate_departures_with_repair(w.graph, parent, w.departure_times);
+  EXPECT_GT(report.reattached, 0u);
+  // With Orthogonal-Hyperplanes overlays every live peer except the
+  // globally longest-lived one keeps a live longer-lived neighbour (any
+  // neighbour q with T(q) > T(c) is alive by definition, and some
+  // positive-T orthant is non-empty). Only the global-max peer, if it gets
+  // orphaned, cannot reattach — so at most one failure.
+  EXPECT_LE(report.repair_failures, 1u);
+}
+
+TEST(ChurnTest, RepairOnStableTreeIsANoop) {
+  const auto w = make_workload(200, 2, 2, 340);
+  const auto tree = build_stable_tree(w.graph, w.departure_times);
+  const auto report = simulate_departures_with_repair(w.graph, tree.parent, w.departure_times);
+  EXPECT_EQ(report.reattached, 0u);
+  EXPECT_EQ(report.repair_failures, 0u);
+  EXPECT_EQ(report.churn.total_orphaned, 0u);
+}
+
+TEST(ChurnTest, HandMadeCounterexample) {
+  // Root departs first: everyone else is orphaned exactly once.
+  std::vector<overlay::PeerId> parent{kInvalidPeer, 0, 0, 1};
+  std::vector<double> times{1.0, 2.0, 3.0, 4.0};  // node 0 (the root) leaves first
+  const auto report = simulate_departures(parent, times);
+  EXPECT_EQ(report.departures, 4u);
+  EXPECT_GE(report.disruptive_departures, 1u);
+  // Node 0's departure orphans its live subtree {1, 2, 3}.
+  EXPECT_EQ(report.max_orphaned_at_once, 3u);
+}
+
+TEST(ChurnTest, LeafOnlyDeparturesAreClean) {
+  // Chain with T increasing toward the root: each departure is a leaf.
+  std::vector<overlay::PeerId> parent{1, 2, 3, kInvalidPeer};
+  std::vector<double> times{1.0, 2.0, 3.0, 4.0};
+  const auto report = simulate_departures(parent, times);
+  EXPECT_TRUE(report.departures_always_leaves());
+}
+
+TEST(ChurnTest, SizeMismatchThrows) {
+  std::vector<overlay::PeerId> parent{kInvalidPeer, 0};
+  EXPECT_THROW((void)simulate_departures(parent, {1.0}), std::invalid_argument);
+}
+
+TEST(RandomSpanningTreeTest, SpansConnectedGraph) {
+  const auto w = make_workload(150, 2, 2, 350);
+  util::Rng rng(351);
+  const auto parent = build_random_spanning_tree(w.graph, rng);
+  std::size_t roots = 0;
+  for (overlay::PeerId p = 0; p < parent.size(); ++p) {
+    if (parent[p] == kInvalidPeer)
+      ++roots;
+    else
+      EXPECT_TRUE(w.graph.has_edge(p, parent[p]));
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST(RandomSpanningTreeTest, DifferentSeedsDifferentTrees) {
+  const auto w = make_workload(150, 2, 2, 360);
+  util::Rng rng_a(1), rng_b(2);
+  EXPECT_NE(build_random_spanning_tree(w.graph, rng_a),
+            build_random_spanning_tree(w.graph, rng_b));
+}
+
+}  // namespace
+}  // namespace geomcast::stability

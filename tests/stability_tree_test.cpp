@@ -1,0 +1,211 @@
+#include "stability/stable_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geometry/random_points.hpp"
+#include "overlay/equilibrium.hpp"
+#include "overlay/hyperplane_k.hpp"
+#include "overlay/orthant_sweep.hpp"
+#include "stability/lifetime.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::stability {
+namespace {
+
+struct Workload {
+  std::vector<geometry::Point> points;
+  std::vector<double> departure_times;
+};
+
+Workload make_workload(std::size_t n, std::size_t dims, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Workload w;
+  w.points = lifetime_points(rng, n, dims, 1000.0, w.departure_times);
+  return w;
+}
+
+TEST(LifetimeTest, FirstCoordinateIsDepartureTime) {
+  const auto w = make_workload(50, 3, 1);
+  for (std::size_t i = 0; i < w.points.size(); ++i)
+    EXPECT_EQ(w.points[i][0], w.departure_times[i]);
+}
+
+TEST(LifetimeTest, DepartureTimesDistinct) {
+  const auto w = make_workload(500, 2, 2);
+  auto sorted = w.departure_times;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(LifetimeTest, ApplyRejectsDuplicates) {
+  std::vector<geometry::Point> points{geometry::Point({0.0, 1.0}),
+                                      geometry::Point({2.0, 3.0})};
+  EXPECT_THROW(apply_lifetime_coordinate(points, {5.0, 5.0}), std::invalid_argument);
+  EXPECT_THROW(apply_lifetime_coordinate(points, {5.0}), std::invalid_argument);
+  EXPECT_NO_THROW(apply_lifetime_coordinate(points, {5.0, 6.0}));
+  EXPECT_EQ(points[0][0], 5.0);
+}
+
+TEST(StableTreeTest, SizesMustMatch) {
+  const auto w = make_workload(10, 2, 3);
+  const auto graph =
+      overlay::build_equilibrium(w.points, overlay::HyperplaneKSelector::orthogonal(2, 1));
+  std::vector<double> wrong(w.departure_times.begin(), w.departure_times.end() - 1);
+  EXPECT_THROW(build_stable_tree(graph, wrong), std::invalid_argument);
+}
+
+// The §3 structural claims over the same (D, K) grid the paper sweeps.
+class StableTreePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(StableTreePropertyTest, FormsSingleTreeWithMonotoneLifetimes) {
+  const auto [dims, k, seed] = GetParam();
+  const auto w = make_workload(150, static_cast<std::size_t>(dims), seed);
+  const overlay::OrthantSweepIndex index(w.points);
+  const auto graph = index.graph_for_k(static_cast<std::size_t>(k));
+  const auto tree = build_stable_tree(graph, w.departure_times);
+
+  // "In each case, the preferred neighbour links indeed formed a tree."
+  EXPECT_TRUE(tree.is_single_tree());
+  ASSERT_EQ(tree.roots.size(), 1u);
+  // Rooted at the peer with the largest T.
+  const auto max_peer = static_cast<PeerId>(
+      std::max_element(w.departure_times.begin(), w.departure_times.end()) -
+      w.departure_times.begin());
+  EXPECT_EQ(tree.roots[0], max_peer);
+  // "T(A) > T(B) whenever A is the parent of B."
+  EXPECT_TRUE(tree.lifetimes_monotone());
+  // Exactly N-1 preferred links.
+  std::size_t edges = 0;
+  for (PeerId p = 0; p < tree.size(); ++p)
+    if (tree.parent[p] != kInvalidPeer) ++edges;
+  EXPECT_EQ(edges, tree.size() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StableTreePropertyTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 7, 10), ::testing::Values(1, 3, 10, 50),
+                       ::testing::Values(100u, 200u)));
+
+TEST(StableTreeTest, MaxTPolicyPicksLargestNeighbor) {
+  const auto w = make_workload(100, 2, 5);
+  const overlay::OrthantSweepIndex index(w.points);
+  const auto graph = index.graph_for_k(3);
+  const auto tree = build_stable_tree(graph, w.departure_times, PreferredPolicy::kMaxT);
+  for (PeerId p = 0; p < graph.size(); ++p) {
+    if (tree.parent[p] == kInvalidPeer) continue;
+    for (PeerId q : graph.neighbors(p))
+      EXPECT_LE(w.departure_times[q], w.departure_times[tree.parent[p]])
+          << "peer " << p << " ignored a longer-lived neighbour";
+  }
+}
+
+TEST(StableTreeTest, MinAbovePolicyPicksSmallestEligible) {
+  const auto w = make_workload(100, 2, 6);
+  const overlay::OrthantSweepIndex index(w.points);
+  const auto graph = index.graph_for_k(3);
+  const auto tree =
+      build_stable_tree(graph, w.departure_times, PreferredPolicy::kMinAboveOwnT);
+  EXPECT_TRUE(tree.lifetimes_monotone());
+  for (PeerId p = 0; p < graph.size(); ++p) {
+    if (tree.parent[p] == kInvalidPeer) continue;
+    const double chosen = w.departure_times[tree.parent[p]];
+    for (PeerId q : graph.neighbors(p)) {
+      const double t = w.departure_times[q];
+      if (t > w.departure_times[p]) {
+        EXPECT_GE(t, chosen);
+      }
+    }
+  }
+}
+
+TEST(StableTreeTest, ClosestAbovePolicyStaysMonotone) {
+  const auto w = make_workload(100, 3, 7);
+  const overlay::OrthantSweepIndex index(w.points);
+  const auto graph = index.graph_for_k(2);
+  const auto tree =
+      build_stable_tree(graph, w.departure_times, PreferredPolicy::kClosestAboveOwnT);
+  EXPECT_TRUE(tree.lifetimes_monotone());
+  EXPECT_TRUE(tree.is_single_tree());
+}
+
+TEST(StableTreeTest, DiameterOfChain) {
+  // Points on a line with increasing T: K=1 orthant selection links
+  // consecutive peers; max-T preferred parent gives a path graph.
+  std::vector<geometry::Point> points;
+  std::vector<double> times;
+  for (int i = 0; i < 10; ++i) {
+    points.push_back(geometry::Point({static_cast<double>(i), static_cast<double>(i % 3)}));
+    times.push_back(static_cast<double>(i));
+  }
+  const auto graph =
+      overlay::build_equilibrium(points, overlay::HyperplaneKSelector::orthogonal(2, 1));
+  const auto tree = build_stable_tree(graph, times);
+  EXPECT_TRUE(tree.is_single_tree());
+  EXPECT_GE(tree_diameter(tree), 2u);
+  EXPECT_LE(tree_diameter(tree), 9u);
+}
+
+TEST(StableTreeTest, StarDiameterIsTwo) {
+  // Everyone adjacent to everyone (K huge): all peers pick the global max
+  // => a star with diameter 2.
+  const auto w = make_workload(40, 2, 8);
+  const overlay::OrthantSweepIndex index(w.points);
+  const auto graph = index.graph_for_k(1000);
+  const auto tree = build_stable_tree(graph, w.departure_times);
+  EXPECT_EQ(tree_diameter(tree), 2u);
+  EXPECT_EQ(tree.max_degree(), graph.size() - 1);
+}
+
+TEST(StableTreeTest, DiameterHandlesForests) {
+  // Disconnected overlay => forest; diameter of largest component.
+  std::vector<geometry::Point> points{
+      geometry::Point({0.0, 0.0}), geometry::Point({1.0, 1.0}),
+      geometry::Point({100.0, 100.0}), geometry::Point({101.0, 101.0})};
+  std::vector<double> times{1.0, 2.0, 3.0, 4.0};
+  // Two disjoint pairs.
+  overlay::OverlayGraph graph(points, {{1}, {}, {3}, {}});
+  const auto tree = build_stable_tree(graph, times);
+  EXPECT_FALSE(tree.is_single_tree());
+  EXPECT_EQ(tree.roots.size(), 2u);
+  EXPECT_EQ(tree_diameter(tree), 1u);
+  EXPECT_TRUE(tree.lifetimes_monotone());
+}
+
+// The sweep fast path must agree with the graph-based construction for
+// every policy across the (D, K) grid.
+class FromSelectionsAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FromSelectionsAgreementTest, MatchesGraphConstruction) {
+  const auto [dims, k] = GetParam();
+  const auto w = make_workload(150, static_cast<std::size_t>(dims), 400 + k);
+  const overlay::OrthantSweepIndex index(w.points);
+  const auto selections = index.select_k(static_cast<std::size_t>(k));
+  const auto graph = index.graph_for_k(static_cast<std::size_t>(k));
+  for (auto policy : {PreferredPolicy::kMaxT, PreferredPolicy::kMinAboveOwnT,
+                      PreferredPolicy::kClosestAboveOwnT}) {
+    const auto fast =
+        build_stable_tree_from_selections(selections, w.points, w.departure_times, policy);
+    const auto reference = build_stable_tree(graph, w.departure_times, policy);
+    EXPECT_EQ(fast.parent, reference.parent) << to_string(policy);
+    EXPECT_EQ(fast.roots, reference.roots) << to_string(policy);
+    EXPECT_EQ(tree_diameter(fast), tree_diameter(reference)) << to_string(policy);
+    EXPECT_EQ(fast.max_degree(), reference.max_degree()) << to_string(policy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FromSelectionsAgreementTest,
+                         ::testing::Combine(::testing::Values(2, 4, 7, 10),
+                                            ::testing::Values(1, 4, 20)));
+
+TEST(StableTreeTest, PolicyNamesAreStable) {
+  EXPECT_EQ(to_string(PreferredPolicy::kMaxT), "max-T");
+  EXPECT_EQ(to_string(PreferredPolicy::kMinAboveOwnT), "min-above-own-T");
+  EXPECT_EQ(to_string(PreferredPolicy::kClosestAboveOwnT), "closest-above-own-T");
+}
+
+}  // namespace
+}  // namespace geomcast::stability

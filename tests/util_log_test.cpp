@@ -1,0 +1,72 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace geomcast::util {
+namespace {
+
+/// Redirects std::cerr for the duration of a test.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, MessagesBelowThresholdSuppressed) {
+  set_log_level(LogLevel::kWarn);
+  CerrCapture capture;
+  log_info() << "should not appear";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, MessagesAtThresholdEmitted) {
+  set_log_level(LogLevel::kWarn);
+  CerrCapture capture;
+  log_warn() << "watch out: " << 42;
+  EXPECT_NE(capture.text().find("WARN"), std::string::npos);
+  EXPECT_NE(capture.text().find("watch out: 42"), std::string::npos);
+}
+
+TEST_F(LogTest, ErrorAlwaysAboveWarn) {
+  set_log_level(LogLevel::kWarn);
+  CerrCapture capture;
+  log_error() << "boom";
+  EXPECT_NE(capture.text().find("ERROR"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  CerrCapture capture;
+  log_error() << "even errors";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, DebugVisibleWhenEnabled) {
+  set_log_level(LogLevel::kDebug);
+  CerrCapture capture;
+  log_debug() << "details";
+  EXPECT_NE(capture.text().find("DEBUG"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace geomcast::util

@@ -1,0 +1,177 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace geomcast::util {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng());
+  rng.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng(), first[i]);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-5.0, 17.5);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 17.5);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.1);
+}
+
+TEST(RngTest, NextBelowZeroAndOneBound) {
+  Rng rng(6);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, NextBelowStaysBelowBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(12);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(14);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(15);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[i] = i;
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // probability of identity is 1/100!
+}
+
+TEST(RngTest, DeriveGivesIndependentStreams) {
+  Rng base(16);
+  Rng s1 = base.derive(1);
+  Rng s2 = base.derive(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (s1() == s2()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, DeriveIsDeterministic) {
+  Rng base(17);
+  Rng s1 = base.derive(9);
+  Rng s2 = base.derive(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s1(), s2());
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 public-domain implementation.
+  std::uint64_t state = 0;
+  const auto v1 = split_mix64(state);
+  const auto v2 = split_mix64(state);
+  EXPECT_NE(v1, v2);
+  EXPECT_EQ(state, 2 * 0x9e3779b97f4a7c15ULL);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace geomcast::util

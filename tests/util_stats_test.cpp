@@ -1,0 +1,170 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geomcast::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.add(7.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.min(), 7.5);
+  EXPECT_EQ(stats.max(), 7.5);
+  EXPECT_EQ(stats.mean(), 7.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats stats;
+  for (double v : {-3.0, -1.0, 1.0, 3.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.min(), -3.0);
+  EXPECT_EQ(stats.max(), 3.0);
+}
+
+TEST(RunningStatsTest, SumMatchesMeanTimesCount) {
+  RunningStats stats;
+  for (int i = 1; i <= 100; ++i) stats.add(static_cast<double>(i));
+  EXPECT_NEAR(stats.sum(), 5050.0, 1e-9);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    all.add(v);
+    left.add(v);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double v = std::sin(i) * 10.0;
+    all.add(v);
+    right.add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStatsTest, ResetClearsState) {
+  RunningStats stats;
+  stats.add(5.0);
+  stats.reset();
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.mean(), 0.0);
+}
+
+TEST(DistributionTest, EmptyDefaults) {
+  Distribution dist;
+  EXPECT_TRUE(dist.empty());
+  EXPECT_EQ(dist.quantile(0.5), 0.0);
+  EXPECT_EQ(dist.min(), 0.0);
+  EXPECT_EQ(dist.max(), 0.0);
+}
+
+TEST(DistributionTest, MedianOfOddCount) {
+  Distribution dist;
+  for (double v : {5.0, 1.0, 3.0}) dist.add(v);
+  EXPECT_DOUBLE_EQ(dist.median(), 3.0);
+}
+
+TEST(DistributionTest, MedianInterpolatesEvenCount) {
+  Distribution dist;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) dist.add(v);
+  EXPECT_DOUBLE_EQ(dist.median(), 2.5);
+}
+
+TEST(DistributionTest, QuantileEndpoints) {
+  Distribution dist;
+  for (int i = 0; i <= 100; ++i) dist.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(dist.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.9), 90.0);
+}
+
+TEST(DistributionTest, QuantileClampsOutOfRange) {
+  Distribution dist;
+  dist.add(1.0);
+  dist.add(2.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(2.0), 2.0);
+}
+
+TEST(DistributionTest, AddAfterQuantileStaysCorrect) {
+  Distribution dist;
+  dist.add(10.0);
+  EXPECT_DOUBLE_EQ(dist.median(), 10.0);
+  dist.add(20.0);
+  dist.add(0.0);
+  EXPECT_DOUBLE_EQ(dist.median(), 10.0);
+  EXPECT_DOUBLE_EQ(dist.max(), 20.0);
+}
+
+TEST(DistributionTest, MeanMatchesArithmetic) {
+  Distribution dist;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) dist.add(v);
+  EXPECT_DOUBLE_EQ(dist.mean(), 3.0);
+}
+
+TEST(FormatNumberTest, TrimsTrailingZeros) {
+  EXPECT_EQ(format_number(3.5), "3.5");
+  EXPECT_EQ(format_number(12.0), "12");
+  EXPECT_EQ(format_number(0.25), "0.25");
+  EXPECT_EQ(format_number(1.230), "1.23");
+}
+
+TEST(FormatNumberTest, RespectsMaxDecimals) {
+  EXPECT_EQ(format_number(3.14159, 2), "3.14");
+  EXPECT_EQ(format_number(3.14159, 4), "3.1416");
+}
+
+TEST(FormatNumberTest, NegativeZeroNormalized) {
+  EXPECT_EQ(format_number(-0.0001, 2), "0");
+}
+
+TEST(FormatNumberTest, NegativeValues) {
+  EXPECT_EQ(format_number(-2.5), "-2.5");
+  EXPECT_EQ(format_number(-10.0), "-10");
+}
+
+}  // namespace
+}  // namespace geomcast::util

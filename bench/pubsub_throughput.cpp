@@ -1,0 +1,186 @@
+// Pub/sub scaling bench: N groups × M subscribers × churn on one overlay.
+//
+// Exercises the whole groups/ pipeline — rendezvous routing, lazy pruned
+// tree construction, cache reuse across publishes, incremental
+// graft/repair under departures — and reports the numbers the scaling
+// trajectory cares about: publishes/sec (wall clock), delivery ratio,
+// per-publish payload cost versus full-overlay dissemination (N-1
+// messages), and tree build/repair message overhead.
+//
+// Acceptance gates (ISSUE 1): with >= 32 groups and >= 1000 peers under
+// churn at zero loss, delivery ratio >= 0.99 and pruned per-publish
+// payload strictly below full-overlay dissemination.
+//
+// Flags: --peers=N --dims=D --groups=G --subscribers=M --publishes=P
+//        --departures=C --loss=p --seed=S --csv --quick
+#include <chrono>
+#include <iostream>
+
+#include "geometry/random_points.hpp"
+#include "groups/pubsub.hpp"
+#include "overlay/empty_rect.hpp"
+#include "overlay/equilibrium.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace geomcast;
+  try {
+    const util::Flags flags(argc, argv);
+    auto peers = static_cast<std::size_t>(flags.get_int("peers", 1000));
+    const auto dims = static_cast<std::size_t>(flags.get_int("dims", 3));
+    auto group_count = static_cast<std::size_t>(flags.get_int("groups", 32));
+    const auto subscribers = static_cast<std::size_t>(flags.get_int("subscribers", 32));
+    const auto publishes = static_cast<std::size_t>(flags.get_int("publishes", 8));
+    auto departures = static_cast<std::size_t>(flags.get_int("departures", 24));
+    const double loss = flags.get_double("loss", 0.0);
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    const bool csv = flags.get_bool("csv", false);
+    if (flags.get_bool("quick", false)) {
+      peers = 200;
+      group_count = 8;
+      departures = 6;
+    }
+
+    util::Rng rng(seed);
+    const auto points = geometry::random_points(rng, peers, dims, 100.0);
+    const auto t_overlay = std::chrono::steady_clock::now();
+    const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+    const double overlay_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_overlay).count();
+
+    groups::PubSubConfig config;
+    config.seed = seed;
+    config.loss.drop_probability = loss;
+    groups::PubSubSystem system(graph, config);
+
+    // Roots are excluded from membership and churn so the bench measures
+    // steady-state group service, not rendezvous migration (which has its
+    // own counter).
+    std::vector<bool> is_root(peers, false);
+    std::vector<overlay::PeerId> roots(group_count);
+    for (std::size_t g = 0; g < group_count; ++g) {
+      roots[g] = system.manager().root_of(g);
+      is_root[roots[g]] = true;
+    }
+    std::size_t non_roots = 0;
+    for (std::size_t p = 0; p < peers; ++p)
+      if (!is_root[p]) ++non_roots;
+    if (subscribers == 0)
+      throw std::invalid_argument("--subscribers must be >= 1");
+    if (subscribers > non_roots)
+      throw std::invalid_argument(
+          "not enough non-root peers for --subscribers=" + std::to_string(subscribers) +
+          " (have " + std::to_string(non_roots) + "); raise --peers or lower --groups");
+    departures = std::min(departures, non_roots);
+
+    // Membership: M distinct non-root subscribers per group, waves in (0, 1).
+    std::vector<std::vector<overlay::PeerId>> members(group_count);
+    for (std::size_t g = 0; g < group_count; ++g) {
+      std::vector<bool> chosen(peers, false);
+      while (members[g].size() < subscribers) {
+        const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
+        if (chosen[p] || is_root[p]) continue;
+        chosen[p] = true;
+        members[g].push_back(p);
+        system.subscribe_at(rng.uniform(0.0, 1.0), p, g);
+      }
+    }
+
+    // Warm publish per group at t=2 (pays the lazy builds), then churn
+    // interleaved with publish rounds over t in [3, 9). Publishers that
+    // depart before their slot are skipped, so total.publishes reports
+    // what actually ran.
+    for (std::size_t g = 0; g < group_count; ++g) {
+      system.publish_at(2.0, members[g][0], g);
+      for (std::size_t i = 1; i < publishes; ++i) {
+        const auto publisher = members[g][rng.next_below(subscribers)];
+        system.publish_at(rng.uniform(3.0, 9.0), publisher, g);
+      }
+    }
+    std::size_t scheduled_departures = 0;
+    {
+      std::vector<bool> doomed(peers, false);
+      while (scheduled_departures < departures) {
+        const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
+        if (doomed[p] || is_root[p]) continue;
+        doomed[p] = true;
+        system.depart_at(rng.uniform(3.0, 9.0), p);
+        ++scheduled_departures;
+      }
+    }
+
+    const auto t_run = std::chrono::steady_clock::now();
+    const std::size_t events = system.run();
+    const double run_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_run).count();
+
+    const auto total = system.total_stats();
+    const auto& net = system.simulator().stats();
+    const double payload_per_publish =
+        total.publishes ? static_cast<double>(total.payload_messages) /
+                              static_cast<double>(total.publishes)
+                        : 0.0;
+    const double full_dissemination = static_cast<double>(peers - 1);
+    const double publishes_per_sec =
+        run_secs > 0.0 ? static_cast<double>(total.publishes) / run_secs : 0.0;
+
+    util::Table table({"metric", "value"});
+    auto row = [&table](const std::string& name, double value, int decimals = 3) {
+      table.begin_row().add_cell(name).add_number(value, decimals);
+    };
+    row("peers", static_cast<double>(peers), 0);
+    row("groups", static_cast<double>(group_count), 0);
+    row("subscribers_per_group", static_cast<double>(subscribers), 0);
+    row("departures", static_cast<double>(scheduled_departures), 0);
+    row("loss", loss);
+    row("overlay_build_secs", overlay_secs);
+    row("sim_events", static_cast<double>(events), 0);
+    row("run_secs", run_secs);
+    row("publishes", static_cast<double>(total.publishes), 0);
+    row("publishes_per_sec", publishes_per_sec, 1);
+    row("delivery_ratio", total.delivery_ratio(), 5);
+    row("deliveries", static_cast<double>(total.deliveries), 0);
+    row("expected_deliveries", static_cast<double>(total.expected_deliveries), 0);
+    row("duplicates", static_cast<double>(total.duplicate_deliveries), 0);
+    row("payload_msgs_per_publish", payload_per_publish, 2);
+    row("full_dissemination_msgs", full_dissemination, 0);
+    row("control_msgs", static_cast<double>(total.control_messages), 0);
+    row("stranded_msgs", static_cast<double>(total.stranded_messages), 0);
+    row("tree_builds", static_cast<double>(total.tree_builds), 0);
+    row("build_msgs", static_cast<double>(total.build_messages), 0);
+    row("cache_hits", static_cast<double>(total.cache_hits), 0);
+    row("grafts", static_cast<double>(total.grafts), 0);
+    row("repairs", static_cast<double>(total.repairs), 0);
+    row("repair_msgs", static_cast<double>(total.repair_messages), 0);
+    row("repair_failures", static_cast<double>(total.repair_failures), 0);
+    row("root_migrations", static_cast<double>(total.root_migrations), 0);
+    row("stranded_subscribers", static_cast<double>(total.stranded_subscribers), 0);
+    row("maintenance_msgs_per_publish", total.maintenance_per_publish(), 2);
+    row("network_dropped", static_cast<double>(net.dropped), 0);
+
+    const bool ratio_ok = loss > 0.0 || total.delivery_ratio() >= 0.99;
+    const bool pruned_ok = payload_per_publish < full_dissemination;
+    if (csv) {
+      table.print_csv(std::cout);
+      if (!ratio_ok || !pruned_ok)  // keep stdout machine-readable
+        std::cerr << "pubsub_throughput: acceptance gate failed (ratio_ok="
+                  << ratio_ok << ", pruned_ok=" << pruned_ok << ")\n";
+    } else {
+      std::cout << "=== pub/sub throughput: " << group_count << " groups x "
+                << subscribers << " subscribers on " << peers << " peers (D=" << dims
+                << "), " << scheduled_departures << " departures, loss=" << loss
+                << ", seed=" << seed << " ===\n\n";
+      table.print(std::cout);
+      std::cout << "\nacceptance: delivery_ratio >= 0.99 at zero loss: "
+                << (ratio_ok ? "PASS" : "FAIL")
+                << "\nacceptance: pruned tree beats full dissemination per publish: "
+                << (pruned_ok ? "PASS" : "FAIL") << "\n";
+    }
+    return ratio_ok && pruned_ok ? 0 : 2;
+  } catch (const std::exception& error) {
+    std::cerr << "pubsub_throughput: " << error.what() << '\n';
+    return 1;
+  }
+}

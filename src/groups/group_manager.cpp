@@ -1,0 +1,252 @@
+#include "groups/group_manager.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "geometry/distance.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::groups {
+
+GroupManager::GroupManager(const overlay::OverlayGraph& graph, GroupConfig config)
+    : graph_(graph), config_(config), alive_(graph.size(), true) {
+  if (graph.size() == 0)
+    throw std::invalid_argument("GroupManager: empty overlay");
+  // The peer set is immutable for this manager's lifetime; cache its
+  // bounding box for rendezvous hashing.
+  const std::size_t dims = graph.dims();
+  bounds_lo_.assign(dims, std::numeric_limits<double>::infinity());
+  bounds_hi_.assign(dims, -std::numeric_limits<double>::infinity());
+  for (const geometry::Point& p : graph.points())
+    for (std::size_t d = 0; d < dims; ++d) {
+      bounds_lo_[d] = std::min(bounds_lo_[d], p[d]);
+      bounds_hi_[d] = std::max(bounds_hi_[d], p[d]);
+    }
+}
+
+PeerId GroupManager::rendezvous_root(GroupId group) const {
+  // Hash the group id to a point inside the peers' bounding box, then pick
+  // the nearest alive peer — any peer can recompute this locally from the
+  // group id, so the rendezvous needs no directory.
+  const std::size_t dims = graph_.dims();
+  std::uint64_t sm = config_.rendezvous_seed ^ (group * 0x9e3779b97f4a7c15ULL);
+  geometry::Point target(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double frac =
+        static_cast<double>(util::split_mix64(sm) >> 11) * 0x1.0p-53;
+    target[d] = bounds_lo_[d] + (bounds_hi_[d] - bounds_lo_[d]) * frac;
+  }
+  PeerId best = kInvalidPeer;
+  double best_dist = 0.0;
+  for (PeerId p = 0; p < graph_.size(); ++p) {
+    if (!alive_[p]) continue;
+    const double dist = geometry::l1_distance(graph_.point(p), target);
+    if (best == kInvalidPeer || dist < best_dist) {
+      best = p;
+      best_dist = dist;
+    }
+  }
+  if (best == kInvalidPeer)
+    throw std::runtime_error("GroupManager: no alive peer can host the group");
+  return best;
+}
+
+GroupManager::GroupState& GroupManager::state_of(GroupId group) {
+  auto [it, inserted] = groups_.try_emplace(group);
+  GroupState& gs = it->second;
+  if (inserted) {
+    gs.subscribers.assign(graph_.size(), false);
+    gs.root = rendezvous_root(group);
+  }
+  return gs;
+}
+
+PeerId GroupManager::root_of(GroupId group) { return state_of(group).root; }
+
+void GroupManager::subscribe(GroupId group, PeerId peer) {
+  if (peer >= graph_.size())
+    throw std::invalid_argument("GroupManager::subscribe: peer out of range");
+  if (!alive_[peer])
+    throw std::invalid_argument("GroupManager::subscribe: peer has departed");
+  GroupState& gs = state_of(group);
+  if (gs.subscribers[peer]) return;  // duplicate subscribe is a no-op
+  gs.subscribers[peer] = true;
+  ++gs.count;
+  ++gs.stats.subscribes;
+  if (gs.cached && !gs.dirty && !gs.cached->zones_stale) {
+    const auto graft = graft_subscriber(graph_, writable_tree(gs), peer, config_.tree, alive_);
+    if (graft.attached) {
+      // Grafts are exact (the tree equals a fresh build), so they do not
+      // count toward drift.
+      ++gs.stats.grafts;
+      gs.stats.repair_messages += graft.messages;
+    } else {
+      gs.dirty = true;  // stranded graft: rebuild lazily on next publish
+    }
+  } else {
+    gs.dirty = true;
+  }
+}
+
+void GroupManager::unsubscribe(GroupId group, PeerId peer) {
+  if (peer >= graph_.size())
+    throw std::invalid_argument("GroupManager::unsubscribe: peer out of range");
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;  // unknown group: no-op, no state created
+  GroupState& gs = it->second;
+  if (!gs.subscribers[peer]) return;
+  gs.subscribers[peer] = false;
+  --gs.count;
+  ++gs.stats.unsubscribes;
+  if (gs.cached && !gs.dirty && gs.cached->is_subscriber[peer]) {
+    // Only a spanned subscriber's departure edits the tree; a stranded one
+    // is membership-only and must not count toward drift.
+    const bool touched = gs.cached->tree.reached(peer);
+    const std::size_t removed = prune_subscriber(writable_tree(gs), peer);
+    if (touched) {  // prunes are exact too: no drift, just bookkeeping
+      ++gs.stats.prunes;
+      gs.stats.repair_messages += removed;
+    }
+  }
+}
+
+bool GroupManager::is_subscribed(GroupId group, PeerId peer) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() && peer < it->second.subscribers.size() &&
+         it->second.subscribers[peer];
+}
+
+std::size_t GroupManager::subscriber_count(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.count;
+}
+
+GroupTree& GroupManager::writable_tree(GroupState& gs) {
+  if (gs.cached.use_count() > 1)
+    gs.cached = std::make_shared<GroupTree>(*gs.cached);
+  return *gs.cached;
+}
+
+void GroupManager::refresh_tree(GroupState& gs) {
+  const bool drifted =
+      gs.repairs_since_build >
+      config_.rebuild_threshold * static_cast<double>(std::max<std::size_t>(gs.count, 1));
+  if (gs.cached && !gs.dirty && !drifted) {
+    ++gs.stats.cache_hits;
+    return;
+  }
+  gs.cached = std::make_shared<GroupTree>(
+      build_group_tree(graph_, gs.root, gs.subscribers, config_.tree, alive_));
+  gs.dirty = false;
+  gs.repairs_since_build = 0;
+  ++gs.stats.tree_builds;
+  gs.stats.build_messages += gs.cached->build_messages;
+  gs.stats.stranded_subscribers =
+      gs.cached->subscriber_count - gs.cached->reached_subscribers;
+}
+
+const GroupTree* GroupManager::tree(GroupId group) {
+  GroupState& gs = state_of(group);
+  if (gs.count == 0) return nullptr;
+  refresh_tree(gs);
+  return gs.cached.get();
+}
+
+std::shared_ptr<const GroupTree> GroupManager::tree_snapshot(GroupId group) {
+  GroupState& gs = state_of(group);
+  if (gs.count == 0) return nullptr;
+  refresh_tree(gs);
+  return gs.cached;
+}
+
+GroupManager::PublishReceipt GroupManager::publish(GroupId group) {
+  GroupState& gs = state_of(group);
+  ++gs.stats.publishes;
+  PublishReceipt receipt;
+  if (gs.count == 0) return receipt;
+  refresh_tree(gs);
+  const GroupTree& gt = *gs.cached;
+  receipt.payload_messages = gt.tree.edge_count();
+  receipt.delivered = gt.reached_subscribers;
+  gs.stats.payload_messages += receipt.payload_messages;
+  gs.stats.expected_deliveries += receipt.delivered;
+  gs.stats.deliveries += receipt.delivered;  // synchronous path is lossless
+  return receipt;
+}
+
+void GroupManager::handle_departure(PeerId peer) {
+  if (peer >= graph_.size())
+    throw std::invalid_argument("GroupManager::handle_departure: peer out of range");
+  if (!alive_[peer]) return;
+  alive_[peer] = false;
+  for (auto& [group, gs] : groups_) {
+    if (gs.subscribers[peer]) {
+      gs.subscribers[peer] = false;
+      --gs.count;
+    }
+    if (gs.root == peer) {
+      // Rendezvous migrates to the next-nearest alive peer; the old root's
+      // tree is useless there.
+      gs.root = rendezvous_root(group);
+      gs.cached.reset();
+      gs.dirty = true;
+      ++gs.stats.root_migrations;
+      continue;
+    }
+    if (!gs.cached || gs.dirty) continue;
+    if (!gs.cached->tree.reached(peer)) {
+      const bool stranded_member = gs.cached->is_subscriber[peer];
+      // Not in the tree, but the departure still shrinks the candidate
+      // sets of any in-tree overlay neighbour — a replayed recursion (what
+      // a graft does) would pick different delegates there, so the zones
+      // can no longer be trusted for grafting.
+      bool neighbours_tree = false;
+      for (PeerId q : graph_.neighbors(peer))
+        if (gs.cached->tree.reached(q)) {
+          neighbours_tree = true;
+          break;
+        }
+      if (stranded_member || neighbours_tree) {
+        GroupTree& gt = writable_tree(gs);
+        if (stranded_member) {  // membership only; never spanned
+          gt.is_subscriber[peer] = false;
+          --gt.subscriber_count;
+        }
+        if (neighbours_tree) gt.zones_stale = true;
+      }
+      continue;
+    }
+    const auto repair = repair_group_tree(graph_, writable_tree(gs), peer, alive_);
+    ++gs.stats.repairs;
+    gs.stats.repair_messages += repair.messages;
+    if (repair.needs_rebuild) {
+      ++gs.stats.repair_failures;
+      gs.dirty = true;
+    } else {
+      ++gs.repairs_since_build;
+    }
+  }
+}
+
+GroupStats& GroupManager::stats(GroupId group) { return state_of(group).stats; }
+
+const GroupStats& GroupManager::stats(GroupId group) const {
+  static const GroupStats kEmpty{};
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? kEmpty : it->second.stats;
+}
+
+GroupStats GroupManager::total_stats() const {
+  GroupStats total;
+  for (const auto& [group, gs] : groups_) total += gs.stats;
+  return total;
+}
+
+std::vector<GroupId> GroupManager::known_groups() const {
+  std::vector<GroupId> ids;
+  ids.reserve(groups_.size());
+  for (const auto& [group, gs] : groups_) ids.push_back(group);
+  return ids;
+}
+
+}  // namespace geomcast::groups

@@ -1,0 +1,114 @@
+// Group membership and tree-cache management for the pub/sub subsystem.
+//
+// Conceptually this state lives at each group's rendezvous root (the peer
+// whose identifier is nearest the group id's hash point); the class
+// aggregates all roots' state behind one façade, the same way the
+// synchronous builders consult the global OverlayGraph while making only
+// local decisions. The message-driven pipeline (groups/pubsub.hpp) drives
+// it from real envelopes delivered to the roots.
+//
+// Tree caching: a group's tree is built lazily on first publish and shared
+// across publishes. Membership changes update the cached tree
+// incrementally (graft/prune); departures mend it in place via the
+// stability-layer repair rule. A full rebuild happens only when (a) repair
+// gives up or stale zones block a graft, (b) the accumulated incremental
+// changes exceed `rebuild_threshold` times the subscriber count, or (c)
+// the rendezvous root itself departs and the group migrates.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "groups/group_stats.hpp"
+#include "groups/group_tree.hpp"
+#include "overlay/graph.hpp"
+
+namespace geomcast::groups {
+
+struct GroupConfig {
+  /// Delegate-selection rule for group trees (deterministic policies only;
+  /// kRandom is rejected by the tree layer).
+  multicast::MulticastConfig tree;
+  /// Full rebuild once in-place repairs since the last build exceed this
+  /// fraction of the subscriber count. Grafts and prunes are exact (the
+  /// tree stays equal to a fresh build) and never count; only repairs
+  /// deviate and accumulate drift.
+  double rebuild_threshold = 0.5;
+  /// Stream tag for hashing group ids to rendezvous points.
+  std::uint64_t rendezvous_seed = 0x67656f6d63617374ULL;
+};
+
+class GroupManager {
+ public:
+  explicit GroupManager(const overlay::OverlayGraph& graph, GroupConfig config = {});
+
+  /// The group's rendezvous root: the alive peer nearest (L1) the group
+  /// id's hash point in the coordinate space. Cached; recomputed (and the
+  /// group's tree invalidated) when the incumbent departs.
+  [[nodiscard]] PeerId root_of(GroupId group);
+
+  void subscribe(GroupId group, PeerId peer);
+  void unsubscribe(GroupId group, PeerId peer);
+  [[nodiscard]] bool is_subscribed(GroupId group, PeerId peer) const;
+  [[nodiscard]] std::size_t subscriber_count(GroupId group) const;
+
+  /// The group's dissemination tree — built lazily, cached across
+  /// publishes, incrementally maintained. Returns nullptr for a group with
+  /// no subscribers (nothing to span).
+  [[nodiscard]] const GroupTree* tree(GroupId group);
+
+  /// Same resolution, returned as a shared snapshot for an in-flight
+  /// publish wave. Copy-on-write: membership/repair mutations clone the
+  /// tree only while snapshots are outstanding, so unchanged-tree
+  /// publishes all share one copy.
+  [[nodiscard]] std::shared_ptr<const GroupTree> tree_snapshot(GroupId group);
+
+  /// Synchronous (lossless) publish accounting: resolves the tree and
+  /// books one payload message per edge and one delivery per spanned
+  /// subscriber. The message-driven pipeline books these itself instead.
+  struct PublishReceipt {
+    std::uint64_t payload_messages = 0;
+    std::size_t delivered = 0;
+  };
+  PublishReceipt publish(GroupId group);
+
+  /// Marks `peer` departed everywhere: membership, cached trees (repaired
+  /// in place where possible), and rendezvous roots (migrated).
+  void handle_departure(PeerId peer);
+  [[nodiscard]] bool alive(PeerId peer) const { return alive_[peer]; }
+
+  /// Mutable access materializes state for a first-seen group (the
+  /// protocol layer writes counters through it); the const overload is a
+  /// pure lookup that leaves unknown groups unknown.
+  [[nodiscard]] GroupStats& stats(GroupId group);
+  [[nodiscard]] const GroupStats& stats(GroupId group) const;
+  [[nodiscard]] GroupStats total_stats() const;
+  [[nodiscard]] std::vector<GroupId> known_groups() const;
+
+ private:
+  struct GroupState {
+    std::vector<bool> subscribers;
+    std::size_t count = 0;
+    PeerId root = kInvalidPeer;
+    std::shared_ptr<GroupTree> cached;
+    bool dirty = true;  // cached tree (if any) no longer trusted
+    std::size_t repairs_since_build = 0;
+    GroupStats stats;
+  };
+
+  GroupState& state_of(GroupId group);
+  [[nodiscard]] PeerId rendezvous_root(GroupId group) const;
+  void refresh_tree(GroupState& gs);
+  /// COW gate: clones the cached tree iff publish-wave snapshots still
+  /// reference it, then returns it for mutation.
+  [[nodiscard]] GroupTree& writable_tree(GroupState& gs);
+
+  const overlay::OverlayGraph& graph_;
+  GroupConfig config_;
+  std::vector<bool> alive_;
+  std::vector<double> bounds_lo_, bounds_hi_;  // peer bounding box (immutable)
+  std::map<GroupId, GroupState> groups_;
+};
+
+}  // namespace geomcast::groups

@@ -1,0 +1,56 @@
+#include "groups/group_stats.hpp"
+
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace geomcast::groups {
+
+double GroupStats::delivery_ratio() const noexcept {
+  if (expected_deliveries == 0) return 1.0;
+  return static_cast<double>(deliveries) / static_cast<double>(expected_deliveries);
+}
+
+double GroupStats::maintenance_per_publish() const noexcept {
+  if (publishes == 0) return 0.0;
+  return static_cast<double>(build_messages + repair_messages) /
+         static_cast<double>(publishes);
+}
+
+GroupStats& GroupStats::operator+=(const GroupStats& other) noexcept {
+  subscribes += other.subscribes;
+  unsubscribes += other.unsubscribes;
+  publishes += other.publishes;
+  expected_deliveries += other.expected_deliveries;
+  deliveries += other.deliveries;
+  duplicate_deliveries += other.duplicate_deliveries;
+  payload_messages += other.payload_messages;
+  control_messages += other.control_messages;
+  stranded_messages += other.stranded_messages;
+  tree_builds += other.tree_builds;
+  build_messages += other.build_messages;
+  cache_hits += other.cache_hits;
+  grafts += other.grafts;
+  prunes += other.prunes;
+  repairs += other.repairs;
+  repair_messages += other.repair_messages;
+  repair_failures += other.repair_failures;
+  root_migrations += other.root_migrations;
+  stranded_subscribers += other.stranded_subscribers;
+  return *this;
+}
+
+std::string GroupStats::summary() const {
+  std::ostringstream out;
+  out << "publishes=" << publishes << " deliveries=" << deliveries << "/"
+      << expected_deliveries << " (ratio " << util::format_number(delivery_ratio(), 4)
+      << "), payload=" << payload_messages << " control=" << control_messages
+      << " builds=" << tree_builds << " (msgs " << build_messages << ") cache_hits="
+      << cache_hits << " grafts=" << grafts << " prunes=" << prunes << " repairs="
+      << repairs << " (msgs " << repair_messages << ", failures " << repair_failures
+      << ") root_migrations=" << root_migrations
+      << " stranded_subscribers=" << stranded_subscribers;
+  return out.str();
+}
+
+}  // namespace geomcast::groups

@@ -1,0 +1,69 @@
+// Per-group accounting for the pub/sub subsystem. Every counter is a plain
+// event count so per-group instances can be summed into a system aggregate;
+// the derived ratios (delivery, amortised tree cost) are what the
+// pubsub_throughput bench reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace geomcast::groups {
+
+/// Application-level group identifier (opaque; hashed to a rendezvous
+/// point in the coordinate space by the GroupManager).
+using GroupId = std::uint64_t;
+
+struct GroupStats {
+  // Membership events accepted at the group root.
+  std::uint64_t subscribes = 0;
+  std::uint64_t unsubscribes = 0;
+
+  // Publish pipeline.
+  std::uint64_t publishes = 0;
+  /// Sum over publishes of the subscriber count the tree spanned at
+  /// publish time — the denominator of delivery_ratio().
+  std::uint64_t expected_deliveries = 0;
+  std::uint64_t deliveries = 0;
+  /// Always 0 today: waves traverse immutable tree snapshots with unique
+  /// (group, seq), so duplicates cannot occur. Becomes meaningful with the
+  /// ROADMAP's retransmit layer.
+  std::uint64_t duplicate_deliveries = 0;
+  /// Per-hop payload messages down group trees (one per tree edge per
+  /// publish; relays included).
+  std::uint64_t payload_messages = 0;
+  /// Routed control hops (subscribe/unsubscribe/publish envelopes on their
+  /// way to the group root).
+  std::uint64_t control_messages = 0;
+  /// Control envelopes that greedy forwarding could not advance (stranded
+  /// or next hop departed).
+  std::uint64_t stranded_messages = 0;
+
+  // Tree cache behaviour.
+  std::uint64_t tree_builds = 0;     // full construction waves
+  std::uint64_t build_messages = 0;  // construction requests across builds
+  std::uint64_t cache_hits = 0;      // publishes served by an unchanged tree
+  std::uint64_t grafts = 0;          // subscribers spliced into a cached tree
+  std::uint64_t prunes = 0;          // subscribers cascaded out of a cached tree
+  std::uint64_t repairs = 0;         // departures mended in place
+  std::uint64_t repair_messages = 0; // graft/prune/reattach control traffic
+  std::uint64_t repair_failures = 0; // orphans no rule could reattach
+  std::uint64_t root_migrations = 0; // rendezvous root departed, successor picked
+  /// Gauge (last build): subscribers the construction could not span —
+  /// e.g. identifiers in degenerate position the open-zone recursion
+  /// cannot reach. Nonzero means delivery_ratio() is measured against a
+  /// smaller set than the membership.
+  std::uint64_t stranded_subscribers = 0;
+
+  /// Fraction of expected deliveries that arrived; 1 when nothing was
+  /// published yet.
+  [[nodiscard]] double delivery_ratio() const noexcept;
+  /// Tree maintenance messages (builds + grafts/prunes/repairs) per
+  /// publish; the "repair overhead" axis of the bench.
+  [[nodiscard]] double maintenance_per_publish() const noexcept;
+
+  GroupStats& operator+=(const GroupStats& other) noexcept;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace geomcast::groups

@@ -1,0 +1,277 @@
+#include "groups/group_tree.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "geometry/distance.hpp"
+#include "multicast/local_rule.hpp"
+#include "multicast/zone.hpp"
+#include "overlay/routing.hpp"
+#include "stability/churn.hpp"
+
+namespace geomcast::groups {
+
+namespace {
+
+bool is_alive(const std::vector<bool>& alive, PeerId p) {
+  return alive.empty() || alive[p];
+}
+
+/// Overlay neighbours of `p` that are up, as selection candidates.
+std::vector<overlay::Candidate> alive_neighbors(const overlay::OverlayGraph& graph,
+                                                PeerId p, const std::vector<bool>& alive) {
+  std::vector<overlay::Candidate> result;
+  for (PeerId q : graph.neighbors(p))
+    if (is_alive(alive, q)) result.push_back(overlay::Candidate{q, graph.point(q)});
+  return result;
+}
+
+/// Removes the relay-only leaf chain starting at `v` (stops at the root, a
+/// subscriber, or a branching point). Returns edges removed.
+std::size_t cascade_relays(GroupTree& gt, PeerId v) {
+  std::size_t removed = 0;
+  while (v != gt.tree.root() && !gt.is_subscriber[v] && gt.tree.reached(v) &&
+         gt.tree.children(v).empty()) {
+    const PeerId up = gt.tree.parent(v);
+    gt.tree.remove_leaf(v);
+    ++removed;
+    v = up;
+  }
+  return removed;
+}
+
+void check_deterministic(const multicast::MulticastConfig& config) {
+  if (config.policy == multicast::PickPolicy::kRandom)
+    throw std::invalid_argument(
+        "groups: PickPolicy::kRandom is not supported — incremental tree "
+        "maintenance requires deterministic delegate selection");
+}
+
+}  // namespace
+
+GroupTree build_group_tree(const overlay::OverlayGraph& graph, PeerId root,
+                           const std::vector<bool>& subscribers,
+                           const multicast::MulticastConfig& config,
+                           const std::vector<bool>& alive) {
+  const std::size_t n = graph.size();
+  if (root >= n) throw std::invalid_argument("build_group_tree: root out of range");
+  if (subscribers.size() != n)
+    throw std::invalid_argument("build_group_tree: subscriber mask size mismatch");
+  if (!alive.empty() && alive.size() != n)
+    throw std::invalid_argument("build_group_tree: alive mask size mismatch");
+  check_deterministic(config);
+
+  GroupTree gt;
+  gt.tree = multicast::MulticastTree(n, root);
+  gt.zones.assign(n, geometry::Rect(graph.dims()));
+  gt.is_subscriber = subscribers;
+  std::vector<PeerId> subscriber_ids;
+  for (PeerId p = 0; p < n; ++p)
+    if (subscribers[p]) {
+      if (!is_alive(alive, p))
+        throw std::invalid_argument("build_group_tree: subscriber is not alive");
+      ++gt.subscriber_count;
+      subscriber_ids.push_back(p);
+    }
+
+  // Each queue entry carries the subscribers strictly inside its zone;
+  // sibling slices are disjoint, so every subscriber follows exactly one
+  // root-to-slice path and the total pruning work is O(S x depth), not
+  // O(tree_nodes x assignments x S).
+  struct Pending {
+    PeerId peer;
+    geometry::Rect zone;
+    std::vector<PeerId> subs;
+  };
+  gt.zones[root] = multicast::initiator_zone(graph.dims());
+  std::deque<Pending> queue;
+  queue.push_back(Pending{root, gt.zones[root], subscriber_ids});
+
+  while (!queue.empty()) {
+    const Pending current = std::move(queue.front());
+    queue.pop_front();
+
+    const auto neighbors = alive_neighbors(graph, current.peer, alive);
+    const auto assignments = multicast::partition_step(
+        graph.point(current.peer), current.zone, neighbors, config.policy, config.metric);
+    std::vector<std::vector<PeerId>> split(assignments.size());
+    for (PeerId s : current.subs)
+      for (std::size_t i = 0; i < assignments.size(); ++i)
+        if (assignments[i].zone.contains_interior(graph.point(s))) {
+          split[i].push_back(s);
+          break;
+        }
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+      if (split[i].empty()) continue;  // pruned: slice holds no subscriber
+      const multicast::ZoneAssignment& a = assignments[i];
+      ++gt.build_messages;
+      gt.tree.add_edge(current.peer, a.child);
+      gt.zones[a.child] = a.zone;
+      queue.push_back(Pending{a.child, a.zone, std::move(split[i])});
+    }
+  }
+  for (PeerId s : subscriber_ids)
+    if (gt.tree.reached(s)) ++gt.reached_subscribers;
+  return gt;
+}
+
+GraftResult graft_subscriber(const overlay::OverlayGraph& graph, GroupTree& gt, PeerId s,
+                             const multicast::MulticastConfig& config,
+                             const std::vector<bool>& alive) {
+  if (s >= graph.size()) throw std::invalid_argument("graft_subscriber: peer out of range");
+  if (gt.zones_stale)
+    throw std::logic_error("graft_subscriber: zones are stale after a repair; rebuild");
+  check_deterministic(config);
+
+  GraftResult result;
+  if (gt.tree.reached(s)) {  // already a relay (or re-subscribing)
+    if (!gt.is_subscriber[s]) {
+      gt.is_subscriber[s] = true;
+      ++gt.subscriber_count;
+      ++gt.reached_subscribers;
+    }
+    result.attached = true;
+    return result;
+  }
+
+  // Resume the recursion along the slices containing s. Every iteration
+  // either follows an existing edge or creates the next missing one, so
+  // the walk is bounded by the tree height plus the new path's length.
+  const geometry::Point& target = graph.point(s);
+  PeerId current = gt.tree.root();
+  for (std::size_t guard = 0; guard <= graph.size(); ++guard) {
+    const auto neighbors = alive_neighbors(graph, current, alive);
+    const auto assignments = multicast::partition_step(
+        graph.point(current), gt.zones[current], neighbors, config.policy, config.metric);
+    const multicast::ZoneAssignment* next = nullptr;
+    for (const multicast::ZoneAssignment& a : assignments)
+      if (a.zone.contains_interior(target)) {
+        next = &a;
+        break;
+      }
+    if (next == nullptr) return result;  // stranded: caller falls back to a rebuild
+    ++result.messages;
+    if (!gt.tree.reached(next->child)) {
+      gt.tree.add_edge(current, next->child);
+      gt.zones[next->child] = next->zone;
+      // A stranded subscriber recruited as a relay is spanned again.
+      if (gt.is_subscriber[next->child]) ++gt.reached_subscribers;
+    }
+    current = next->child;
+    if (current == s) {
+      if (!gt.is_subscriber[s]) {
+        gt.is_subscriber[s] = true;
+        ++gt.subscriber_count;
+        ++gt.reached_subscribers;
+      }
+      result.attached = true;
+      return result;
+    }
+  }
+  return result;  // guard tripped (inconsistent cache); caller rebuilds
+}
+
+std::size_t prune_subscriber(GroupTree& gt, PeerId s) {
+  if (s >= gt.is_subscriber.size())
+    throw std::invalid_argument("prune_subscriber: peer out of range");
+  if (!gt.is_subscriber[s]) return 0;
+  gt.is_subscriber[s] = false;
+  --gt.subscriber_count;
+  if (!gt.tree.reached(s)) return 0;
+  --gt.reached_subscribers;
+  return cascade_relays(gt, s);
+}
+
+GroupRepairResult repair_group_tree(const overlay::OverlayGraph& graph, GroupTree& gt,
+                                    PeerId departed, const std::vector<bool>& alive) {
+  if (departed >= graph.size())
+    throw std::invalid_argument("repair_group_tree: peer out of range");
+  if (alive.size() != graph.size())
+    throw std::invalid_argument("repair_group_tree: alive mask size mismatch");
+  if (departed == gt.tree.root())
+    throw std::invalid_argument("repair_group_tree: migrate the root before repairing");
+
+  GroupRepairResult result;
+  if (gt.is_subscriber[departed]) {
+    gt.is_subscriber[departed] = false;
+    --gt.subscriber_count;
+    if (gt.tree.reached(departed)) --gt.reached_subscribers;
+  }
+  if (!gt.tree.reached(departed)) return result;
+
+  // Orphans are processed one at a time so the adopt/splice predicates see
+  // the tree as already-mended orphans left it (no stale-cycle surprises).
+  const std::vector<PeerId> orphans = gt.tree.children(departed);
+  for (PeerId orphan : orphans) {
+    // First the stability-layer rule: adopt under an alive in-tree overlay
+    // neighbour outside the orphan's own subtree, nearest first.
+    const auto repaired = stability::repair_orphans(
+        graph, {orphan},
+        [&](PeerId o, PeerId q) {
+          return alive[q] && q != departed && gt.tree.reached(q) &&
+                 !gt.tree.in_subtree(o, q);
+        },
+        [&](PeerId q, PeerId incumbent) {
+          return geometry::l1_distance(graph.point(q), graph.point(orphan)) <
+                 geometry::l1_distance(graph.point(incumbent), graph.point(orphan));
+        });
+    if (!repaired.reattached.empty()) {
+      gt.tree.reattach(orphan, repaired.reattached.front().second);
+      ++result.reattached;
+      ++result.messages;
+      continue;
+    }
+
+    // Fallback: splice onto the greedy route toward the tree root. Every
+    // hop is an overlay edge; the first in-tree peer outside the orphan's
+    // subtree adopts the chain.
+    std::vector<PeerId> chain;  // non-tree relays between orphan and adopter
+    PeerId cursor = orphan;
+    PeerId adopter = kInvalidPeer;
+    const auto usable = [&](PeerId q) { return alive[q] && q != departed; };
+    for (std::size_t guard = 0; guard < graph.size(); ++guard) {
+      const PeerId next = overlay::greedy_next_hop(graph, cursor, gt.tree.root(), usable);
+      if (next == kInvalidPeer) break;  // stranded
+      if (gt.tree.reached(next)) {
+        if (gt.tree.in_subtree(orphan, next)) break;  // cannot thread through itself
+        adopter = next;
+        break;
+      }
+      chain.push_back(next);
+      cursor = next;
+    }
+    if (adopter == kInvalidPeer) {
+      result.needs_rebuild = true;
+      continue;
+    }
+    // Attach the chain from the adopter downward, then hand it the orphan.
+    PeerId parent = adopter;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      gt.tree.add_edge(parent, *it);
+      // A stranded subscriber recruited as a splice relay is spanned again.
+      if (gt.is_subscriber[*it]) ++gt.reached_subscribers;
+      ++result.spliced_relays;
+      ++result.messages;
+      parent = *it;
+    }
+    gt.tree.reattach(orphan, parent);
+    ++result.reattached;
+    ++result.messages;
+  }
+
+  if (!result.needs_rebuild) {
+    const PeerId old_parent = gt.tree.parent(departed);
+    gt.tree.remove_leaf(departed);
+    // The departed peer may have shielded a relay-only chain; its removal
+    // is repair control traffic like the prune path's cascades.
+    result.messages += cascade_relays(gt, old_parent);
+  }
+  // Even a pure leaf removal stales the zones: the departed peer leaves
+  // the candidate sets of its in-tree overlay neighbours, so replaying the
+  // recursion (what a graft does) would pick different delegates there.
+  gt.zones_stale = true;
+  return result;
+}
+
+}  // namespace geomcast::groups

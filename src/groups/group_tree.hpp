@@ -1,0 +1,109 @@
+// Per-group embedded multicast trees: the paper's §2 space-partitioning
+// recursion restricted to a subscriber set.
+//
+// A group's tree spans its subscribers plus the relay peers the recursion
+// must route through (same delivery/relay split as range_multicast, with a
+// point set instead of a target rectangle as the pruning oracle). Pruning
+// happens after delegate selection, so every surviving child zone is
+// identical to the whole-space run and the §2 correctness argument — every
+// subscriber in Z(P) lies in exactly one child slice — carries over.
+//
+// Because builds are deterministic (kRandom is rejected), membership
+// changes can be applied incrementally and still land exactly on the tree
+// a fresh build would produce:
+//  * graft: descend from the root along the slices containing the new
+//    subscriber, adding the missing suffix of the path — a fresh build
+//    with the enlarged set runs the same partition steps, so old edges are
+//    untouched and the grafted path is exactly the fresh build's new path;
+//  * prune: flip the delivery bit and cascade relay-only leaves away —
+//    precisely the branches whose slices lose their last subscriber.
+// Churn repair (departure of an in-tree peer) reattaches orphan subtrees
+// via stability::repair_orphans and therefore CAN deviate from a fresh
+// build; it marks the zones stale, which blocks further zone-guided grafts
+// until the GroupManager rebuilds.
+//
+// General-position caveat (inherited from the paper's open-zone recursion):
+// a subscriber whose identifier ties a delegating peer's coordinate lies on
+// a zone boundary and cannot be reached by any slice. Such subscribers stay
+// unreached (reached_subscribers < subscriber_count); GroupStats surfaces
+// them as stranded_subscribers rather than hiding them in the delivery
+// ratio. Random real-valued identifiers hit this with probability zero.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "multicast/space_partition.hpp"
+#include "overlay/graph.hpp"
+
+namespace geomcast::groups {
+
+using overlay::PeerId;
+using overlay::kInvalidPeer;
+
+struct GroupTree {
+  multicast::MulticastTree tree;      // spans subscribers and relays
+  std::vector<geometry::Rect> zones;  // responsibility zone per reached peer
+  std::vector<bool> is_subscriber;    // delivery flag per peer
+  std::size_t subscriber_count = 0;   // peers with the delivery flag set
+  /// Subscribers the tree actually spans (== subscriber_count unless a
+  /// build stranded); maintained incrementally by graft/prune/repair.
+  std::size_t reached_subscribers = 0;
+  std::uint64_t build_messages = 0;   // construction requests of the build wave
+  /// Set by repair (and by the GroupManager when a departure changes some
+  /// in-tree peer's candidate set): the recursion that produced `zones`
+  /// can no longer be replayed, so zone-guided grafts must rebuild.
+  bool zones_stale = false;
+
+  [[nodiscard]] std::size_t relay_count() const noexcept {
+    return tree.reached_count() - reached_subscribers;
+  }
+};
+
+/// Builds the pruned construction for `subscribers` (indexed by peer id)
+/// rooted at `root`. Peers with `alive[p] == false` are skipped as
+/// delegates (churn); an empty `alive` means everyone is up. Throws on
+/// PickPolicy::kRandom — incremental maintenance requires the build to be
+/// a deterministic function of (graph, root, subscribers).
+[[nodiscard]] GroupTree build_group_tree(const overlay::OverlayGraph& graph, PeerId root,
+                                         const std::vector<bool>& subscribers,
+                                         const multicast::MulticastConfig& config = {},
+                                         const std::vector<bool>& alive = {});
+
+struct GraftResult {
+  bool attached = false;
+  std::size_t messages = 0;  // graft-request hops walked/created
+};
+
+/// Splices subscriber `s` into a cached tree by resuming the recursion
+/// along the slices containing s's point. Exact: the result equals a fresh
+/// build with s added. Throws std::logic_error if `gt.zones_stale`.
+[[nodiscard]] GraftResult graft_subscriber(const overlay::OverlayGraph& graph, GroupTree& gt,
+                                           PeerId s,
+                                           const multicast::MulticastConfig& config = {},
+                                           const std::vector<bool>& alive = {});
+
+/// Removes subscriber `s`: clears the delivery flag and cascades away the
+/// relay-only leaf chain that served no one else. Returns edges removed.
+std::size_t prune_subscriber(GroupTree& gt, PeerId s);
+
+struct GroupRepairResult {
+  /// True when in-place repair could not mend the tree (orphan with no
+  /// usable adopter or splice path); the caller should rebuild.
+  bool needs_rebuild = false;
+  std::size_t reattached = 0;      // orphan subtrees mended in place
+  std::size_t spliced_relays = 0;  // relays recruited by root-path splices
+  std::size_t messages = 0;        // reattach/splice control traffic
+};
+
+/// Mends the tree after `departed` left. Orphan subtrees first try the
+/// stability-layer rule (adopt under an alive in-tree overlay neighbour
+/// outside their own subtree); failing that they splice onto the greedy
+/// route toward the tree root, recruiting relays along the way. `departed`
+/// must not be the tree root (the GroupManager migrates the rendezvous
+/// first). Any structural change marks the zones stale.
+[[nodiscard]] GroupRepairResult repair_group_tree(const overlay::OverlayGraph& graph,
+                                                  GroupTree& gt, PeerId departed,
+                                                  const std::vector<bool>& alive);
+
+}  // namespace geomcast::groups

@@ -1,0 +1,161 @@
+#include "groups/pubsub.hpp"
+
+#include <any>
+#include <stdexcept>
+
+#include "overlay/routing.hpp"
+
+namespace geomcast::groups {
+
+/// One simulated peer: dispatches the pub/sub kinds to the system's
+/// handlers. All protocol state lives in the system/manager (the per-root
+/// state each envelope addresses), keeping the node a thin actor shell
+/// like multicast/protocol.cpp's MulticastNode.
+class PubSubSystem::PubSubNode final : public sim::Node {
+ public:
+  PubSubNode(PeerId id, PubSubSystem& system) : sim::Node(id), system_(system) {}
+
+  void on_message(sim::Simulator& sim, const sim::Envelope& envelope) override {
+    (void)sim;
+    // The send-time drop rule cannot catch a departure that happens while
+    // the envelope is in flight; a dead peer must not act on anything.
+    if (!system_.manager_->alive(id())) return;
+    switch (envelope.kind) {
+      case kSubscribeKind:
+      case kUnsubscribeKind:
+      case kPublishKind: {
+        const auto& request = std::any_cast<const GroupRequest&>(envelope.payload);
+        if (id() == request.target)
+          system_.handle_at_root(id(), envelope.kind, request);
+        else
+          system_.forward_control(id(), envelope.kind, request);
+        return;
+      }
+      case kDeliverKind: {
+        system_.disseminate(id(), std::any_cast<const GroupDelivery&>(envelope.payload));
+        return;
+      }
+      default:
+        throw std::logic_error("PubSubNode: unexpected message kind");
+    }
+  }
+
+ private:
+  PubSubSystem& system_;
+};
+
+PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig config)
+    : graph_(graph),
+      config_(std::move(config)),
+      sim_(std::make_unique<sim::Simulator>(config_.seed)),
+      manager_(std::make_unique<GroupManager>(graph, config_.groups)) {
+  sim_->network().set_latency(config_.latency);
+  // Departed peers silently drop everything addressed to them, on top of
+  // whatever stochastic loss the caller injected.
+  sim::LossModel loss;
+  loss.drop_probability = config_.loss.drop_probability;
+  loss.drop_if = [this](const sim::Envelope& envelope) {
+    if (!manager_->alive(envelope.to)) return true;
+    return config_.loss.drop_if && config_.loss.drop_if(envelope);
+  };
+  sim_->network().set_loss(std::move(loss));
+
+  nodes_.reserve(graph.size());
+  for (PeerId p = 0; p < graph.size(); ++p) {
+    nodes_.push_back(std::make_unique<PubSubNode>(p, *this));
+    sim_->add_node(*nodes_[p]);
+  }
+}
+
+PubSubSystem::~PubSubSystem() = default;
+
+void PubSubSystem::forward_control(PeerId self, sim::MessageKind kind,
+                                   const GroupRequest& request) {
+  GroupStats& stats = manager_->stats(request.group);
+  const PeerId next = overlay::greedy_next_hop(
+      graph_, self, request.target, [this](PeerId q) { return manager_->alive(q); });
+  if (next == kInvalidPeer) {
+    ++stats.stranded_messages;
+    return;
+  }
+  ++stats.control_messages;
+  sim_->send(self, next, kind, request);
+}
+
+void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
+                                  const GroupRequest& request) {
+  switch (kind) {
+    case kSubscribeKind:
+      // The origin may have departed while its request was in flight; a
+      // dead peer must not (re)enter the membership.
+      if (manager_->alive(request.origin))
+        manager_->subscribe(request.group, request.origin);
+      return;
+    case kUnsubscribeKind:
+      manager_->unsubscribe(request.group, request.origin);
+      return;
+    case kPublishKind: {
+      GroupStats& stats = manager_->stats(request.group);
+      ++stats.publishes;
+      const auto snapshot = manager_->tree_snapshot(request.group);
+      if (snapshot == nullptr) return;  // nobody subscribed
+      stats.expected_deliveries += snapshot->reached_subscribers;
+      disseminate(self,
+                  GroupDelivery{request.group, next_seq_[request.group]++, snapshot});
+      return;
+    }
+    default:
+      throw std::logic_error("PubSubSystem: control kind expected");
+  }
+}
+
+void PubSubSystem::disseminate(PeerId self, const GroupDelivery& delivery) {
+  GroupStats& stats = manager_->stats(delivery.group);
+  // Forwarding reads the wave's own snapshot, never the live cache — a
+  // mid-wave graft/prune/rebuild affects later publishes only. Because the
+  // snapshot is a tree (one parent per peer) and every wave has a unique
+  // (group, seq), a peer can never receive the same wave twice; duplicate
+  // suppression becomes necessary only once the ROADMAP's retransmit layer
+  // exists (GroupStats keeps the counter for it).
+  const GroupTree* gt = delivery.tree.get();
+  if (gt == nullptr || !gt->tree.reached(self)) return;
+  if (gt->is_subscriber[self]) ++stats.deliveries;
+  for (PeerId child : gt->tree.children(self)) {
+    ++stats.payload_messages;
+    sim_->send(self, child, kDeliverKind, delivery);
+  }
+}
+
+void PubSubSystem::schedule_control(double time, PeerId peer, GroupId group,
+                                    sim::MessageKind kind) {
+  sim_->schedule_at(time, [this, peer, group, kind]() {
+    if (!manager_->alive(peer)) return;
+    const GroupRequest request{group, peer, manager_->root_of(group)};
+    if (peer == request.target)
+      handle_at_root(peer, kind, request);
+    else
+      forward_control(peer, kind, request);
+  });
+}
+
+void PubSubSystem::subscribe_at(double time, PeerId peer, GroupId group) {
+  schedule_control(time, peer, group, kSubscribeKind);
+}
+
+void PubSubSystem::unsubscribe_at(double time, PeerId peer, GroupId group) {
+  schedule_control(time, peer, group, kUnsubscribeKind);
+}
+
+void PubSubSystem::publish_at(double time, PeerId peer, GroupId group) {
+  schedule_control(time, peer, group, kPublishKind);
+}
+
+void PubSubSystem::depart_at(double time, PeerId peer) {
+  sim_->schedule_at(time, [this, peer]() { manager_->handle_departure(peer); });
+}
+
+std::size_t PubSubSystem::run(std::size_t max_events) {
+  return sim_->run_until_idle(max_events);
+}
+
+}  // namespace geomcast::groups

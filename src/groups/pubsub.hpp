@@ -1,0 +1,113 @@
+// Message-driven publish/subscribe over the geometric overlay — the
+// protocol layer of the groups subsystem, running on the discrete-event
+// Simulator with real latency/loss, alongside the §2 construction protocol
+// (multicast/protocol.hpp) whose kBuildRequestKind these kinds extend.
+//
+// Control plane: subscribe/unsubscribe/publish envelopes are forwarded hop
+// by hop toward the group's rendezvous root with greedy geometric routing
+// (overlay/routing.hpp); each hop uses only local information plus the
+// group id carried by the envelope. Data plane: the root resolves the
+// group's cached pruned tree through the GroupManager and pushes the
+// payload down it, one kDeliverKind envelope per tree edge; every peer
+// forwards to its current tree children (the forwarding state the build
+// wave installed) and consumes the payload iff subscribed, with per-
+// (group, seq) duplicate suppression.
+//
+// Departures take effect immediately: the network drops envelopes
+// addressed to departed peers, greedy forwarding routes around them, and
+// the GroupManager repairs or invalidates the affected trees. Tree
+// build/repair accounting stays in GroupStats (control-plane bookkeeping);
+// the simulator's NetworkStats count the routed control and payload
+// envelopes that actually crossed links.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "groups/group_manager.hpp"
+#include "sim/simulator.hpp"
+
+namespace geomcast::groups {
+
+/// Message kinds, continuing the registry started by
+/// multicast::kBuildRequestKind (10) / kDataKind (11) / kAckKind (12).
+inline constexpr sim::MessageKind kSubscribeKind = 20;
+inline constexpr sim::MessageKind kUnsubscribeKind = 21;
+inline constexpr sim::MessageKind kPublishKind = 22;
+inline constexpr sim::MessageKind kDeliverKind = 23;
+
+/// Control envelope routed toward a group root.
+struct GroupRequest {
+  GroupId group = 0;
+  PeerId origin = kInvalidPeer;  // subscriber / publisher
+  PeerId target = kInvalidPeer;  // rendezvous root at send time
+};
+
+/// Payload envelope travelling down a group tree. Each wave carries an
+/// immutable snapshot of the tree it was published on (the forwarding
+/// state "installed" for that wave, the way §2 build requests carry
+/// zones): grafts/prunes/repairs landing mid-wave affect later publishes
+/// only, so delivery accounting is exact against the snapshot. The
+/// snapshot lives as long as some envelope of the wave is in flight.
+struct GroupDelivery {
+  GroupId group = 0;
+  std::uint64_t seq = 0;  // per-group publish sequence number
+  std::shared_ptr<const GroupTree> tree;
+};
+
+struct PubSubConfig {
+  GroupConfig groups;
+  sim::LatencyModel latency = sim::LatencyModel::constant(0.01);
+  /// Extra stochastic loss on top of the always-on "departed peers drop
+  /// everything" rule.
+  sim::LossModel loss;
+  std::uint64_t seed = 1;
+};
+
+/// Owns the simulator, the per-peer protocol nodes, and the GroupManager.
+/// Schedule a workload in virtual time, run(), then read the stats.
+class PubSubSystem {
+ public:
+  PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig config = {});
+  ~PubSubSystem();
+  PubSubSystem(const PubSubSystem&) = delete;
+  PubSubSystem& operator=(const PubSubSystem&) = delete;
+
+  void subscribe_at(double time, PeerId peer, GroupId group);
+  void unsubscribe_at(double time, PeerId peer, GroupId group);
+  void publish_at(double time, PeerId peer, GroupId group);
+  /// The peer stops responding at `time`; membership and trees are
+  /// repaired through the GroupManager at the same instant.
+  void depart_at(double time, PeerId peer);
+
+  /// Runs the event loop until idle; returns events processed.
+  std::size_t run(std::size_t max_events = 50'000'000);
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+  [[nodiscard]] GroupManager& manager() noexcept { return *manager_; }
+  [[nodiscard]] GroupStats total_stats() const { return manager_->total_stats(); }
+  [[nodiscard]] const GroupStats& stats(GroupId group) const {
+    return std::as_const(*manager_).stats(group);
+  }
+
+ private:
+  class PubSubNode;
+  friend class PubSubNode;
+
+  void schedule_control(double time, PeerId peer, GroupId group, sim::MessageKind kind);
+  void handle_at_root(PeerId self, sim::MessageKind kind, const GroupRequest& request);
+  void forward_control(PeerId self, sim::MessageKind kind, const GroupRequest& request);
+  void disseminate(PeerId self, const GroupDelivery& delivery);
+
+  const overlay::OverlayGraph& graph_;
+  PubSubConfig config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<GroupManager> manager_;
+  std::vector<std::unique_ptr<PubSubNode>> nodes_;
+  std::map<GroupId, std::uint64_t> next_seq_;
+};
+
+}  // namespace geomcast::groups

@@ -26,6 +26,46 @@ void MulticastTree::add_edge(PeerId parent, PeerId child) {
   ++reached_count_;
 }
 
+void MulticastTree::remove_leaf(PeerId leaf) {
+  if (leaf >= parent_.size())
+    throw std::invalid_argument("MulticastTree::remove_leaf: peer out of range");
+  if (leaf == root_) throw std::logic_error("MulticastTree::remove_leaf: cannot remove root");
+  if (parent_[leaf] == kInvalidPeer)
+    throw std::logic_error("MulticastTree::remove_leaf: peer not attached");
+  if (!children_[leaf].empty())
+    throw std::logic_error("MulticastTree::remove_leaf: peer has children");
+  auto& siblings = children_[parent_[leaf]];
+  siblings.erase(std::remove(siblings.begin(), siblings.end(), leaf), siblings.end());
+  parent_[leaf] = kInvalidPeer;
+  --reached_count_;
+}
+
+void MulticastTree::reattach(PeerId child, PeerId new_parent) {
+  if (child >= parent_.size() || new_parent >= parent_.size())
+    throw std::invalid_argument("MulticastTree::reattach: peer out of range");
+  if (child == root_) throw std::logic_error("MulticastTree::reattach: cannot move root");
+  if (parent_[child] == kInvalidPeer)
+    throw std::logic_error("MulticastTree::reattach: child not attached");
+  if (!reached(new_parent))
+    throw std::logic_error("MulticastTree::reattach: new parent not reached");
+  if (in_subtree(child, new_parent))
+    throw std::logic_error("MulticastTree::reattach: new parent inside child's subtree");
+  auto& siblings = children_[parent_[child]];
+  siblings.erase(std::remove(siblings.begin(), siblings.end(), child), siblings.end());
+  parent_[child] = new_parent;
+  children_[new_parent].push_back(child);
+}
+
+bool MulticastTree::in_subtree(PeerId ancestor, PeerId descendant) const {
+  PeerId p = descendant;
+  while (p != kInvalidPeer) {
+    if (p == ancestor) return true;
+    if (p == root_) return false;
+    p = parent_.at(p);
+  }
+  return false;
+}
+
 std::size_t MulticastTree::tree_degree(PeerId p) const {
   if (!reached(p)) return 0;
   return children_.at(p).size() + (p == root_ ? 0 : 1);

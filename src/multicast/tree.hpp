@@ -26,6 +26,21 @@ class MulticastTree {
   /// is a protocol bug the validator reports separately).
   void add_edge(PeerId parent, PeerId child);
 
+  /// Detaches `leaf` (must be reached, childless, and not the root); its
+  /// slot returns to the unreached state. Used by the groups subsystem to
+  /// cascade relay-only branches away after an unsubscribe.
+  void remove_leaf(PeerId leaf);
+
+  /// Moves `child` (with its whole subtree) under `new_parent`, which must
+  /// be reached and must not lie inside `child`'s subtree (a cycle would
+  /// silently detach the subtree from the root — checked, throws).
+  /// Used by churn repair.
+  void reattach(PeerId child, PeerId new_parent);
+
+  /// True iff `descendant` lies in the subtree rooted at `ancestor`
+  /// (every peer is in its own subtree). Walks parent links upward.
+  [[nodiscard]] bool in_subtree(PeerId ancestor, PeerId descendant) const;
+
   [[nodiscard]] bool reached(PeerId p) const { return p == root_ || parent_.at(p) != kInvalidPeer; }
   [[nodiscard]] std::size_t reached_count() const noexcept { return reached_count_; }
   [[nodiscard]] PeerId parent(PeerId p) const { return parent_.at(p); }

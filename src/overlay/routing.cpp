@@ -14,27 +14,9 @@ RouteResult route_greedy(const OverlayGraph& graph, PeerId source, PeerId destin
   RouteResult result;
   result.path.push_back(source);
   PeerId current = source;
-  const geometry::Point& target = graph.point(destination);
 
   while (current != destination && result.path.size() <= max_hops) {
-    const geometry::Rect corridor =
-        geometry::Rect::spanned_by(graph.point(current), target);
-    PeerId next = kInvalidPeer;
-    double best = 0.0;
-    for (PeerId q : graph.neighbors(current)) {
-      if (q == destination) {
-        next = q;
-        break;
-      }
-      // Only hops strictly inside the corridor make provable progress
-      // (componentwise closer to the destination in every dimension).
-      if (!corridor.contains_interior(graph.point(q))) continue;
-      const double dist = geometry::l1_distance(graph.point(q), target);
-      if (next == kInvalidPeer || dist < best) {
-        next = q;
-        best = dist;
-      }
-    }
+    const PeerId next = greedy_next_hop(graph, current, destination);
     if (next == kInvalidPeer) return result;  // stranded: no in-corridor neighbour
     result.path.push_back(next);
     current = next;

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 #include "geometry/distance.hpp"
+#include "geometry/rect.hpp"
 #include "overlay/graph.hpp"
 
 namespace geomcast::overlay {
@@ -35,5 +37,43 @@ struct RouteResult {
 /// walk defensively; the default exceeds any N used here.
 [[nodiscard]] RouteResult route_greedy(const OverlayGraph& graph, PeerId source,
                                        PeerId destination, std::size_t max_hops = 100000);
+
+/// One greedy step: the neighbour of `current` that route_greedy would
+/// forward to next on the way to `destination` (the destination itself if
+/// adjacent, else the in-corridor neighbour closest to it in L1), or
+/// kInvalidPeer when stranded. `usable(q)` vetoes neighbours — the
+/// hop-by-hop protocols use it to route around peers known to have
+/// departed. Exposed so message-driven protocols (groups/pubsub) can
+/// forward envelopes hop by hop with only local information. Templated on
+/// the predicate so the per-neighbour loop stays inlinable on the routing
+/// hot path.
+template <typename Usable>
+[[nodiscard]] PeerId greedy_next_hop(const OverlayGraph& graph, PeerId current,
+                                     PeerId destination, Usable&& usable) {
+  if (current >= graph.size() || destination >= graph.size())
+    throw std::invalid_argument("greedy_next_hop: peer out of range");
+  const geometry::Point& target = graph.point(destination);
+  const geometry::Rect corridor = geometry::Rect::spanned_by(graph.point(current), target);
+  PeerId next = kInvalidPeer;
+  double best = 0.0;
+  for (PeerId q : graph.neighbors(current)) {
+    if (!usable(q)) continue;
+    if (q == destination) return q;
+    // Only hops strictly inside the corridor make provable progress
+    // (componentwise closer to the destination in every dimension).
+    if (!corridor.contains_interior(graph.point(q))) continue;
+    const double dist = geometry::l1_distance(graph.point(q), target);
+    if (next == kInvalidPeer || dist < best) {
+      next = q;
+      best = dist;
+    }
+  }
+  return next;
+}
+
+[[nodiscard]] inline PeerId greedy_next_hop(const OverlayGraph& graph, PeerId current,
+                                            PeerId destination) {
+  return greedy_next_hop(graph, current, destination, [](PeerId) { return true; });
+}
 
 }  // namespace geomcast::overlay

@@ -98,24 +98,23 @@ RepairReport simulate_departures_with_repair(const overlay::OverlayGraph& graph,
       report.churn.max_orphaned_at_once =
           std::max(report.churn.max_orphaned_at_once, orphans.size());
     }
-    for (PeerId orphan : orphans) {
-      detach(orphan);
-      // §3 rule among the survivors: any alive overlay neighbour departing
-      // strictly later can adopt; prefer the latest-departing one.
-      PeerId adopter = kInvalidPeer;
-      for (PeerId q : graph.neighbors(orphan)) {
-        if (!alive[q] || departure_times[q] <= departure_times[orphan]) continue;
-        if (adopter == kInvalidPeer || departure_times[q] > departure_times[adopter])
-          adopter = q;
-      }
-      if (adopter == kInvalidPeer) {
-        ++report.repair_failures;
-      } else {
-        current_parent[orphan] = adopter;
-        children[adopter].push_back(orphan);
-        ++report.reattached;
-      }
+    for (PeerId orphan : orphans) detach(orphan);
+    // §3 rule among the survivors: any alive overlay neighbour departing
+    // strictly later can adopt; prefer the latest-departing one.
+    const auto repaired = repair_orphans(
+        graph, orphans,
+        [&](PeerId orphan, PeerId q) {
+          return alive[q] && departure_times[q] > departure_times[orphan];
+        },
+        [&](PeerId q, PeerId incumbent) {
+          return departure_times[q] > departure_times[incumbent];
+        });
+    for (const auto& [orphan, adopter] : repaired.reattached) {
+      current_parent[orphan] = adopter;
+      children[adopter].push_back(orphan);
     }
+    report.reattached += repaired.reattached.size();
+    report.repair_failures += repaired.failed.size();
   }
   return report;
 }

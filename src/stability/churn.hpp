@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "stability/stable_tree.hpp"
@@ -47,5 +48,38 @@ struct RepairReport {
 [[nodiscard]] RepairReport simulate_departures_with_repair(
     const overlay::OverlayGraph& graph, const std::vector<PeerId>& parent,
     const std::vector<double>& departure_times);
+
+/// One departure's worth of the repair rule, exposed for reuse by other
+/// tree maintainers (groups/ repairs its per-group multicast trees with
+/// it): each orphan polls its overlay neighbours for an adopter.
+/// `can_adopt(orphan, q)` filters candidates; `prefer(q, incumbent)`
+/// returns true when q beats the best candidate found so far (ties keep
+/// the incumbent, so the lowest eligible id wins under a constant-false
+/// prefer). Orphans with no eligible neighbour land in `failed`.
+/// Templated on the callables so the per-neighbour inner loop stays
+/// inlinable (this runs once per departure in the churn benches).
+struct OrphanRepairResult {
+  /// (orphan, adopter) pairs, in input order.
+  std::vector<std::pair<PeerId, PeerId>> reattached;
+  std::vector<PeerId> failed;
+};
+template <typename CanAdopt, typename Prefer>
+[[nodiscard]] OrphanRepairResult repair_orphans(const overlay::OverlayGraph& graph,
+                                                const std::vector<PeerId>& orphans,
+                                                CanAdopt&& can_adopt, Prefer&& prefer) {
+  OrphanRepairResult result;
+  for (PeerId orphan : orphans) {
+    PeerId adopter = kInvalidPeer;
+    for (PeerId q : graph.neighbors(orphan)) {
+      if (!can_adopt(orphan, q)) continue;
+      if (adopter == kInvalidPeer || prefer(q, adopter)) adopter = q;
+    }
+    if (adopter == kInvalidPeer)
+      result.failed.push_back(orphan);
+    else
+      result.reattached.emplace_back(orphan, adopter);
+  }
+  return result;
+}
 
 }  // namespace geomcast::stability

@@ -1,0 +1,214 @@
+#include "groups/group_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/random_points.hpp"
+#include "overlay/empty_rect.hpp"
+#include "overlay/equilibrium.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::groups {
+namespace {
+
+overlay::OverlayGraph make_overlay(std::size_t n, std::size_t dims, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto points = geometry::random_points(rng, n, dims, 100.0);
+  return overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+}
+
+/// Some peer that is not the group's root and not yet subscribed.
+PeerId fresh_peer(GroupManager& manager, GroupId group, std::size_t n) {
+  for (PeerId p = 0; p < n; ++p)
+    if (p != manager.root_of(group) && !manager.is_subscribed(group, p) &&
+        manager.alive(p))
+      return p;
+  return kInvalidPeer;
+}
+
+TEST(GroupManagerTest, SubscribePublishUnsubscribeRoundTrip) {
+  const auto graph = make_overlay(60, 2, 201);
+  GroupManager manager(graph);
+  const GroupId g = 42;
+
+  const PeerId a = fresh_peer(manager, g, graph.size());
+  manager.subscribe(g, a);
+  const PeerId b = fresh_peer(manager, g, graph.size());
+  manager.subscribe(g, b);
+  EXPECT_EQ(manager.subscriber_count(g), 2u);
+
+  const auto first = manager.publish(g);
+  EXPECT_EQ(first.delivered, 2u);
+  EXPECT_GT(first.payload_messages, 0u);
+
+  manager.unsubscribe(g, b);
+  EXPECT_EQ(manager.subscriber_count(g), 1u);
+  const auto second = manager.publish(g);
+  EXPECT_EQ(second.delivered, 1u);
+  EXPECT_LE(second.payload_messages, first.payload_messages);
+
+  const auto& stats = manager.stats(g);
+  EXPECT_EQ(stats.publishes, 2u);
+  EXPECT_EQ(stats.subscribes, 2u);
+  EXPECT_EQ(stats.unsubscribes, 1u);
+  EXPECT_DOUBLE_EQ(stats.delivery_ratio(), 1.0);
+}
+
+TEST(GroupManagerTest, TreeCachedAcrossPublishes) {
+  const auto graph = make_overlay(60, 2, 202);
+  GroupManager manager(graph);
+  const GroupId g = 1;
+  manager.subscribe(g, fresh_peer(manager, g, graph.size()));
+  manager.subscribe(g, fresh_peer(manager, g, graph.size()));
+
+  (void)manager.publish(g);
+  (void)manager.publish(g);
+  (void)manager.publish(g);
+  const auto& stats = manager.stats(g);
+  EXPECT_EQ(stats.tree_builds, 1u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+}
+
+TEST(GroupManagerTest, LateSubscriberIsGraftedNotRebuilt) {
+  const auto graph = make_overlay(80, 2, 203);
+  GroupConfig config;
+  config.rebuild_threshold = 10.0;  // keep drift from forcing a rebuild here
+  GroupManager manager(graph, config);
+  const GroupId g = 7;
+  for (int i = 0; i < 5; ++i) manager.subscribe(g, fresh_peer(manager, g, graph.size()));
+  (void)manager.publish(g);
+  ASSERT_EQ(manager.stats(g).tree_builds, 1u);
+
+  const PeerId late = fresh_peer(manager, g, graph.size());
+  manager.subscribe(g, late);
+  const auto receipt = manager.publish(g);
+  const auto& stats = manager.stats(g);
+  EXPECT_EQ(stats.tree_builds, 1u) << "graft should not trigger a rebuild";
+  EXPECT_EQ(stats.grafts, 1u);
+  EXPECT_EQ(receipt.delivered, 6u);
+}
+
+TEST(GroupManagerTest, RepairDriftTriggersRebuildButExactChangesDoNot) {
+  const auto graph = make_overlay(80, 2, 204);
+  GroupConfig config;
+  config.rebuild_threshold = 0.25;
+  GroupManager manager(graph, config);
+  const GroupId g = 9;
+  std::vector<PeerId> members;
+  for (int i = 0; i < 8; ++i) {
+    const PeerId p = fresh_peer(manager, g, graph.size());
+    manager.subscribe(g, p);
+    members.push_back(p);
+  }
+  (void)manager.publish(g);
+  ASSERT_EQ(manager.stats(g).tree_builds, 1u);
+
+  // Grafts/prunes are exact and must never force a rebuild, however many.
+  for (int i = 0; i < 6; ++i) manager.subscribe(g, fresh_peer(manager, g, graph.size()));
+  (void)manager.publish(g);
+  EXPECT_EQ(manager.stats(g).tree_builds, 1u);
+
+  // Repairs deviate from a fresh build and accumulate drift past
+  // 0.25 * count, so the next publish rebuilds.
+  for (int i = 0; i < 6; ++i) manager.handle_departure(members[static_cast<std::size_t>(i)]);
+  (void)manager.publish(g);
+  EXPECT_EQ(manager.stats(g).tree_builds, 2u);
+}
+
+TEST(GroupManagerTest, DepartureRepairsMembershipAndTree) {
+  const auto graph = make_overlay(80, 2, 205);
+  GroupManager manager(graph);
+  const GroupId g = 3;
+  std::vector<PeerId> members;
+  for (int i = 0; i < 8; ++i) {
+    const PeerId p = fresh_peer(manager, g, graph.size());
+    manager.subscribe(g, p);
+    members.push_back(p);
+  }
+  (void)manager.publish(g);
+
+  const PeerId departed = members.front();
+  manager.handle_departure(departed);
+  EXPECT_FALSE(manager.alive(departed));
+  EXPECT_FALSE(manager.is_subscribed(g, departed));
+  EXPECT_EQ(manager.subscriber_count(g), 7u);
+
+  const auto receipt = manager.publish(g);
+  EXPECT_EQ(receipt.delivered, 7u);
+  EXPECT_DOUBLE_EQ(manager.stats(g).delivery_ratio(), 1.0);
+}
+
+TEST(GroupManagerTest, NonTreeNeighbourDepartureStalesZonesForGrafts) {
+  const auto graph = make_overlay(80, 2, 209);
+  GroupManager manager(graph);
+  const GroupId g = 13;
+  for (int i = 0; i < 5; ++i) manager.subscribe(g, fresh_peer(manager, g, graph.size()));
+  const GroupTree* gt = manager.tree(g);
+  ASSERT_NE(gt, nullptr);
+  ASSERT_EQ(manager.stats(g).tree_builds, 1u);
+
+  // A peer outside the tree whose departure shrinks an in-tree peer's
+  // candidate set: a replayed recursion could pick different delegates, so
+  // the next subscribe must rebuild rather than graft against stale zones.
+  PeerId outsider = kInvalidPeer;
+  for (PeerId p = 0; p < graph.size() && outsider == kInvalidPeer; ++p) {
+    if (gt->tree.reached(p)) continue;
+    for (PeerId q : graph.neighbors(p))
+      if (gt->tree.reached(q)) {
+        outsider = p;
+        break;
+      }
+  }
+  ASSERT_NE(outsider, kInvalidPeer);
+  manager.handle_departure(outsider);
+
+  const PeerId late = fresh_peer(manager, g, graph.size());
+  manager.subscribe(g, late);
+  (void)manager.publish(g);
+  const auto& stats = manager.stats(g);
+  EXPECT_EQ(stats.grafts, 0u);
+  EXPECT_EQ(stats.tree_builds, 2u);
+}
+
+TEST(GroupManagerTest, RootDepartureMigratesGroup) {
+  const auto graph = make_overlay(60, 2, 206);
+  GroupManager manager(graph);
+  const GroupId g = 11;
+  for (int i = 0; i < 4; ++i) manager.subscribe(g, fresh_peer(manager, g, graph.size()));
+  (void)manager.publish(g);
+
+  const PeerId old_root = manager.root_of(g);
+  const std::size_t subscribers_before =
+      manager.subscriber_count(g) - (manager.is_subscribed(g, old_root) ? 1 : 0);
+  manager.handle_departure(old_root);
+  EXPECT_NE(manager.root_of(g), old_root);
+  EXPECT_EQ(manager.stats(g).root_migrations, 1u);
+
+  const auto receipt = manager.publish(g);
+  EXPECT_EQ(receipt.delivered, subscribers_before);
+}
+
+TEST(GroupManagerTest, EmptyGroupPublishesNothing) {
+  const auto graph = make_overlay(40, 2, 207);
+  GroupManager manager(graph);
+  EXPECT_EQ(manager.tree(99), nullptr);
+  const auto receipt = manager.publish(99);
+  EXPECT_EQ(receipt.delivered, 0u);
+  EXPECT_EQ(receipt.payload_messages, 0u);
+}
+
+TEST(GroupManagerTest, DistinctGroupsGetIndependentTreesAndStats) {
+  const auto graph = make_overlay(80, 2, 208);
+  GroupManager manager(graph);
+  manager.subscribe(1, fresh_peer(manager, 1, graph.size()));
+  manager.subscribe(2, fresh_peer(manager, 2, graph.size()));
+  (void)manager.publish(1);
+  EXPECT_EQ(manager.stats(1).publishes, 1u);
+  EXPECT_EQ(manager.stats(2).publishes, 0u);
+  const auto total = manager.total_stats();
+  EXPECT_EQ(total.publishes, 1u);
+  EXPECT_EQ(total.subscribes, 2u);
+  EXPECT_EQ(manager.known_groups().size(), 2u);
+}
+
+}  // namespace
+}  // namespace geomcast::groups

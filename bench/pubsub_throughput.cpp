@@ -2,19 +2,29 @@
 //
 // Exercises the whole groups/ pipeline — rendezvous routing, lazy pruned
 // tree construction, cache reuse across publishes, incremental
-// graft/repair under departures — and reports the numbers the scaling
-// trajectory cares about: publishes/sec (wall clock), delivery ratio,
-// per-publish payload cost versus full-overlay dissemination (N-1
-// messages), and tree build/repair message overhead.
+// graft/repair under departures, and the QoS 1 per-hop ack/retransmit
+// plane — and reports the numbers the scaling trajectory cares about:
+// publishes/sec (wall clock), delivery ratio, per-publish payload cost
+// versus full-overlay dissemination (N-1 messages), tree build/repair
+// message overhead, and retransmissions per publish.
 //
-// Acceptance gates (ISSUE 1): with >= 32 groups and >= 1000 peers under
-// churn at zero loss, delivery ratio >= 0.99 and pruned per-publish
-// payload strictly below full-overlay dissemination.
+// Acceptance gates:
+//  * (ISSUE 1) with >= 32 groups and >= 1000 peers under churn at zero
+//    loss, delivery ratio >= 0.99 and pruned per-publish payload strictly
+//    below full-overlay dissemination;
+//  * (ISSUE 2, --sweep) under 5% per-link loss, QoS 1 delivery ratio
+//    >= 0.99 while QoS 0 is visibly lower.
 //
 // Flags: --peers=N --dims=D --groups=G --subscribers=M --publishes=P
-//        --departures=C --loss=p --seed=S --csv --quick
+//        --departures=C --loss=p --qos=0|1 --retries=R --ack-timeout=T
+//        --seed=S --csv --quick --sweep
+//
+// --sweep ignores --loss/--qos and instead runs the same scenario for
+// QoS 0 and QoS 1 at each loss in {0, 0.05, 0.15}, printing one row per
+// (loss, qos) cell — the loss axis of the reliability story.
 #include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "geometry/random_points.hpp"
 #include "groups/pubsub.hpp"
@@ -24,128 +34,242 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+using namespace geomcast;
+
+struct ScenarioParams {
+  std::size_t peers = 1000;
+  std::size_t group_count = 32;
+  std::size_t subscribers = 32;
+  std::size_t publishes = 8;
+  std::size_t departures = 24;
+  double ack_timeout = 0.05;
+  std::size_t max_retries = 5;
+  std::uint64_t seed = 42;
+};
+
+struct ScenarioOutcome {
+  groups::GroupStats total;
+  sim::NetworkStats net;
+  std::size_t events = 0;
+  std::size_t scheduled_departures = 0;
+  double run_secs = 0.0;
+
+  [[nodiscard]] double payload_per_publish() const {
+    return total.publishes ? static_cast<double>(total.payload_messages) /
+                                 static_cast<double>(total.publishes)
+                           : 0.0;
+  }
+  [[nodiscard]] double retx_per_publish() const {
+    return total.publishes ? static_cast<double>(total.retransmissions) /
+                                 static_cast<double>(total.publishes)
+                           : 0.0;
+  }
+};
+
+/// One full run of the standard workload on a prebuilt overlay. The
+/// schedule (membership, publishes, departures) is a function of
+/// params.seed alone, so runs at different (qos, loss) points are
+/// apples-to-apples.
+ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
+                             const ScenarioParams& params, multicast::QoS qos,
+                             double loss) {
+  const std::size_t peers = graph.size();
+  groups::PubSubConfig config;
+  config.seed = params.seed;
+  config.loss.drop_probability = loss;
+  config.reliability.qos = qos;
+  config.reliability.ack_timeout = params.ack_timeout;
+  config.reliability.max_retries = params.max_retries;
+  groups::PubSubSystem system(graph, config);
+
+  // Roots are excluded from membership and churn so the bench measures
+  // steady-state group service, not rendezvous migration (which has its
+  // own counter).
+  std::vector<bool> is_root(peers, false);
+  for (std::size_t g = 0; g < params.group_count; ++g)
+    is_root[system.manager().root_of(g)] = true;
+  std::size_t non_roots = 0;
+  for (std::size_t p = 0; p < peers; ++p)
+    if (!is_root[p]) ++non_roots;
+  if (params.subscribers == 0) throw std::invalid_argument("--subscribers must be >= 1");
+  if (params.subscribers > non_roots)
+    throw std::invalid_argument(
+        "not enough non-root peers for --subscribers=" +
+        std::to_string(params.subscribers) + " (have " + std::to_string(non_roots) +
+        "); raise --peers or lower --groups");
+  const std::size_t departures = std::min(params.departures, non_roots);
+
+  // Membership: M distinct non-root subscribers per group, waves in (0, 1).
+  util::Rng rng(params.seed ^ 0x736368656475ULL);  // schedule stream
+  std::vector<std::vector<overlay::PeerId>> members(params.group_count);
+  for (std::size_t g = 0; g < params.group_count; ++g) {
+    std::vector<bool> chosen(peers, false);
+    while (members[g].size() < params.subscribers) {
+      const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
+      if (chosen[p] || is_root[p]) continue;
+      chosen[p] = true;
+      members[g].push_back(p);
+      system.subscribe_at(rng.uniform(0.0, 1.0), p, g);
+    }
+  }
+
+  // Warm publish per group at t=2 (pays the lazy builds), then churn
+  // interleaved with publish rounds over t in [3, 9). Publishers that
+  // depart before their slot are skipped, so total.publishes reports
+  // what actually ran.
+  for (std::size_t g = 0; g < params.group_count; ++g) {
+    system.publish_at(2.0, members[g][0], g);
+    for (std::size_t i = 1; i < params.publishes; ++i) {
+      const auto publisher = members[g][rng.next_below(params.subscribers)];
+      system.publish_at(rng.uniform(3.0, 9.0), publisher, g);
+    }
+  }
+  ScenarioOutcome outcome;
+  {
+    std::vector<bool> doomed(peers, false);
+    while (outcome.scheduled_departures < departures) {
+      const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
+      if (doomed[p] || is_root[p]) continue;
+      doomed[p] = true;
+      system.depart_at(rng.uniform(3.0, 9.0), p);
+      ++outcome.scheduled_departures;
+    }
+  }
+
+  const auto t_run = std::chrono::steady_clock::now();
+  outcome.events = system.run();
+  outcome.run_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_run).count();
+  outcome.total = system.total_stats();
+  outcome.net = system.simulator().stats();
+  return outcome;
+}
+
+int run_sweep(const overlay::OverlayGraph& graph, const ScenarioParams& params,
+              bool csv, double overlay_secs) {
+  const std::vector<double> loss_axis{0.0, 0.05, 0.15};
+  util::Table table({"loss", "qos", "publishes", "delivery_ratio", "retx_per_publish",
+                     "duplicates", "abandoned_hops", "payload_per_publish",
+                     "ack_msgs", "dropped", "run_secs"});
+  double qos0_at_5 = -1.0, qos1_at_5 = -1.0;
+  bool qos1_ok = true;
+  std::size_t scheduled_departures = 0;  // post-clamp; identical across cells
+  for (const double loss : loss_axis) {
+    for (const auto qos : {multicast::QoS::kFireAndForget, multicast::QoS::kAcked}) {
+      const auto r = run_scenario(graph, params, qos, loss);
+      scheduled_departures = r.scheduled_departures;
+      const double ratio = r.total.delivery_ratio();
+      table.begin_row()
+          .add_number(loss, 2)
+          .add_number(static_cast<double>(qos), 0)
+          .add_number(static_cast<double>(r.total.publishes), 0)
+          .add_number(ratio, 5)
+          .add_number(r.retx_per_publish(), 2)
+          .add_number(static_cast<double>(r.total.duplicate_deliveries), 0)
+          .add_number(static_cast<double>(r.total.abandoned_hops), 0)
+          .add_number(r.payload_per_publish(), 2)
+          .add_number(static_cast<double>(r.total.ack_messages), 0)
+          .add_number(static_cast<double>(r.net.dropped), 0)
+          .add_number(r.run_secs, 3);
+      if (qos == multicast::QoS::kAcked && ratio < 0.99) qos1_ok = false;
+      if (loss == 0.05) {
+        (qos == multicast::QoS::kAcked ? qos1_at_5 : qos0_at_5) = ratio;
+      }
+    }
+  }
+  // ISSUE 2 acceptance: at 5% per-link loss QoS 1 holds >= 0.99 while
+  // QoS 0 is visibly lower.
+  const bool gap_ok = qos1_at_5 >= 0.99 && qos0_at_5 < qos1_at_5 - 0.01;
+  if (csv) {
+    table.print_csv(std::cout);
+    if (!qos1_ok || !gap_ok)
+      std::cerr << "pubsub_throughput: sweep acceptance gate failed (qos1_ok="
+                << qos1_ok << ", gap_ok=" << gap_ok << ")\n";
+  } else {
+    std::cout << "=== pub/sub QoS x loss sweep: " << params.group_count << " groups x "
+              << params.subscribers << " subscribers on " << graph.size() << " peers, "
+              << scheduled_departures << " departures, seed=" << params.seed
+              << " (overlay built in " << util::format_number(overlay_secs, 2)
+              << "s) ===\n\n";
+    table.print(std::cout);
+    std::cout << "\nacceptance: QoS 1 delivery_ratio >= 0.99 at every loss point: "
+              << (qos1_ok ? "PASS" : "FAIL")
+              << "\nacceptance: at 5% loss QoS 0 visibly below QoS 1: "
+              << (gap_ok ? "PASS" : "FAIL") << "\n";
+  }
+  return qos1_ok && gap_ok ? 0 : 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace geomcast;
   try {
     const util::Flags flags(argc, argv);
-    auto peers = static_cast<std::size_t>(flags.get_int("peers", 1000));
+    ScenarioParams params;
+    params.peers = static_cast<std::size_t>(flags.get_int("peers", 1000));
     const auto dims = static_cast<std::size_t>(flags.get_int("dims", 3));
-    auto group_count = static_cast<std::size_t>(flags.get_int("groups", 32));
-    const auto subscribers = static_cast<std::size_t>(flags.get_int("subscribers", 32));
-    const auto publishes = static_cast<std::size_t>(flags.get_int("publishes", 8));
-    auto departures = static_cast<std::size_t>(flags.get_int("departures", 24));
+    params.group_count = static_cast<std::size_t>(flags.get_int("groups", 32));
+    params.subscribers = static_cast<std::size_t>(flags.get_int("subscribers", 32));
+    params.publishes = static_cast<std::size_t>(flags.get_int("publishes", 8));
+    params.departures = static_cast<std::size_t>(flags.get_int("departures", 24));
+    params.ack_timeout = flags.get_double("ack-timeout", 0.05);
+    params.max_retries = static_cast<std::size_t>(flags.get_int("retries", 5));
+    params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
     const double loss = flags.get_double("loss", 0.0);
-    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    const auto qos = flags.get_int("qos", 0) == 0 ? multicast::QoS::kFireAndForget
+                                                  : multicast::QoS::kAcked;
     const bool csv = flags.get_bool("csv", false);
+    const bool sweep = flags.get_bool("sweep", false);
     if (flags.get_bool("quick", false)) {
-      peers = 200;
-      group_count = 8;
-      departures = 6;
+      params.peers = 200;
+      params.group_count = 8;
+      params.departures = 6;
     }
 
-    util::Rng rng(seed);
-    const auto points = geometry::random_points(rng, peers, dims, 100.0);
+    util::Rng rng(params.seed);
+    const auto points = geometry::random_points(rng, params.peers, dims, 100.0);
     const auto t_overlay = std::chrono::steady_clock::now();
     const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
     const double overlay_secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t_overlay).count();
 
-    groups::PubSubConfig config;
-    config.seed = seed;
-    config.loss.drop_probability = loss;
-    groups::PubSubSystem system(graph, config);
+    if (sweep) return run_sweep(graph, params, csv, overlay_secs);
 
-    // Roots are excluded from membership and churn so the bench measures
-    // steady-state group service, not rendezvous migration (which has its
-    // own counter).
-    std::vector<bool> is_root(peers, false);
-    std::vector<overlay::PeerId> roots(group_count);
-    for (std::size_t g = 0; g < group_count; ++g) {
-      roots[g] = system.manager().root_of(g);
-      is_root[roots[g]] = true;
-    }
-    std::size_t non_roots = 0;
-    for (std::size_t p = 0; p < peers; ++p)
-      if (!is_root[p]) ++non_roots;
-    if (subscribers == 0)
-      throw std::invalid_argument("--subscribers must be >= 1");
-    if (subscribers > non_roots)
-      throw std::invalid_argument(
-          "not enough non-root peers for --subscribers=" + std::to_string(subscribers) +
-          " (have " + std::to_string(non_roots) + "); raise --peers or lower --groups");
-    departures = std::min(departures, non_roots);
-
-    // Membership: M distinct non-root subscribers per group, waves in (0, 1).
-    std::vector<std::vector<overlay::PeerId>> members(group_count);
-    for (std::size_t g = 0; g < group_count; ++g) {
-      std::vector<bool> chosen(peers, false);
-      while (members[g].size() < subscribers) {
-        const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
-        if (chosen[p] || is_root[p]) continue;
-        chosen[p] = true;
-        members[g].push_back(p);
-        system.subscribe_at(rng.uniform(0.0, 1.0), p, g);
-      }
-    }
-
-    // Warm publish per group at t=2 (pays the lazy builds), then churn
-    // interleaved with publish rounds over t in [3, 9). Publishers that
-    // depart before their slot are skipped, so total.publishes reports
-    // what actually ran.
-    for (std::size_t g = 0; g < group_count; ++g) {
-      system.publish_at(2.0, members[g][0], g);
-      for (std::size_t i = 1; i < publishes; ++i) {
-        const auto publisher = members[g][rng.next_below(subscribers)];
-        system.publish_at(rng.uniform(3.0, 9.0), publisher, g);
-      }
-    }
-    std::size_t scheduled_departures = 0;
-    {
-      std::vector<bool> doomed(peers, false);
-      while (scheduled_departures < departures) {
-        const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
-        if (doomed[p] || is_root[p]) continue;
-        doomed[p] = true;
-        system.depart_at(rng.uniform(3.0, 9.0), p);
-        ++scheduled_departures;
-      }
-    }
-
-    const auto t_run = std::chrono::steady_clock::now();
-    const std::size_t events = system.run();
-    const double run_secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_run).count();
-
-    const auto total = system.total_stats();
-    const auto& net = system.simulator().stats();
-    const double payload_per_publish =
-        total.publishes ? static_cast<double>(total.payload_messages) /
-                              static_cast<double>(total.publishes)
-                        : 0.0;
-    const double full_dissemination = static_cast<double>(peers - 1);
+    const auto outcome = run_scenario(graph, params, qos, loss);
+    const auto& total = outcome.total;
+    const double full_dissemination = static_cast<double>(params.peers - 1);
     const double publishes_per_sec =
-        run_secs > 0.0 ? static_cast<double>(total.publishes) / run_secs : 0.0;
+        outcome.run_secs > 0.0
+            ? static_cast<double>(total.publishes) / outcome.run_secs
+            : 0.0;
 
     util::Table table({"metric", "value"});
     auto row = [&table](const std::string& name, double value, int decimals = 3) {
       table.begin_row().add_cell(name).add_number(value, decimals);
     };
-    row("peers", static_cast<double>(peers), 0);
-    row("groups", static_cast<double>(group_count), 0);
-    row("subscribers_per_group", static_cast<double>(subscribers), 0);
-    row("departures", static_cast<double>(scheduled_departures), 0);
+    row("peers", static_cast<double>(params.peers), 0);
+    row("groups", static_cast<double>(params.group_count), 0);
+    row("subscribers_per_group", static_cast<double>(params.subscribers), 0);
+    row("departures", static_cast<double>(outcome.scheduled_departures), 0);
     row("loss", loss);
+    row("qos", static_cast<double>(qos), 0);
     row("overlay_build_secs", overlay_secs);
-    row("sim_events", static_cast<double>(events), 0);
-    row("run_secs", run_secs);
+    row("sim_events", static_cast<double>(outcome.events), 0);
+    row("run_secs", outcome.run_secs);
     row("publishes", static_cast<double>(total.publishes), 0);
     row("publishes_per_sec", publishes_per_sec, 1);
     row("delivery_ratio", total.delivery_ratio(), 5);
     row("deliveries", static_cast<double>(total.deliveries), 0);
     row("expected_deliveries", static_cast<double>(total.expected_deliveries), 0);
     row("duplicates", static_cast<double>(total.duplicate_deliveries), 0);
-    row("payload_msgs_per_publish", payload_per_publish, 2);
+    row("payload_msgs_per_publish", outcome.payload_per_publish(), 2);
     row("full_dissemination_msgs", full_dissemination, 0);
+    row("ack_msgs", static_cast<double>(total.ack_messages), 0);
+    row("retransmissions", static_cast<double>(total.retransmissions), 0);
+    row("retx_per_publish", outcome.retx_per_publish(), 2);
+    row("abandoned_hops", static_cast<double>(total.abandoned_hops), 0);
     row("control_msgs", static_cast<double>(total.control_messages), 0);
     row("stranded_msgs", static_cast<double>(total.stranded_messages), 0);
     row("tree_builds", static_cast<double>(total.tree_builds), 0);
@@ -158,20 +282,23 @@ int main(int argc, char** argv) {
     row("root_migrations", static_cast<double>(total.root_migrations), 0);
     row("stranded_subscribers", static_cast<double>(total.stranded_subscribers), 0);
     row("maintenance_msgs_per_publish", total.maintenance_per_publish(), 2);
-    row("network_dropped", static_cast<double>(net.dropped), 0);
+    row("network_dropped", static_cast<double>(outcome.net.dropped), 0);
+    row("network_retransmitted", static_cast<double>(outcome.net.retransmitted), 0);
+    row("network_abandoned_hops", static_cast<double>(outcome.net.abandoned_hops), 0);
 
     const bool ratio_ok = loss > 0.0 || total.delivery_ratio() >= 0.99;
-    const bool pruned_ok = payload_per_publish < full_dissemination;
+    const bool pruned_ok = outcome.payload_per_publish() < full_dissemination;
     if (csv) {
       table.print_csv(std::cout);
       if (!ratio_ok || !pruned_ok)  // keep stdout machine-readable
         std::cerr << "pubsub_throughput: acceptance gate failed (ratio_ok="
                   << ratio_ok << ", pruned_ok=" << pruned_ok << ")\n";
     } else {
-      std::cout << "=== pub/sub throughput: " << group_count << " groups x "
-                << subscribers << " subscribers on " << peers << " peers (D=" << dims
-                << "), " << scheduled_departures << " departures, loss=" << loss
-                << ", seed=" << seed << " ===\n\n";
+      std::cout << "=== pub/sub throughput: " << params.group_count << " groups x "
+                << params.subscribers << " subscribers on " << params.peers
+                << " peers (D=" << dims << "), " << outcome.scheduled_departures
+                << " departures, loss=" << loss << ", qos="
+                << static_cast<int>(qos) << ", seed=" << params.seed << " ===\n\n";
       table.print(std::cout);
       std::cout << "\nacceptance: delivery_ratio >= 0.99 at zero loss: "
                 << (ratio_ok ? "PASS" : "FAIL")

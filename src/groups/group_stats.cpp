@@ -25,6 +25,9 @@ GroupStats& GroupStats::operator+=(const GroupStats& other) noexcept {
   deliveries += other.deliveries;
   duplicate_deliveries += other.duplicate_deliveries;
   payload_messages += other.payload_messages;
+  ack_messages += other.ack_messages;
+  retransmissions += other.retransmissions;
+  abandoned_hops += other.abandoned_hops;
   control_messages += other.control_messages;
   stranded_messages += other.stranded_messages;
   tree_builds += other.tree_builds;
@@ -44,7 +47,9 @@ std::string GroupStats::summary() const {
   std::ostringstream out;
   out << "publishes=" << publishes << " deliveries=" << deliveries << "/"
       << expected_deliveries << " (ratio " << util::format_number(delivery_ratio(), 4)
-      << "), payload=" << payload_messages << " control=" << control_messages
+      << "), payload=" << payload_messages << " (acks " << ack_messages << ", retx "
+      << retransmissions << ", dup " << duplicate_deliveries << ", abandoned "
+      << abandoned_hops << ") control=" << control_messages
       << " builds=" << tree_builds << " (msgs " << build_messages << ") cache_hits="
       << cache_hits << " grafts=" << grafts << " prunes=" << prunes << " repairs="
       << repairs << " (msgs " << repair_messages << ", failures " << repair_failures

@@ -24,13 +24,19 @@ struct GroupStats {
   /// publish time — the denominator of delivery_ratio().
   std::uint64_t expected_deliveries = 0;
   std::uint64_t deliveries = 0;
-  /// Always 0 today: waves traverse immutable tree snapshots with unique
-  /// (group, seq), so duplicates cannot occur. Becomes meaningful with the
-  /// ROADMAP's retransmit layer.
+  /// Retransmission duplicates suppressed by the per-(group, seq) dedup:
+  /// re-acked, but not re-delivered or re-forwarded. Always 0 under QoS 0 —
+  /// waves traverse immutable tree snapshots with unique (group, seq), so
+  /// only the QoS 1 retransmit layer can produce a second arrival.
   std::uint64_t duplicate_deliveries = 0;
   /// Per-hop payload messages down group trees (one per tree edge per
-  /// publish; relays included).
+  /// publish; relays included, retransmissions counted separately below).
   std::uint64_t payload_messages = 0;
+  // Per-hop reliability (QoS 1 only): the pub/sub data plane runs its
+  // kDeliverKind hops through multicast/reliable_hop.hpp.
+  std::uint64_t ack_messages = 0;      // kDeliverAckKind envelopes sent
+  std::uint64_t retransmissions = 0;   // payload copies resent on ack timeout
+  std::uint64_t abandoned_hops = 0;    // hops whose retry budget ran out
   /// Routed control hops (subscribe/unsubscribe/publish envelopes on their
   /// way to the group root).
   std::uint64_t control_messages = 0;

@@ -32,7 +32,12 @@ class PubSubSystem::PubSubNode final : public sim::Node {
         return;
       }
       case kDeliverKind: {
-        system_.disseminate(id(), std::any_cast<const GroupDelivery&>(envelope.payload));
+        system_.disseminate(id(), envelope.from,
+                            std::any_cast<const GroupDelivery&>(envelope.payload));
+        return;
+      }
+      case kDeliverAckKind: {
+        system_.hop_->on_ack(envelope);
         return;
       }
       default:
@@ -59,6 +64,27 @@ PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig conf
     return config_.loss.drop_if && config_.loss.drop_if(envelope);
   };
   sim_->network().set_loss(std::move(loss));
+
+  // Payload hops run through the shared reliability layer (a passthrough
+  // under QoS 0). Retransmissions/abandonments are attributed to the wave's
+  // group through the hooks; a forwarder that departs with hops pending
+  // stops retransmitting (its subtree's loss is churn, not budget, so it is
+  // not charged as abandoned).
+  multicast::ReliableHopLayer::Hooks hooks;
+  hooks.on_retransmit = [this](sim::NodeId, sim::NodeId, std::uint64_t,
+                               const std::any& payload) {
+    const auto& delivery = std::any_cast<const GroupDelivery&>(payload);
+    ++manager_->stats(delivery.group).retransmissions;
+  };
+  hooks.on_abandon = [this](sim::NodeId, sim::NodeId, std::uint64_t,
+                            const std::any& payload) {
+    const auto& delivery = std::any_cast<const GroupDelivery&>(payload);
+    ++manager_->stats(delivery.group).abandoned_hops;
+  };
+  hooks.sender_alive = [this](sim::NodeId p) { return manager_->alive(p); };
+  hop_ = std::make_unique<multicast::ReliableHopLayer>(
+      *sim_, kDeliverKind, kDeliverAckKind, config_.reliability, std::move(hooks));
+  if (acked()) seen_.resize(graph.size());
 
   nodes_.reserve(graph.size());
   for (PeerId p = 0; p < graph.size(); ++p) {
@@ -100,8 +126,9 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
       const auto snapshot = manager_->tree_snapshot(request.group);
       if (snapshot == nullptr) return;  // nobody subscribed
       stats.expected_deliveries += snapshot->reached_subscribers;
-      disseminate(self,
-                  GroupDelivery{request.group, next_seq_[request.group]++, snapshot});
+      disseminate(self, kInvalidPeer,
+                  GroupDelivery{request.group, next_seq_[request.group]++,
+                                next_wave_++, snapshot});
       return;
     }
     default:
@@ -109,20 +136,32 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
   }
 }
 
-void PubSubSystem::disseminate(PeerId self, const GroupDelivery& delivery) {
+void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& delivery) {
   GroupStats& stats = manager_->stats(delivery.group);
+  if (acked() && from != kInvalidPeer) {
+    // Ack before anything else — a dedup hit included. The duplicate's
+    // arrival means our previous ack may have been the lost message; an
+    // unacked sender would retransmit until its budget died on a hop that
+    // already delivered.
+    ++stats.ack_messages;
+    hop_->acknowledge(self, from, delivery.wave);
+  }
+  if (acked() && !seen_[self].emplace(delivery.group, delivery.seq).second) {
+    ++stats.duplicate_deliveries;
+    sim_->network().note_duplicate();
+    return;  // re-acked above, but never re-delivered or re-forwarded
+  }
   // Forwarding reads the wave's own snapshot, never the live cache — a
-  // mid-wave graft/prune/rebuild affects later publishes only. Because the
-  // snapshot is a tree (one parent per peer) and every wave has a unique
-  // (group, seq), a peer can never receive the same wave twice; duplicate
-  // suppression becomes necessary only once the ROADMAP's retransmit layer
-  // exists (GroupStats keeps the counter for it).
+  // mid-wave graft/prune/rebuild affects later publishes only. Under QoS 0
+  // the dedup above is moot: the snapshot is a tree (one parent per peer)
+  // and every wave has a unique (group, seq), so without retransmissions a
+  // peer can never receive the same wave twice.
   const GroupTree* gt = delivery.tree.get();
   if (gt == nullptr || !gt->tree.reached(self)) return;
   if (gt->is_subscriber[self]) ++stats.deliveries;
   for (PeerId child : gt->tree.children(self)) {
     ++stats.payload_messages;
-    sim_->send(self, child, kDeliverKind, delivery);
+    hop_->send(self, child, delivery.wave, delivery);
   }
 }
 

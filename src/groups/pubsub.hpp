@@ -13,21 +13,32 @@
 // wave installed) and consumes the payload iff subscribed, with per-
 // (group, seq) duplicate suppression.
 //
+// The data plane has a QoS ladder (PubSubConfig::reliability): QoS 0 is
+// fire-and-forget, QoS 1 runs every kDeliverKind hop through the shared
+// per-hop reliability layer (multicast/reliable_hop.hpp) — each hop is
+// acked with kDeliverAckKind, the forwarding peer retransmits to its tree
+// children on timeout up to a retry budget, and per-(group, seq) dedup
+// suppresses retransmission duplicates (re-acked, never re-delivered or
+// re-forwarded).
+//
 // Departures take effect immediately: the network drops envelopes
 // addressed to departed peers, greedy forwarding routes around them, and
 // the GroupManager repairs or invalidates the affected trees. Tree
 // build/repair accounting stays in GroupStats (control-plane bookkeeping);
 // the simulator's NetworkStats count the routed control and payload
-// envelopes that actually crossed links.
+// envelopes that actually crossed links, plus the reliability layer's
+// retransmitted/duplicate/abandoned tallies.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "groups/group_manager.hpp"
+#include "multicast/reliable_hop.hpp"
 #include "sim/simulator.hpp"
 
 namespace geomcast::groups {
@@ -38,6 +49,7 @@ inline constexpr sim::MessageKind kSubscribeKind = 20;
 inline constexpr sim::MessageKind kUnsubscribeKind = 21;
 inline constexpr sim::MessageKind kPublishKind = 22;
 inline constexpr sim::MessageKind kDeliverKind = 23;
+inline constexpr sim::MessageKind kDeliverAckKind = 24;
 
 /// Control envelope routed toward a group root.
 struct GroupRequest {
@@ -55,6 +67,10 @@ struct GroupRequest {
 struct GroupDelivery {
   GroupId group = 0;
   std::uint64_t seq = 0;  // per-group publish sequence number
+  /// System-wide wave id — the reliability layer's ack token. Unique across
+  /// groups (per-group seqs are not), so concurrent waves of different
+  /// groups traversing the same link can never cancel each other's timers.
+  std::uint64_t wave = 0;
   std::shared_ptr<const GroupTree> tree;
 };
 
@@ -64,6 +80,10 @@ struct PubSubConfig {
   /// Extra stochastic loss on top of the always-on "departed peers drop
   /// everything" rule.
   sim::LossModel loss;
+  /// Payload-path delivery guarantee: QoS 0 (the default) is the historic
+  /// fire-and-forget tree push; QoS 1 acks every kDeliverKind hop and
+  /// retransmits on timeout per `ack_timeout`/`max_retries`.
+  multicast::ReliabilityConfig reliability{multicast::QoS::kFireAndForget};
   std::uint64_t seed = 1;
 };
 
@@ -100,14 +120,30 @@ class PubSubSystem {
   void schedule_control(double time, PeerId peer, GroupId group, sim::MessageKind kind);
   void handle_at_root(PeerId self, sim::MessageKind kind, const GroupRequest& request);
   void forward_control(PeerId self, sim::MessageKind kind, const GroupRequest& request);
-  void disseminate(PeerId self, const GroupDelivery& delivery);
+  /// Handles one arrival of a wave at `self` (`from == kInvalidPeer` for
+  /// the root's own copy at publish time): ack, dedup, deliver, forward.
+  void disseminate(PeerId self, PeerId from, const GroupDelivery& delivery);
+  [[nodiscard]] bool acked() const noexcept {
+    return config_.reliability.qos == multicast::QoS::kAcked;
+  }
 
   const overlay::OverlayGraph& graph_;
   PubSubConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<GroupManager> manager_;
+  std::unique_ptr<multicast::ReliableHopLayer> hop_;
   std::vector<std::unique_ptr<PubSubNode>> nodes_;
   std::map<GroupId, std::uint64_t> next_seq_;
+  std::uint64_t next_wave_ = 0;
+  /// Per-peer (group, seq) pairs already processed — the QoS 1 dedup that
+  /// tells a retransmission duplicate from fresh data. Unused (empty) under
+  /// QoS 0, where snapshot-tree forwarding makes duplicates impossible.
+  /// Grows O(waves a peer relays) for the simulation's lifetime: an entry
+  /// is only needed while the parent's retransmission window is open, but
+  /// the receiver cannot observe that locally. The QoS 2 follow-on's
+  /// per-group sequence windows (ROADMAP) subsume this with a bounded
+  /// sliding window.
+  std::vector<std::set<std::pair<GroupId, std::uint64_t>>> seen_;
 };
 
 }  // namespace geomcast::groups

@@ -2,8 +2,8 @@
 
 #include <memory>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "multicast/reliable_hop.hpp"
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"
 
@@ -14,15 +14,16 @@ namespace {
 struct DataMsg {
   std::uint64_t seq = 0;
 };
-struct AckMsg {
-  std::uint64_t seq = 0;
-};
 
+/// Thin client of the shared per-hop reliability layer: the layer owns the
+/// ack/timeout/retransmit cycle, the node owns what dissemination adds —
+/// the "payload held" dedup bit, delivery bookkeeping, and forwarding down
+/// the tree.
 class DisseminationNode final : public sim::Node {
  public:
-  DisseminationNode(PeerId id, const MulticastTree& tree,
-                    const DisseminationConfig& config, DisseminationResult& shared)
-      : sim::Node(id), tree_(tree), config_(config), shared_(shared) {}
+  DisseminationNode(PeerId id, const MulticastTree& tree, ReliableHopLayer& hop,
+                    DisseminationResult& shared)
+      : sim::Node(id), tree_(tree), hop_(hop), shared_(shared) {}
 
   void on_message(sim::Simulator& sim, const sim::Envelope& envelope) override {
     switch (envelope.kind) {
@@ -30,7 +31,7 @@ class DisseminationNode final : public sim::Node {
         handle_data(sim, envelope.from, std::any_cast<const DataMsg&>(envelope.payload));
         break;
       case kAckKind:
-        handle_ack(sim, std::any_cast<const AckMsg&>(envelope.payload));
+        hop_.on_ack(envelope);
         break;
       default:
         throw std::logic_error("DisseminationNode: unexpected message kind");
@@ -44,53 +45,32 @@ class DisseminationNode final : public sim::Node {
     ++shared_.delivered;
     shared_.delivery_time[id()] = sim.now();
     shared_.completion_time = sim.now();
-    forward_to_children(sim);
+    forward_to_children();
   }
 
  private:
   void handle_data(sim::Simulator& sim, PeerId from, const DataMsg& msg) {
     // Always (re-)ack: the previous ack may have been the lost message.
-    sim.send(id(), from, kAckKind, AckMsg{msg.seq});
-    ++shared_.ack_messages;
+    hop_.acknowledge(id(), from, msg.seq);
     if (has_payload_) {
       ++shared_.duplicate_data;
+      sim.network().note_duplicate();
       return;
     }
     deliver_locally(sim);
   }
 
-  void forward_to_children(sim::Simulator& sim) {
-    for (PeerId child : tree_.children(id())) send_hop(sim, child, /*attempt=*/0);
-  }
-
-  void send_hop(sim::Simulator& sim, PeerId child, std::size_t attempt) {
-    const std::uint64_t seq = (static_cast<std::uint64_t>(id()) << 32) | child;
-    sim.send(id(), child, kDataKind, DataMsg{seq});
-    ++shared_.data_messages;
-    if (attempt > 0) ++shared_.retransmissions;
-    // Arm the retransmission timer; the ack handler cancels it.
-    pending_[child] = sim.schedule_after(config_.ack_timeout, [this, &sim, child, attempt]() {
-      pending_.erase(child);
-      if (attempt < config_.max_retries) {
-        send_hop(sim, child, attempt + 1);
-      } else {
-        ++shared_.abandoned_hops;
-      }
-    });
-  }
-
-  void handle_ack(sim::Simulator& sim, const AckMsg& msg) {
-    const auto child = static_cast<PeerId>(msg.seq & 0xffffffffu);
-    const auto it = pending_.find(child);
-    if (it == pending_.end()) return;  // late ack after a retransmission cycle
-    sim.cancel(it->second);
-    pending_.erase(it);
+  void forward_to_children() {
+    for (PeerId child : tree_.children(id())) {
+      // One transfer per tree edge, so the edge itself is the sequence.
+      const std::uint64_t seq = (static_cast<std::uint64_t>(id()) << 32) | child;
+      hop_.send(id(), child, seq, DataMsg{seq});
+    }
   }
 
   const MulticastTree& tree_;
-  const DisseminationConfig& config_;
+  ReliableHopLayer& hop_;
   DisseminationResult& shared_;
-  std::unordered_map<PeerId, sim::EventId> pending_;
   bool has_payload_ = false;
 };
 
@@ -111,14 +91,24 @@ DisseminationResult run_dissemination(const MulticastTree& tree,
   sim.network().set_latency(latency);
   sim.network().set_loss(std::move(loss));
 
+  ReliableHopLayer hop(sim, kDataKind, kAckKind,
+                       ReliabilityConfig{QoS::kAcked, config.ack_timeout,
+                                         config.max_retries});
+
   std::vector<std::unique_ptr<DisseminationNode>> nodes;
   nodes.reserve(n);
   for (PeerId p = 0; p < n; ++p) {
-    nodes.push_back(std::make_unique<DisseminationNode>(p, tree, config, result));
+    nodes.push_back(std::make_unique<DisseminationNode>(p, tree, hop, result));
     sim.add_node(*nodes[p]);
   }
   sim.schedule_at(0.0, [&]() { nodes[tree.root()]->deliver_locally(sim); });
   sim.run_until_idle();
+
+  const HopStats& hops = hop.stats();
+  result.data_messages = hops.data_messages;
+  result.ack_messages = hops.ack_messages;
+  result.retransmissions = hops.retransmissions;
+  result.abandoned_hops = hops.abandoned_hops;
   return result;
 }
 

@@ -6,7 +6,10 @@
 // way: each hop is acknowledged, and the sender retransmits after a timeout
 // until the ack arrives or a retry budget is exhausted. Receivers detect
 // duplicates by sequence number (a retransmission whose original made it
-// through) — duplicates are re-acked but not re-forwarded.
+// through) — duplicates are re-acked but not re-forwarded. The
+// ack/timeout/retransmit cycle itself lives in the shared per-hop
+// reliability layer (multicast/reliable_hop.hpp); this runner is a thin
+// client that adds tree forwarding and delivery bookkeeping.
 //
 // Everything runs on the discrete-event simulator; the result reports
 // delivery coverage, per-peer delivery times, message/retransmission
@@ -27,7 +30,9 @@ inline constexpr sim::MessageKind kAckKind = 12;
 struct DisseminationConfig {
   /// Time a sender waits for an ack before retransmitting.
   double ack_timeout = 0.25;
-  /// Retransmissions allowed per (sender, child) hop; 0 = fire-and-forget.
+  /// Retransmissions allowed per (sender, child) hop; 0 = single try
+  /// (still acked, and a missing ack still counts as an abandoned hop —
+  /// for a true no-ack push see reliable_hop.hpp's QoS::kFireAndForget).
   std::size_t max_retries = 5;
 };
 

@@ -1,0 +1,82 @@
+#include "multicast/reliable_hop.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace geomcast::multicast {
+
+ReliableHopLayer::ReliableHopLayer(sim::Simulator& sim, sim::MessageKind data_kind,
+                                   sim::MessageKind ack_kind, ReliabilityConfig config,
+                                   Hooks hooks)
+    : sim_(sim),
+      data_kind_(data_kind),
+      ack_kind_(ack_kind),
+      config_(config),
+      hooks_(std::move(hooks)) {}
+
+void ReliableHopLayer::send(sim::NodeId from, sim::NodeId to, std::uint64_t seq,
+                            std::any payload) {
+  if (config_.qos == QoS::kFireAndForget) {
+    sim_.send(from, to, data_kind_, std::move(payload));
+    ++stats_.data_messages;
+    return;
+  }
+  const Key key{from, to, seq};
+  const auto [it, inserted] = pending_.try_emplace(key);
+  if (!inserted)
+    throw std::logic_error("ReliableHopLayer::send: seq already pending on this hop");
+  it->second.payload = std::move(payload);
+  transmit(key, /*attempt=*/0);
+}
+
+void ReliableHopLayer::transmit(const Key& key, std::size_t attempt) {
+  const auto& [from, to, seq] = key;
+  Pending& entry = pending_.at(key);
+  sim_.send(from, to, data_kind_, entry.payload);
+  ++stats_.data_messages;
+  if (attempt > 0) {
+    ++stats_.retransmissions;
+    sim_.network().note_retransmission();
+    if (hooks_.on_retransmit) hooks_.on_retransmit(from, to, seq, entry.payload);
+  }
+  entry.attempt = attempt;
+  // Arm the retransmission timer; on_ack cancels it.
+  entry.timer =
+      sim_.schedule_after(config_.ack_timeout, [this, key]() { on_timeout(key); });
+}
+
+void ReliableHopLayer::on_timeout(const Key& key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  const auto& [from, to, seq] = key;
+  if (hooks_.sender_alive && !hooks_.sender_alive(from)) {
+    pending_.erase(it);
+    return;
+  }
+  if (it->second.attempt < config_.max_retries) {
+    transmit(key, it->second.attempt + 1);
+    return;
+  }
+  ++stats_.abandoned_hops;
+  sim_.network().note_abandoned();
+  if (hooks_.on_abandon) hooks_.on_abandon(from, to, seq, it->second.payload);
+  pending_.erase(it);
+}
+
+void ReliableHopLayer::acknowledge(sim::NodeId self, sim::NodeId sender,
+                                   std::uint64_t seq) {
+  if (config_.qos == QoS::kFireAndForget) return;
+  sim_.send(self, sender, ack_kind_, HopAck{seq});
+  ++stats_.ack_messages;
+}
+
+void ReliableHopLayer::on_ack(const sim::Envelope& envelope) {
+  const auto& ack = std::any_cast<const HopAck&>(envelope.payload);
+  // The acker is the hop's receiver, the addressee its sender.
+  const auto it = pending_.find(Key{envelope.to, envelope.from, ack.seq});
+  if (it == pending_.end()) return;  // late ack: hop already retired
+  sim_.cancel(it->second.timer);
+  pending_.erase(it);
+}
+
+}  // namespace geomcast::multicast

@@ -1,0 +1,133 @@
+// Per-hop reliability for payload traffic on the simulated network — the
+// ack/timeout/retransmit/duplicate-suppression core that run_dissemination
+// pioneered, extracted so every payload path (single-shot dissemination,
+// the groups pub/sub data plane, future subsystems) shares one protocol.
+//
+// The protocol is the standard per-hop one (MQTT-SN QoS 1 style): each
+// data envelope is acknowledged by its receiver; the sender retransmits
+// after `ack_timeout` until the ack arrives or `max_retries` copies have
+// been resent, at which point the hop is abandoned. Receivers must re-ack
+// every arrival — duplicates included — because the duplicate's existence
+// means the previous ack may have been the lost message; duplicate
+// *detection* stays with the client (it owns the dedup key: "payload held"
+// for dissemination, (group, seq) for pub/sub), which reports suppressed
+// copies through Network::note_duplicate().
+//
+// Under QoS 0 the layer degrades to a plain send: no acks, no timers, no
+// retransmissions — bit-for-bit the fire-and-forget path, so clients can
+// route all payload sends through it unconditionally.
+//
+// One layer instance serves every peer of a simulation: pending
+// retransmission state is keyed by (sender, receiver, seq), so `seq` must
+// be unique per logical transfer (per wave in pub/sub, per edge in
+// single-shot dissemination). Aggregate counters land in HopStats and are
+// mirrored into the simulator's NetworkStats via the note_* hooks;
+// per-client attribution (e.g. per-group stats) goes through Hooks.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <tuple>
+
+#include "sim/simulator.hpp"
+
+namespace geomcast::multicast {
+
+/// Delivery guarantee for a payload hop (the MQTT QoS ladder's first two
+/// rungs; end-to-end NACK/repair — QoS 2 — is a ROADMAP follow-on).
+enum class QoS : int {
+  kFireAndForget = 0,  ///< one send, no acks, no timers
+  kAcked = 1,          ///< per-hop ack + timeout/retransmit
+};
+
+struct ReliabilityConfig {
+  QoS qos = QoS::kAcked;
+  /// Time a sender waits for an ack before retransmitting.
+  double ack_timeout = 0.25;
+  /// Retransmissions allowed per hop; 0 = single try (still acked, and
+  /// abandonment is still counted when the ack never arrives).
+  std::size_t max_retries = 5;
+};
+
+/// Ack payload: the receiver echoes the transfer's `seq`; together with
+/// the envelope's (from, to) it identifies the pending hop.
+struct HopAck {
+  std::uint64_t seq = 0;
+};
+
+/// Aggregate accounting across every hop the layer carried.
+struct HopStats {
+  std::uint64_t data_messages = 0;  ///< sends, retransmissions included
+  std::uint64_t ack_messages = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t abandoned_hops = 0;  ///< retry budgets exhausted
+};
+
+class ReliableHopLayer {
+ public:
+  /// Per-event callbacks for client-side attribution (the stored payload is
+  /// passed back so e.g. pub/sub can charge the right group's stats).
+  struct Hooks {
+    std::function<void(sim::NodeId from, sim::NodeId to, std::uint64_t seq,
+                       const std::any& payload)>
+        on_retransmit;
+    std::function<void(sim::NodeId from, sim::NodeId to, std::uint64_t seq,
+                       const std::any& payload)>
+        on_abandon;
+    /// Consulted when a timer fires: a dead sender's pending hops are
+    /// dropped silently (no retransmission from beyond the grave, and no
+    /// abandonment charged — churn accounting lives elsewhere).
+    std::function<bool(sim::NodeId)> sender_alive;
+  };
+
+  /// The layer sends data as `data_kind` and expects acks as `ack_kind`
+  /// carrying a HopAck payload. `sim` must outlive the layer.
+  ReliableHopLayer(sim::Simulator& sim, sim::MessageKind data_kind,
+                   sim::MessageKind ack_kind, ReliabilityConfig config = {},
+                   Hooks hooks = {});
+  ReliableHopLayer(const ReliableHopLayer&) = delete;
+  ReliableHopLayer& operator=(const ReliableHopLayer&) = delete;
+
+  /// Sender half: transmits `payload` from -> to and, under QoS 1, arms the
+  /// ack-timeout/retransmit cycle. `seq` must be unique per logical
+  /// (from, to) transfer and must not collide with one still pending.
+  void send(sim::NodeId from, sim::NodeId to, std::uint64_t seq, std::any payload);
+
+  /// Receiver half: acknowledge a data arrival back to its sender. Call for
+  /// EVERY arrival, duplicates included — the previous ack may have been
+  /// the lost message, and an unacked sender retransmits until its budget
+  /// dies on a hop that already delivered. No-op under QoS 0.
+  void acknowledge(sim::NodeId self, sim::NodeId sender, std::uint64_t seq);
+
+  /// Dispatch an `ack_kind` envelope: cancels the matching pending
+  /// retransmission. Late acks (hop already retired) are ignored.
+  void on_ack(const sim::Envelope& envelope);
+
+  [[nodiscard]] const HopStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ReliabilityConfig& config() const noexcept { return config_; }
+  /// Hops still awaiting an ack (0 once the simulation drained).
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+
+ private:
+  using Key = std::tuple<sim::NodeId, sim::NodeId, std::uint64_t>;
+  struct Pending {
+    std::any payload;
+    std::size_t attempt = 0;
+    sim::EventId timer = 0;
+  };
+
+  void transmit(const Key& key, std::size_t attempt);
+  void on_timeout(const Key& key);
+
+  sim::Simulator& sim_;
+  sim::MessageKind data_kind_;
+  sim::MessageKind ack_kind_;
+  ReliabilityConfig config_;
+  Hooks hooks_;
+  HopStats stats_;
+  std::map<Key, Pending> pending_;
+};
+
+}  // namespace geomcast::multicast

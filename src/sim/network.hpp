@@ -66,6 +66,13 @@ struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
+  // Reliability-protocol accounting, reported through the note_* hooks by
+  // the per-hop ack/retransmit layer (multicast/reliable_hop.hpp) and its
+  // clients — the transport itself cannot tell a retransmission from a
+  // first copy or a duplicate from fresh data.
+  std::uint64_t retransmitted = 0;    ///< copies resent after an ack timeout
+  std::uint64_t duplicate_data = 0;   ///< duplicate arrivals receivers suppressed
+  std::uint64_t abandoned_hops = 0;   ///< hops whose retry budget ran out
   std::map<MessageKind, std::uint64_t> sent_by_kind;
   std::vector<std::uint64_t> sent_by_node;
   std::vector<std::uint64_t> received_by_node;
@@ -85,6 +92,11 @@ class Network {
   [[nodiscard]] std::optional<SimTime> admit(const Envelope& envelope);
 
   void note_delivered(const Envelope& envelope);
+
+  // Reliability-layer reporting (see NetworkStats).
+  void note_retransmission() noexcept { ++stats_.retransmitted; }
+  void note_duplicate() noexcept { ++stats_.duplicate_data; }
+  void note_abandoned() noexcept { ++stats_.abandoned_hops; }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }

@@ -1,0 +1,227 @@
+// Loss-focused battery for the reliable pub/sub data plane (QoS 1): a
+// per-link loss sweep comparing the QoS ladder, retry-budget exhaustion
+// accounting, the duplicate-must-still-ack regression, and bit-identical
+// stats under a fixed seed. Labelled `slow` in ctest: the sweep runs six
+// full simulations on one overlay.
+#include "groups/pubsub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "geometry/random_points.hpp"
+#include "overlay/empty_rect.hpp"
+#include "overlay/equilibrium.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::groups {
+namespace {
+
+overlay::OverlayGraph make_overlay(std::size_t n, std::size_t dims, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto points = geometry::random_points(rng, n, dims, 100.0);
+  return overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+}
+
+struct ScenarioResult {
+  GroupStats total;
+  sim::NetworkStats net;
+};
+
+/// The battery's standard workload: `group_count` groups x `subscribers`
+/// members each (staggered subscribes in (0, 1)), `publishes` publishes per
+/// group over [2, 6), no churn — loss is the variable under test.
+ScenarioResult run_scenario(const overlay::OverlayGraph& graph, multicast::QoS qos,
+                            double loss_p, std::uint64_t seed,
+                            std::function<bool(const sim::Envelope&)> drop_if = {},
+                            std::size_t group_count = 4, std::size_t subscribers = 14,
+                            std::size_t publishes = 5) {
+  PubSubConfig config;
+  config.seed = seed;
+  config.loss.drop_probability = loss_p;
+  config.loss.drop_if = std::move(drop_if);
+  config.reliability.qos = qos;
+  config.reliability.ack_timeout = 0.05;
+  config.reliability.max_retries = 5;
+  PubSubSystem system(graph, config);
+
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (GroupId g = 0; g < group_count; ++g) {
+    const PeerId root = system.manager().root_of(g);
+    std::vector<bool> chosen(graph.size(), false);
+    std::vector<PeerId> members;
+    while (members.size() < subscribers) {
+      const auto p = static_cast<PeerId>(rng.next_below(graph.size()));
+      if (chosen[p] || p == root) continue;
+      chosen[p] = true;
+      members.push_back(p);
+      system.subscribe_at(0.001 * static_cast<double>(members.size()), p, g);
+    }
+    for (std::size_t i = 0; i < publishes; ++i)
+      system.publish_at(2.0 + 0.8 * static_cast<double>(i), members[i % subscribers], g);
+  }
+  system.run();
+  return {system.total_stats(), system.simulator().stats()};
+}
+
+TEST(GroupsReliabilityTest, LossSweepQoS1HoldsDeliveryWhereQoS0Degrades) {
+  const auto graph = make_overlay(220, 2, 901);
+  for (const double p : {0.0, 0.05, 0.15}) {
+    SCOPED_TRACE("loss=" + std::to_string(p));
+    const auto q0 = run_scenario(graph, multicast::QoS::kFireAndForget, p, 17);
+    const auto q1 = run_scenario(graph, multicast::QoS::kAcked, p, 17);
+
+    EXPECT_GE(q1.total.delivery_ratio(), 0.99);
+    if (p == 0.0) {
+      // Identical outcomes, and the acked plane pays exactly one ack per
+      // payload hop for them.
+      EXPECT_DOUBLE_EQ(q0.total.delivery_ratio(), 1.0);
+      EXPECT_DOUBLE_EQ(q1.total.delivery_ratio(), 1.0);
+      EXPECT_EQ(q1.total.retransmissions, 0u);
+      EXPECT_EQ(q1.total.ack_messages, q1.total.payload_messages);
+    } else {
+      // Fire-and-forget measurably degrades; the acked plane holds.
+      EXPECT_LT(q0.total.delivery_ratio(), 0.99);
+      EXPECT_LT(q0.total.delivery_ratio(), q1.total.delivery_ratio() - 0.01);
+      EXPECT_GT(q1.total.retransmissions, 0u);
+    }
+    // QoS 0 never touches the reliability machinery.
+    EXPECT_EQ(q0.total.ack_messages, 0u);
+    EXPECT_EQ(q0.total.retransmissions, 0u);
+    EXPECT_EQ(q0.total.abandoned_hops, 0u);
+    EXPECT_EQ(q0.total.duplicate_deliveries, 0u);
+    EXPECT_EQ(q0.net.sent_by_kind.count(kDeliverAckKind), 0u);
+    // Per-group counters and the simulator's network view must agree.
+    EXPECT_EQ(q1.total.retransmissions, q1.net.retransmitted);
+    EXPECT_EQ(q1.total.duplicate_deliveries, q1.net.duplicate_data);
+    EXPECT_EQ(q1.total.abandoned_hops, q1.net.abandoned_hops);
+  }
+}
+
+TEST(GroupsReliabilityTest, RetryBudgetExhaustionSurfacesAsAbandonedHops) {
+  const auto graph = make_overlay(120, 2, 902);
+  // Sever one subscriber's incoming payload link entirely: every wave's hop
+  // to it must burn the full budget and be reported abandoned.
+  const GroupId g = 0;
+  const std::size_t publishes = 3;
+  auto victim = std::make_shared<PeerId>(kInvalidPeer);
+  PubSubConfig config;
+  config.seed = 23;
+  config.loss.drop_if = [victim](const sim::Envelope& e) {
+    return e.kind == kDeliverKind && e.to == *victim;
+  };
+  config.reliability.qos = multicast::QoS::kAcked;
+  config.reliability.ack_timeout = 0.05;
+  config.reliability.max_retries = 5;
+  PubSubSystem system(graph, config);
+
+  const PeerId root = system.manager().root_of(g);
+  std::vector<PeerId> members;
+  for (PeerId p = 0; members.size() < 10; ++p)
+    if (p != root) members.push_back(p);
+  for (std::size_t i = 0; i < members.size(); ++i)
+    system.subscribe_at(0.001 * static_cast<double>(i + 1), members[i], g);
+  *victim = members[3];
+  for (std::size_t i = 0; i < publishes; ++i)
+    system.publish_at(2.0 + 0.8 * static_cast<double>(i), members[i], g);
+  system.run();
+
+  const auto& stats = system.stats(g);
+  ASSERT_EQ(stats.publishes, publishes);
+  EXPECT_EQ(stats.abandoned_hops, publishes);          // one dead hop per wave
+  EXPECT_EQ(stats.retransmissions, publishes * 5);     // the full budget each time
+  EXPECT_LT(stats.delivery_ratio(), 1.0);
+  EXPECT_EQ(system.simulator().stats().abandoned_hops, stats.abandoned_hops);
+}
+
+TEST(GroupsReliabilityTest, DuplicateDeliverIsStillAckedRegression) {
+  // Regression for the dedup/ack interaction: when a link's first ack is
+  // lost, the retransmission hits the per-(group, seq) dedup as a
+  // duplicate. The duplicate MUST still be acked — otherwise the sender
+  // keeps retransmitting until its budget dies on a link that already
+  // delivered (abandoned_hops > 0, retransmissions = budget x links).
+  const auto graph = make_overlay(120, 2, 903);
+  auto acks_dropped = std::make_shared<std::set<std::pair<sim::NodeId, sim::NodeId>>>();
+  auto drop_first_ack_per_link = [acks_dropped](const sim::Envelope& e) {
+    if (e.kind != kDeliverAckKind) return false;
+    return acks_dropped->emplace(e.from, e.to).second;  // first ack on this link
+  };
+  const auto lossy = run_scenario(graph, multicast::QoS::kAcked, 0.0, 29,
+                                  drop_first_ack_per_link);
+  const auto clean = run_scenario(graph, multicast::QoS::kAcked, 0.0, 29);
+
+  ASSERT_GT(lossy.total.duplicate_deliveries, 0u);
+  // The re-ack rescued every sender: nothing abandoned, one retransmission
+  // per suppressed duplicate, and delivery untouched.
+  EXPECT_EQ(lossy.total.abandoned_hops, 0u);
+  EXPECT_EQ(lossy.total.retransmissions, lossy.total.duplicate_deliveries);
+  EXPECT_DOUBLE_EQ(lossy.total.delivery_ratio(), 1.0);
+  EXPECT_EQ(lossy.total.deliveries, clean.total.deliveries);
+  // Duplicates were not re-forwarded: first-copy payload traffic matches
+  // the undisturbed run exactly.
+  EXPECT_EQ(lossy.total.payload_messages, clean.total.payload_messages);
+}
+
+TEST(GroupsReliabilityTest, StatsAreBitIdenticalAcrossRunsWithTheSameSeed) {
+  const auto graph = make_overlay(150, 2, 904);
+  const auto a = run_scenario(graph, multicast::QoS::kAcked, 0.15, 31);
+  const auto b = run_scenario(graph, multicast::QoS::kAcked, 0.15, 31);
+
+  EXPECT_EQ(a.total.subscribes, b.total.subscribes);
+  EXPECT_EQ(a.total.publishes, b.total.publishes);
+  EXPECT_EQ(a.total.expected_deliveries, b.total.expected_deliveries);
+  EXPECT_EQ(a.total.deliveries, b.total.deliveries);
+  EXPECT_EQ(a.total.duplicate_deliveries, b.total.duplicate_deliveries);
+  EXPECT_EQ(a.total.payload_messages, b.total.payload_messages);
+  EXPECT_EQ(a.total.ack_messages, b.total.ack_messages);
+  EXPECT_EQ(a.total.retransmissions, b.total.retransmissions);
+  EXPECT_EQ(a.total.abandoned_hops, b.total.abandoned_hops);
+  EXPECT_EQ(a.total.control_messages, b.total.control_messages);
+  EXPECT_EQ(a.total.stranded_messages, b.total.stranded_messages);
+  EXPECT_EQ(a.net.sent, b.net.sent);
+  EXPECT_EQ(a.net.delivered, b.net.delivered);
+  EXPECT_EQ(a.net.dropped, b.net.dropped);
+  EXPECT_EQ(a.net.retransmitted, b.net.retransmitted);
+  EXPECT_EQ(a.net.duplicate_data, b.net.duplicate_data);
+  EXPECT_EQ(a.net.abandoned_hops, b.net.abandoned_hops);
+  EXPECT_EQ(a.net.sent_by_kind, b.net.sent_by_kind);
+}
+
+TEST(GroupsReliabilityTest, QoSZeroPathIsUnaffectedByReliabilitySettings) {
+  // Under QoS 0 the ack_timeout/max_retries knobs must be inert: the layer
+  // is a passthrough and the run is bit-identical whatever they say.
+  const auto graph = make_overlay(100, 2, 905);
+  auto run_with = [&](double timeout, std::size_t retries) {
+    PubSubConfig config;
+    config.seed = 11;
+    config.loss.drop_probability = 0.1;
+    config.reliability.qos = multicast::QoS::kFireAndForget;
+    config.reliability.ack_timeout = timeout;
+    config.reliability.max_retries = retries;
+    PubSubSystem system(graph, config);
+    const auto members_seed = 61;
+    util::Rng rng(members_seed);
+    const PeerId root = system.manager().root_of(1);
+    std::vector<PeerId> members;
+    std::vector<bool> chosen(graph.size(), false);
+    while (members.size() < 12) {
+      const auto p = static_cast<PeerId>(rng.next_below(graph.size()));
+      if (chosen[p] || p == root) continue;
+      chosen[p] = true;
+      members.push_back(p);
+      system.subscribe_at(0.001 * static_cast<double>(members.size()), p, 1);
+    }
+    for (std::size_t i = 0; i < 4; ++i)
+      system.publish_at(2.0 + 0.5 * static_cast<double>(i), members[i], 1);
+    system.run();
+    return std::make_tuple(system.stats(1).deliveries, system.stats(1).payload_messages,
+                           system.stats(1).control_messages,
+                           system.simulator().stats().sent,
+                           system.simulator().stats().dropped);
+  };
+  EXPECT_EQ(run_with(0.05, 5), run_with(9.0, 0));
+}
+
+}  // namespace
+}  // namespace geomcast::groups

@@ -1,0 +1,48 @@
+#include "groups/failure_injection.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace geomcast::groups {
+
+void schedule_midwave_kill(
+    PubSubSystem& system, GroupId group, double wave_time,
+    const std::vector<bool>& member_anywhere,
+    std::function<void(PeerId relay, std::size_t severed_subscribers)> on_kill) {
+  system.simulator().schedule_at(
+      wave_time + 0.001,
+      [&system, group, wave_time, &member_anywhere, on_kill = std::move(on_kill)]() {
+        const GroupTree* gt = system.manager().cached_tree(group);
+        if (gt == nullptr) return;
+        const auto depths = gt->tree.depths();
+        PeerId best = kInvalidPeer;
+        std::size_t best_subs = 0;
+        for (PeerId p = 0; p < member_anywhere.size(); ++p) {
+          if (!gt->tree.reached(p) || p == gt->tree.root()) continue;
+          if (member_anywhere[p] || !system.manager().alive(p)) continue;
+          if (gt->tree.children(p).empty()) continue;
+          std::size_t subs = 0;  // subscriber descendants via DFS
+          std::vector<PeerId> stack{p};
+          while (!stack.empty()) {
+            const PeerId q = stack.back();
+            stack.pop_back();
+            if (gt->is_subscriber[q]) ++subs;
+            for (const PeerId c : gt->tree.children(q)) stack.push_back(c);
+          }
+          if (subs > best_subs) {
+            best = p;
+            best_subs = subs;
+          }
+        }
+        if (best == kInvalidPeer) return;
+        if (on_kill) on_kill(best, best_subs);
+        // Depart just before the wave's constant-latency arrival at the
+        // relay's tree depth, clamped to "now" for depth-1 relays.
+        const double arrival = wave_time + 0.01 * static_cast<double>(depths[best]);
+        system.simulator().schedule_at(
+            std::max(arrival - 0.005, system.simulator().now()),
+            [&system, best]() { system.manager().handle_departure(best); });
+      });
+}
+
+}  // namespace geomcast::groups

@@ -1,0 +1,37 @@
+// Deterministic failure injection for pub/sub scenarios — the harness
+// side of the QoS story. The headline injector severs a forwarding relay
+// in the middle of a publish wave: exactly the failure per-hop QoS 1 is
+// blind to (the relay's whole subtree silently misses the wave) and the
+// QoS 2 NACK/gap-repair plane exists to recover. Used by the
+// bench_pubsub_throughput --midwave mode and the QoS 2 test batteries so
+// both drive the identical scenario.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "groups/pubsub.hpp"
+
+namespace geomcast::groups {
+
+/// Schedules a mid-wave kill for `group` on `system`'s simulator: shortly
+/// after the wave published at `wave_time` starts, picks the relay
+/// (in-tree, non-root, alive, and subscribed nowhere per
+/// `member_anywhere`) with the most subscriber descendants and departs it
+/// just before the wave reaches it, severing the subtree mid-flight.
+/// Excluding subscribers keeps the measurement clean: a departed
+/// subscriber's own expected deliveries are unrecoverable at any QoS and
+/// would blur the subtree-repair signal.
+///
+/// `on_kill(relay, severed_subscribers)` fires at selection time (not at
+/// all when no candidate exists). `system` and `member_anywhere` must
+/// outlive the run; the wave at `wave_time` should publish from the
+/// group's root so the wave start — and the arrival-time estimate the
+/// kill is timed against — is exact.
+void schedule_midwave_kill(
+    PubSubSystem& system, GroupId group, double wave_time,
+    const std::vector<bool>& member_anywhere,
+    std::function<void(PeerId relay, std::size_t severed_subscribers)> on_kill);
+
+}  // namespace geomcast::groups

@@ -8,6 +8,18 @@
 
 namespace geomcast::groups {
 
+std::size_t RetainedBuffer::retain(std::uint64_t seq, std::any payload) {
+  entries_.insert_or_assign(seq, std::move(payload));
+  if (entries_.size() <= capacity_) return 0;
+  entries_.erase(entries_.begin());  // lowest seq goes first
+  return 1;
+}
+
+const std::any* RetainedBuffer::find(std::uint64_t seq) const {
+  const auto it = entries_.find(seq);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
 GroupManager::GroupManager(const overlay::OverlayGraph& graph, GroupConfig config)
     : graph_(graph), config_(config), alive_(graph.size(), true) {
   if (graph.size() == 0)
@@ -159,6 +171,45 @@ std::shared_ptr<const GroupTree> GroupManager::tree_snapshot(GroupId group) {
   return gs.cached;
 }
 
+const GroupTree* GroupManager::cached_tree(GroupId group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end() || it->second.dirty) return nullptr;
+  return it->second.cached.get();
+}
+
+std::size_t GroupManager::retain_payload(PeerId peer, GroupId group, std::uint64_t seq,
+                                         std::any payload) {
+  if (config_.retention_window == 0) return 0;
+  auto& buffer = retained_[peer]
+                     .try_emplace(group, config_.retention_window)
+                     .first->second;
+  const std::size_t evicted = buffer.retain(seq, std::move(payload));
+  retained_peak_ = std::max(retained_peak_, buffer.size());
+  return evicted;
+}
+
+const std::any* GroupManager::retained_payload(PeerId peer, GroupId group,
+                                               std::uint64_t seq) const {
+  const auto pit = retained_.find(peer);
+  if (pit == retained_.end()) return nullptr;
+  const auto git = pit->second.find(group);
+  if (git == pit->second.end()) return nullptr;
+  return git->second.find(seq);
+}
+
+std::size_t GroupManager::retained_entry_total() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [peer, buffers] : retained_)
+    for (const auto& [group, buffer] : buffers) total += buffer.size();
+  return total;
+}
+
+std::size_t GroupManager::retained_buffer_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [peer, buffers] : retained_) count += buffers.size();
+  return count;
+}
+
 GroupManager::PublishReceipt GroupManager::publish(GroupId group) {
   GroupState& gs = state_of(group);
   ++gs.stats.publishes;
@@ -179,6 +230,9 @@ void GroupManager::handle_departure(PeerId peer) {
     throw std::invalid_argument("GroupManager::handle_departure: peer out of range");
   if (!alive_[peer]) return;
   alive_[peer] = false;
+  // The dead serve no repairs: drop the peer's retained history (NACKs
+  // that would have landed here escalate to the next ancestor instead).
+  retained_.erase(peer);
   for (auto& [group, gs] : groups_) {
     if (gs.subscribers[peer]) {
       gs.subscribers[peer] = false;

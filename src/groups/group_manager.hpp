@@ -16,6 +16,8 @@
 // the rendezvous root itself departs and the group migrates.
 #pragma once
 
+#include <any>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
@@ -26,6 +28,35 @@
 
 namespace geomcast::groups {
 
+/// Bounded per-(peer, group) payload retention backing QoS 2 gap repair:
+/// the root and every forwarder keep the last `capacity` waves they pushed
+/// down the tree so a subscriber's NACK can be answered from the nearest
+/// in-tree ancestor instead of the publisher. Eviction is oldest-seq-first,
+/// so memory per buffer is hard-bounded by the configured retention window
+/// (each entry also pins its wave's tree snapshot, which is shared across
+/// the window's entries in the common unchanged-tree case).
+class RetainedBuffer {
+ public:
+  explicit RetainedBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Retains `payload` for `seq`; evicts the lowest retained seq when the
+  /// buffer would exceed capacity. Returns evictions performed (0 or 1; a
+  /// zero-capacity buffer evicts the new entry itself). Re-retaining a
+  /// held seq overwrites in place.
+  std::size_t retain(std::uint64_t seq, std::any payload);
+
+  /// The retained payload for `seq`, or nullptr when absent (never held,
+  /// or already evicted — the caller escalates to an older ancestor).
+  [[nodiscard]] const std::any* find(std::uint64_t seq) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::map<std::uint64_t, std::any> entries_;
+};
+
 struct GroupConfig {
   /// Delegate-selection rule for group trees (deterministic policies only;
   /// kRandom is rejected by the tree layer).
@@ -35,6 +66,9 @@ struct GroupConfig {
   /// tree stays equal to a fresh build) and never count; only repairs
   /// deviate and accumulate drift.
   double rebuild_threshold = 0.5;
+  /// Waves each QoS 2 repair responder (root / forwarder) retains per
+  /// group; 0 disables retention entirely (every NACK misses).
+  std::size_t retention_window = 64;
   /// Stream tag for hashing group ids to rendezvous points.
   std::uint64_t rendezvous_seed = 0x67656f6d63617374ULL;
 };
@@ -63,6 +97,39 @@ class GroupManager {
   /// tree only while snapshots are outstanding, so unchanged-tree
   /// publishes all share one copy.
   [[nodiscard]] std::shared_ptr<const GroupTree> tree_snapshot(GroupId group);
+
+  /// Pure lookup of the cached tree: no lazy build, no cache-hit
+  /// accounting, nullptr when nothing is cached (or the cache is dirty).
+  /// Observation-only — lets benches/tests inspect the tree a wave in
+  /// flight is using without perturbing the stats they are measuring.
+  [[nodiscard]] const GroupTree* cached_tree(GroupId group) const;
+
+  // -- QoS 2 payload retention -------------------------------------------
+  // Retained buffers are per-peer protocol state, not root state: they
+  // survive tree rebuilds and root migrations untouched (payload history
+  // is independent of tree shape), a migrated-to root simply starts
+  // retaining from its first forwarded wave, and a departed peer's buffers
+  // are dropped with it — the dead cannot serve repairs, which is exactly
+  // why NACKs escalate ancestor-by-ancestor.
+
+  /// Retains a wave payload at `peer` for later repair service; bounded by
+  /// GroupConfig::retention_window. Returns evictions (0 or 1) so the
+  /// caller can attribute them to the group's stats.
+  std::size_t retain_payload(PeerId peer, GroupId group, std::uint64_t seq,
+                             std::any payload);
+  /// The payload `peer` retained for (group, seq), or nullptr.
+  [[nodiscard]] const std::any* retained_payload(PeerId peer, GroupId group,
+                                                 std::uint64_t seq) const;
+  /// Highest occupancy any single retained buffer ever reached — the
+  /// "memory bounded by the retention window" acceptance gate reads this.
+  [[nodiscard]] std::size_t retained_peak() const noexcept { return retained_peak_; }
+  /// Entries currently retained across all peers and groups.
+  [[nodiscard]] std::size_t retained_entry_total() const noexcept;
+  /// Live (peer, group) retained buffers. Together with
+  /// retained_entry_total() this expresses the memory bound the bench
+  /// gates on: entries <= buffers x retention_window — O(1) per
+  /// responder-group pair, never O(waves published).
+  [[nodiscard]] std::size_t retained_buffer_count() const noexcept;
 
   /// Synchronous (lossless) publish accounting: resolves the tree and
   /// books one payload message per edge and one delivery per spanned
@@ -109,6 +176,10 @@ class GroupManager {
   std::vector<bool> alive_;
   std::vector<double> bounds_lo_, bounds_hi_;  // peer bounding box (immutable)
   std::map<GroupId, GroupState> groups_;
+  /// QoS 2 retention, keyed peer-first so a departure drops the whole
+  /// peer's history in one erase.
+  std::map<PeerId, std::map<GroupId, RetainedBuffer>> retained_;
+  std::size_t retained_peak_ = 0;
 };
 
 }  // namespace geomcast::groups

@@ -17,6 +17,11 @@ double GroupStats::maintenance_per_publish() const noexcept {
          static_cast<double>(publishes);
 }
 
+double GroupStats::mean_gap_latency() const noexcept {
+  if (gap_seqs_repaired == 0) return 0.0;
+  return gap_latency_total / static_cast<double>(gap_seqs_repaired);
+}
+
 GroupStats& GroupStats::operator+=(const GroupStats& other) noexcept {
   subscribes += other.subscribes;
   unsubscribes += other.unsubscribes;
@@ -28,6 +33,18 @@ GroupStats& GroupStats::operator+=(const GroupStats& other) noexcept {
   ack_messages += other.ack_messages;
   retransmissions += other.retransmissions;
   abandoned_hops += other.abandoned_hops;
+  gap_seqs_detected += other.gap_seqs_detected;
+  gap_seqs_repaired += other.gap_seqs_repaired;
+  gap_seqs_abandoned += other.gap_seqs_abandoned;
+  nacks_sent += other.nacks_sent;
+  nacked_seqs += other.nacked_seqs;
+  nack_deferrals += other.nack_deferrals;
+  repairs_served += other.repairs_served;
+  repair_misses += other.repair_misses;
+  repair_escalations += other.repair_escalations;
+  retained_evictions += other.retained_evictions;
+  pre_window_deliveries += other.pre_window_deliveries;
+  gap_latency_total += other.gap_latency_total;
   control_messages += other.control_messages;
   stranded_messages += other.stranded_messages;
   tree_builds += other.tree_builds;
@@ -55,6 +72,14 @@ std::string GroupStats::summary() const {
       << repairs << " (msgs " << repair_messages << ", failures " << repair_failures
       << ") root_migrations=" << root_migrations
       << " stranded_subscribers=" << stranded_subscribers;
+  if (gap_seqs_detected > 0 || nacks_sent > 0)
+    out << " gaps=" << gap_seqs_detected << " (repaired " << gap_seqs_repaired
+        << ", abandoned " << gap_seqs_abandoned << ", mean_latency "
+        << util::format_number(mean_gap_latency(), 4) << ") nacks=" << nacks_sent
+        << " (seqs " << nacked_seqs << ", deferrals " << nack_deferrals
+        << ") repairs_served=" << repairs_served << " (misses " << repair_misses
+        << ", escalations " << repair_escalations << ") retained_evictions="
+        << retained_evictions;
   return out.str();
 }
 

@@ -32,11 +32,31 @@ struct GroupStats {
   /// Per-hop payload messages down group trees (one per tree edge per
   /// publish; relays included, retransmissions counted separately below).
   std::uint64_t payload_messages = 0;
-  // Per-hop reliability (QoS 1 only): the pub/sub data plane runs its
+  // Per-hop reliability (QoS 1 and up): the pub/sub data plane runs its
   // kDeliverKind hops through multicast/reliable_hop.hpp.
   std::uint64_t ack_messages = 0;      // kDeliverAckKind envelopes sent
   std::uint64_t retransmissions = 0;   // payload copies resent on ack timeout
   std::uint64_t abandoned_hops = 0;    // hops whose retry budget ran out
+  // End-to-end gap repair (QoS 2 only): subscriber-side sequence windows
+  // detect missing per-group seqs and repair them from retained copies at
+  // the tree parent, escalating ancestor-by-ancestor to the root.
+  std::uint64_t gap_seqs_detected = 0;   // seqs a subscriber found missing
+  std::uint64_t gap_seqs_repaired = 0;   // gaps filled by repair or late data
+  std::uint64_t gap_seqs_abandoned = 0;  // gaps given up (window skipped on)
+  std::uint64_t nacks_sent = 0;          // batched kNackKind envelopes
+  std::uint64_t nacked_seqs = 0;         // missing seqs across those NACKs
+  std::uint64_t nack_deferrals = 0;      // rounds deferred to in-flight QoS 1 recovery
+  std::uint64_t repairs_served = 0;      // kRepairKind envelopes resent by responders
+  std::uint64_t repair_misses = 0;       // kRepairMissKind replies (seq not retained)
+  std::uint64_t repair_escalations = 0;  // gaps moved to a higher ancestor
+  std::uint64_t retained_evictions = 0;  // retained waves displaced by newer ones
+  /// Deliveries released below an already-advanced window head — possible
+  /// only when a subscriber's very first waves race (see pubsub.hpp on the
+  /// QoS 2 ordering guarantee).
+  std::uint64_t pre_window_deliveries = 0;
+  /// Sum over repaired gaps of (fill time - detection time), in simulated
+  /// seconds; mean_gap_latency() is the derived per-gap figure.
+  double gap_latency_total = 0.0;
   /// Routed control hops (subscribe/unsubscribe/publish envelopes on their
   /// way to the group root).
   std::uint64_t control_messages = 0;
@@ -66,6 +86,9 @@ struct GroupStats {
   /// Tree maintenance messages (builds + grafts/prunes/repairs) per
   /// publish; the "repair overhead" axis of the bench.
   [[nodiscard]] double maintenance_per_publish() const noexcept;
+  /// Mean simulated seconds from gap detection to repair; 0 when no gap
+  /// was repaired.
+  [[nodiscard]] double mean_gap_latency() const noexcept;
 
   GroupStats& operator+=(const GroupStats& other) noexcept;
 

@@ -7,6 +7,83 @@
 
 namespace geomcast::groups {
 
+void SubscriberWindow::release_run(std::vector<std::uint64_t>& released) {
+  while (true) {
+    if (held_.erase(next_expected_) > 0) {
+      released.push_back(next_expected_);
+      ++next_expected_;
+    } else if (skipped_.erase(next_expected_) > 0) {
+      ++next_expected_;  // abandoned earlier: pass over silently
+    } else {
+      break;
+    }
+  }
+}
+
+SubscriberWindow::Arrival SubscriberWindow::observe(std::uint64_t seq) {
+  Arrival arrival;
+  if (!initialized_) {
+    // Late joiners start at whatever wave reaches them first; the history
+    // before it was never owed to this window.
+    initialized_ = true;
+    next_expected_ = seq;
+  }
+  if (seq < next_expected_) {
+    // First sighting below the head (init race or an abandoned gap whose
+    // copy finally straggled in): release out of band, window unchanged.
+    arrival.pre_window = true;
+    return arrival;
+  }
+  if (gaps_.erase(seq) > 0) {
+    // A gap filled (by repair, or by per-hop recovery winning the race).
+    if (seq == next_expected_) {
+      arrival.released.push_back(seq);
+      ++next_expected_;
+      release_run(arrival.released);
+    } else {
+      held_.insert(seq);
+    }
+    return arrival;
+  }
+  if (seq == next_expected_) {
+    arrival.released.push_back(seq);
+    ++next_expected_;
+    release_run(arrival.released);
+    return arrival;
+  }
+  // Ahead of the head: everything between becomes a gap, the arrival is
+  // held back for in-order release.
+  for (std::uint64_t m = next_expected_; m < seq; ++m)
+    if (held_.count(m) == 0 && gaps_.count(m) == 0 && skipped_.count(m) == 0) {
+      gaps_.insert(m);
+      arrival.new_gaps.push_back(m);
+    }
+  held_.insert(seq);
+  // Bounded hold-back: when the buffer overflows, the oldest gaps are the
+  // blockers — give up on them rather than grow without bound. The head is
+  // always a gap here (otherwise it would have been released).
+  while (held_.size() > reorder_limit_) {
+    const std::uint64_t head = next_expected_;
+    gaps_.erase(head);
+    arrival.forced_abandoned.push_back(head);
+    ++next_expected_;
+    release_run(arrival.released);
+  }
+  return arrival;
+}
+
+std::vector<std::uint64_t> SubscriberWindow::abandon(std::uint64_t seq) {
+  std::vector<std::uint64_t> released;
+  if (gaps_.erase(seq) == 0) return released;
+  if (seq == next_expected_) {
+    ++next_expected_;
+    release_run(released);
+  } else {
+    skipped_.insert(seq);  // passed over silently once the head gets there
+  }
+  return released;
+}
+
 /// One simulated peer: dispatches the pub/sub kinds to the system's
 /// handlers. All protocol state lives in the system/manager (the per-root
 /// state each envelope addresses), keeping the node a thin actor shell
@@ -38,6 +115,19 @@ class PubSubSystem::PubSubNode final : public sim::Node {
       }
       case kDeliverAckKind: {
         system_.hop_->on_ack(envelope);
+        return;
+      }
+      case kNackKind: {
+        system_.on_nack(id(), std::any_cast<const GapNack&>(envelope.payload));
+        return;
+      }
+      case kRepairKind: {
+        system_.on_repair(id(), std::any_cast<const GroupDelivery&>(envelope.payload));
+        return;
+      }
+      case kRepairMissKind: {
+        system_.on_repair_miss(id(), envelope.from,
+                               std::any_cast<const GapRepairMiss&>(envelope.payload));
         return;
       }
       default:
@@ -85,6 +175,7 @@ PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig conf
   hop_ = std::make_unique<multicast::ReliableHopLayer>(
       *sim_, kDeliverKind, kDeliverAckKind, config_.reliability, std::move(hooks));
   if (acked()) seen_.resize(graph.size());
+  if (end_to_end()) windows_.resize(graph.size());
 
   nodes_.reserve(graph.size());
   for (PeerId p = 0; p < graph.size(); ++p) {
@@ -158,11 +249,235 @@ void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& de
   // peer can never receive the same wave twice.
   const GroupTree* gt = delivery.tree.get();
   if (gt == nullptr || !gt->tree.reached(self)) return;
-  if (gt->is_subscriber[self]) ++stats.deliveries;
+  // QoS 2 repair responders: the root and every forwarder retain the wave
+  // (bounded per-(peer, group) window) so downstream NACKs can be served
+  // from the nearest ancestor instead of the publisher.
+  if (end_to_end() &&
+      (gt->tree.root() == self || !gt->tree.children(self).empty()))
+    stats.retained_evictions +=
+        manager_->retain_payload(self, delivery.group, delivery.seq, delivery);
+  if (gt->is_subscriber[self]) {
+    if (end_to_end())
+      window_observe(self, delivery);  // in-order release path
+    else
+      deliver_local(self, delivery.group, delivery.seq);
+  }
   for (PeerId child : gt->tree.children(self)) {
     ++stats.payload_messages;
     hop_->send(self, child, delivery.wave, delivery);
   }
+}
+
+void PubSubSystem::deliver_local(PeerId self, GroupId group, std::uint64_t seq) {
+  ++manager_->stats(group).deliveries;
+  if (probe_) probe_(self, group, seq, sim_->now());
+}
+
+void PubSubSystem::window_observe(PeerId self, const GroupDelivery& delivery) {
+  WindowState& ws = windows_[self]
+                        .try_emplace(delivery.group,
+                                     WindowState{SubscriberWindow{config_.repair.reorder_limit},
+                                                 {}, nullptr, 0, false})
+                        .first->second;
+  // Newest wave's snapshot wins: a repair resends an OLD wave, and its
+  // pre-failure tree must not regress the ancestor chain other gaps use.
+  if (ws.latest_tree == nullptr || delivery.wave >= ws.latest_wave) {
+    ws.latest_tree = delivery.tree;
+    ws.latest_wave = delivery.wave;
+  }
+  GroupStats& stats = manager_->stats(delivery.group);
+  // The gap healed — by a kRepairKind, or by per-hop recovery winning the
+  // race before any NACK went out.
+  finish_gap(self, delivery.group, ws, delivery.seq, /*repaired=*/true);
+  const auto arrival = ws.window.observe(delivery.seq);
+  if (arrival.pre_window) {
+    ++stats.pre_window_deliveries;
+    deliver_local(self, delivery.group, delivery.seq);
+    return;
+  }
+  for (const std::uint64_t m : arrival.new_gaps) {
+    ws.gaps.emplace(m, GapState{sim_->now(), 0, 0});
+    ++stats.gap_seqs_detected;
+  }
+  for (const std::uint64_t m : arrival.forced_abandoned) {
+    ws.gaps.erase(m);
+    ++stats.gap_seqs_abandoned;
+  }
+  for (const std::uint64_t m : arrival.released) deliver_local(self, delivery.group, m);
+  if (!ws.gaps.empty()) arm_gap_timer(self, delivery.group, ws);
+}
+
+void PubSubSystem::arm_gap_timer(PeerId self, GroupId group, WindowState& ws) {
+  if (ws.timer_armed) return;
+  ws.timer_armed = true;
+  sim_->schedule_after(config_.repair.gap_timeout,
+                       [this, self, group]() { on_gap_timer(self, group); });
+}
+
+std::vector<PeerId> PubSubSystem::ancestor_chain(PeerId self, const WindowState& ws) const {
+  std::vector<PeerId> chain;
+  const GroupTree* gt = ws.latest_tree.get();
+  if (gt == nullptr || !gt->tree.reached(self)) return chain;
+  for (PeerId p = self; p != gt->tree.root();) {
+    p = gt->tree.parent(p);
+    if (p == kInvalidPeer) break;  // defensive: snapshot trees are rooted
+    if (manager_->alive(p)) chain.push_back(p);
+  }
+  return chain;
+}
+
+void PubSubSystem::finish_gap(PeerId self, GroupId group, WindowState& ws,
+                              std::uint64_t seq, bool repaired) {
+  GroupStats& stats = manager_->stats(group);
+  const auto it = ws.gaps.find(seq);
+  if (it == ws.gaps.end()) return;
+  if (repaired) {
+    stats.gap_latency_total += sim_->now() - it->second.detected_at;
+    ++stats.gap_seqs_repaired;
+  } else {
+    ++stats.gap_seqs_abandoned;
+  }
+  ws.gaps.erase(it);
+  if (!repaired)
+    for (const std::uint64_t m : ws.window.abandon(seq)) deliver_local(self, group, m);
+}
+
+void PubSubSystem::send_nacks(PeerId self, GroupId group, WindowState& ws,
+                              const std::vector<std::uint64_t>& seqs, bool escalate) {
+  GroupStats& stats = manager_->stats(group);
+  const auto chain = ancestor_chain(self, ws);
+  // Batch by target: gaps at different escalation levels NACK different
+  // ancestors, but each ancestor gets at most one envelope per round.
+  std::map<PeerId, std::vector<std::uint64_t>> by_target;
+  for (const std::uint64_t seq : seqs) {
+    const auto it = ws.gaps.find(seq);
+    if (it == ws.gaps.end()) continue;  // already healed or given up
+    GapState& gap = it->second;
+    // Budget: one attempt per ancestor plus bounded slack for lost
+    // NACK/repair envelopes (a root miss short-circuits this in
+    // on_repair_miss).
+    if (chain.empty() ||
+        gap.attempts >= chain.size() + config_.repair.max_nack_attempts) {
+      finish_gap(self, group, ws, seq, /*repaired=*/false);
+      continue;
+    }
+    if (escalate && gap.attempts > 0) {
+      // The previous ancestor had its shot (timeout or explicit miss):
+      // move one level up. Past the root the target saturates there.
+      ++gap.ancestor;
+      if (gap.ancestor < chain.size()) ++stats.repair_escalations;
+    }
+    const PeerId target = chain[std::min(gap.ancestor, chain.size() - 1)];
+    ++gap.attempts;
+    by_target[target].push_back(seq);
+  }
+  for (auto& [target, missing] : by_target) {
+    ++stats.nacks_sent;
+    stats.nacked_seqs += missing.size();
+    sim_->network().note_nack();
+    sim_->send(self, target, kNackKind, GapNack{group, self, std::move(missing)});
+  }
+  if (!ws.gaps.empty()) arm_gap_timer(self, group, ws);
+}
+
+void PubSubSystem::on_gap_timer(PeerId self, GroupId group) {
+  auto& windows = windows_[self];
+  const auto it = windows.find(group);
+  if (it == windows.end()) return;
+  WindowState& ws = it->second;
+  ws.timer_armed = false;
+  if (ws.gaps.empty()) return;
+  if (!manager_->alive(self)) return;  // died while the timer was pending
+  // Piggyback on QoS 1: while some sender is still retransmitting toward
+  // us, the gap may heal per-hop — defer the whole round instead of
+  // repairing the same wave twice.
+  if (hop_->pending_to(self) > 0) {
+    ++manager_->stats(group).nack_deferrals;
+    arm_gap_timer(self, group, ws);
+    return;
+  }
+  std::vector<std::uint64_t> outstanding;
+  outstanding.reserve(ws.gaps.size());
+  for (const auto& [seq, gap] : ws.gaps) outstanding.push_back(seq);
+  send_nacks(self, group, ws, outstanding, /*escalate=*/true);
+}
+
+void PubSubSystem::on_nack(PeerId self, const GapNack& nack) {
+  GroupStats& stats = manager_->stats(nack.group);
+  std::vector<std::uint64_t> missing;
+  for (const std::uint64_t seq : nack.seqs) {
+    if (const std::any* payload = manager_->retained_payload(self, nack.group, seq)) {
+      ++stats.repairs_served;
+      sim_->network().note_repair_served();
+      sim_->send(self, nack.origin, kRepairKind,
+                 std::any_cast<const GroupDelivery&>(*payload));
+    } else {
+      missing.push_back(seq);
+    }
+  }
+  if (!missing.empty()) {
+    ++stats.repair_misses;
+    sim_->send(self, nack.origin, kRepairMissKind,
+               GapRepairMiss{nack.group, std::move(missing)});
+  }
+}
+
+void PubSubSystem::on_repair(PeerId self, const GroupDelivery& delivery) {
+  GroupStats& stats = manager_->stats(delivery.group);
+  // Escalation can recruit two responders for one seq (a slow repair plus
+  // a retried ancestor): the shared dedup suppresses the second copy.
+  if (!seen_[self].emplace(delivery.group, delivery.seq).second) {
+    ++stats.duplicate_deliveries;
+    sim_->network().note_duplicate();
+    return;
+  }
+  window_observe(self, delivery);
+  // Retain by the CURRENT tree, not the repaired wave's old snapshot: a
+  // peer that forwards for the rebuilt tree can serve its own subtree's
+  // NACKs for this wave even if the failed tree had it as a leaf.
+  const WindowState& ws = windows_[self].at(delivery.group);
+  const GroupTree* latest = ws.latest_tree.get();
+  if (latest != nullptr && latest->tree.reached(self) &&
+      !latest->tree.children(self).empty())
+    stats.retained_evictions +=
+        manager_->retain_payload(self, delivery.group, delivery.seq, delivery);
+}
+
+void PubSubSystem::on_repair_miss(PeerId self, PeerId from, const GapRepairMiss& miss) {
+  auto& windows = windows_[self];
+  const auto it = windows.find(miss.group);
+  if (it == windows.end()) return;
+  WindowState& ws = it->second;
+  // Locate the responder in the current chain: several NACK rounds can be
+  // in flight at once (the miss walk and the timer walk interleave), so a
+  // miss only means "escalate" when it comes from the gap's frontier —
+  // stale misses from levels already passed must not push the target past
+  // ancestors that were never asked.
+  const auto chain = ancestor_chain(self, ws);
+  std::size_t from_level = chain.size();
+  for (std::size_t i = 0; i < chain.size(); ++i)
+    if (chain[i] == from) {
+      from_level = i;
+      break;
+    }
+  if (from_level == chain.size()) return;  // responder left the chain: timer retries
+  std::vector<std::uint64_t> still_missing;
+  for (const std::uint64_t seq : miss.seqs) {
+    const auto git = ws.gaps.find(seq);
+    if (git == ws.gaps.end()) continue;  // healed meanwhile
+    if (from_level < git->second.ancestor) continue;  // stale lower-level miss
+    if (from_level + 1 >= chain.size()) {
+      // The chain's end — the root — says the seq is gone (evicted past
+      // the retention window): nobody farther out can serve it. Abandon
+      // and let the window skip on.
+      finish_gap(self, miss.group, ws, seq, /*repaired=*/false);
+      continue;
+    }
+    git->second.ancestor = from_level + 1;
+    ++manager_->stats(miss.group).repair_escalations;
+    still_missing.push_back(seq);
+  }
+  send_nacks(self, miss.group, ws, still_missing, /*escalate=*/false);
 }
 
 void PubSubSystem::schedule_control(double time, PeerId peer, GroupId group,

@@ -19,7 +19,43 @@
 // acked with kDeliverAckKind, the forwarding peer retransmits to its tree
 // children on timeout up to a retry budget, and per-(group, seq) dedup
 // suppresses retransmission duplicates (re-acked, never re-delivered or
-// re-forwarded).
+// re-forwarded). QoS 2 layers an end-to-end, receiver-driven repair plane
+// on top of those same acked hops: each subscriber runs a per-group
+// SubscriberWindow over the dense publish seqs, holds out-of-order waves
+// back for in-order release, and — after a gap timeout that defers to
+// still-in-flight per-hop recovery (ReliableHopLayer::pending_to) — sends
+// batched kNackKind requests up its wave-snapshot ancestor chain: tree
+// parent first, escalating ancestor-by-ancestor to the root on a timeout
+// or an explicit kRepairMissKind. Responders (the root and forwarders)
+// serve kRepairKind from a bounded per-(peer, group) RetainedBuffer
+// (GroupManager::retain_payload); a gap no ancestor can serve is abandoned
+// after a bounded number of rounds and the window skips past it, so an
+// evicted seq degrades delivery instead of stalling the subscriber.
+//
+// Ordering guarantee per QoS rung (see also the per-QoS assertions in
+// tests/groups_reliability_test.cpp):
+//  * QoS 0: none. Waves follow the tree snapshot current at publish time,
+//    so a graft/repair between publishes can shorten or lengthen a
+//    subscriber's path and reorder arrivals (with a static tree and
+//    symmetric latency, order happens to hold — that is luck, not
+//    contract). Lost waves are simply gone.
+//  * QoS 1: none. Per-hop retransmission delays individual waves by whole
+//    ack-timeout cycles, so a later publish routinely overtakes an earlier
+//    one on the same subscriber (the regression the ordering tests pin).
+//  * QoS 2: per-(group, subscriber) in-order release from the window head
+//    onward. The head initializes at the first wave a subscriber receives;
+//    a wave older than the head (possible only when a subscriber's very
+//    first waves race, or after the window abandoned the seq) is released
+//    immediately out of band and counted as pre_window_deliveries rather
+//    than silently dropped. Gaps the repair plane gives up on are skipped
+//    (gap_seqs_abandoned), bounding how long ordering can stall delivery.
+//
+// Known limitation (the classic NACK-scheme tail): a gap is only
+// detectable from later traffic, so a subtree severed during a group's
+// final wave has nothing to trigger its NACKs — per-hop QoS 1 recovery
+// still covers plain link loss there, but a forwarder death on the last
+// wave loses that subtree silently. Root-driven session heartbeats would
+// close it and are deliberately out of scope here.
 //
 // Departures take effect immediately: the network drops envelopes
 // addressed to departed peers, greedy forwarding routes around them, and
@@ -31,6 +67,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -50,6 +87,13 @@ inline constexpr sim::MessageKind kUnsubscribeKind = 21;
 inline constexpr sim::MessageKind kPublishKind = 22;
 inline constexpr sim::MessageKind kDeliverKind = 23;
 inline constexpr sim::MessageKind kDeliverAckKind = 24;
+/// QoS 2 repair plane. NACK/repair traffic is unicast peer-to-peer (the
+/// underlay, not the tree): repair conversations are point-to-point
+/// between a subscriber and one ancestor, exactly the case direct unicast
+/// serves in deployed NACK multicast schemes.
+inline constexpr sim::MessageKind kNackKind = 25;        // batched gap request
+inline constexpr sim::MessageKind kRepairKind = 26;      // retained wave resent
+inline constexpr sim::MessageKind kRepairMissKind = 27;  // "not retained here"
 
 /// Control envelope routed toward a group root.
 struct GroupRequest {
@@ -74,6 +118,40 @@ struct GroupDelivery {
   std::shared_ptr<const GroupTree> tree;
 };
 
+/// Batched gap request: `origin` is missing `seqs` of `group` and asks the
+/// addressee (an ancestor from its latest wave snapshot) to resend them.
+struct GapNack {
+  GroupId group = 0;
+  PeerId origin = kInvalidPeer;
+  std::vector<std::uint64_t> seqs;
+};
+
+/// Responder's "not retained here" for the subset of a NACK it could not
+/// serve; the requester escalates those seqs to the next ancestor at once
+/// instead of waiting out another gap timeout.
+struct GapRepairMiss {
+  GroupId group = 0;
+  std::vector<std::uint64_t> seqs;
+};
+
+/// Knobs of the QoS 2 end-to-end repair plane (ignored below QoS 2).
+struct RepairConfig {
+  /// Quiet time between detecting a gap and NACKing it — and between
+  /// repair rounds. Should comfortably exceed one per-hop ack timeout so
+  /// QoS 1 recovery gets the first shot at every gap.
+  double gap_timeout = 0.1;
+  /// Extra NACK transmissions allowed per missing seq beyond one per
+  /// ancestor (the chain itself sets the baseline — walking it is not a
+  /// retry): slack for NACK/repair envelopes the network lost. A miss from
+  /// the chain's end (the root) abandons the gap immediately — nobody
+  /// farther out can serve it — so this bound only governs lossy reruns,
+  /// and the window can never stall on an unservable gap.
+  std::size_t max_nack_attempts = 8;
+  /// Out-of-order waves a subscriber holds back per group before the
+  /// window force-abandons its oldest gaps to release them.
+  std::size_t reorder_limit = 256;
+};
+
 struct PubSubConfig {
   GroupConfig groups;
   sim::LatencyModel latency = sim::LatencyModel::constant(0.01);
@@ -82,9 +160,69 @@ struct PubSubConfig {
   sim::LossModel loss;
   /// Payload-path delivery guarantee: QoS 0 (the default) is the historic
   /// fire-and-forget tree push; QoS 1 acks every kDeliverKind hop and
-  /// retransmits on timeout per `ack_timeout`/`max_retries`.
+  /// retransmits on timeout per `ack_timeout`/`max_retries`; QoS 2 adds
+  /// subscriber-side gap detection and ancestor repair per `repair`.
   multicast::ReliabilityConfig reliability{multicast::QoS::kFireAndForget};
+  RepairConfig repair;
   std::uint64_t seed = 1;
+};
+
+/// Pure per-(subscriber, group) sequencing state for QoS 2: tracks the
+/// highest contiguous seq released so far, the set of missing seqs (gaps),
+/// and the received-but-held-back out-of-order waves, releasing runs in
+/// order as gaps fill or are abandoned. No timers, no I/O — the
+/// PubSubSystem drives it from arrivals and owns the NACK machinery — so
+/// it unit-tests in isolation (tests/groups_qos2_test.cpp).
+///
+/// The window initializes at the first seq observed (a late joiner must
+/// not NACK the group's entire history); seqs below the head after that
+/// are reported as pre-window and left to the caller to release out of
+/// band. Duplicate filtering is the caller's job (the per-(group, seq)
+/// dedup already exists): observe() assumes every call is a first sighting.
+class SubscriberWindow {
+ public:
+  explicit SubscriberWindow(std::size_t reorder_limit = 256)
+      : reorder_limit_(reorder_limit == 0 ? 1 : reorder_limit) {}
+
+  struct Arrival {
+    /// Below the window head: release immediately, no window change.
+    bool pre_window = false;
+    /// Seqs newly discovered missing (became gaps) by this arrival.
+    std::vector<std::uint64_t> new_gaps;
+    /// Seqs released in order by this arrival (includes the arrival itself
+    /// when it was contiguous); empty means the arrival was held back.
+    std::vector<std::uint64_t> released;
+    /// Gaps the reorder bound forced the window to give up on (already
+    /// excluded from `released` — they were never received).
+    std::vector<std::uint64_t> forced_abandoned;
+  };
+
+  /// Records the arrival of `seq` and advances the window.
+  [[nodiscard]] Arrival observe(std::uint64_t seq);
+
+  /// Gives up on missing `seq`: the window will skip it. Returns the seqs
+  /// released by the skip (empty when an earlier gap still blocks the
+  /// head). No-op (empty) when `seq` is not a gap.
+  [[nodiscard]] std::vector<std::uint64_t> abandon(std::uint64_t seq);
+
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+  /// Lowest seq not yet released or skipped (the window head).
+  [[nodiscard]] std::uint64_t next_expected() const noexcept { return next_expected_; }
+  [[nodiscard]] std::size_t gap_count() const noexcept { return gaps_.size(); }
+  [[nodiscard]] std::size_t held_count() const noexcept { return held_.size(); }
+  [[nodiscard]] bool is_gap(std::uint64_t seq) const { return gaps_.count(seq) > 0; }
+
+ private:
+  /// Advances the head over held (release) and skipped (silently pass)
+  /// seqs, appending released ones to `released`.
+  void release_run(std::vector<std::uint64_t>& released);
+
+  bool initialized_ = false;
+  std::uint64_t next_expected_ = 0;
+  std::set<std::uint64_t> held_;     // received, awaiting an earlier gap
+  std::set<std::uint64_t> gaps_;     // missing, under repair
+  std::set<std::uint64_t> skipped_;  // abandoned above the head, to pass over
+  std::size_t reorder_limit_;
 };
 
 /// Owns the simulator, the per-peer protocol nodes, and the GroupManager.
@@ -106,6 +244,13 @@ class PubSubSystem {
   /// Runs the event loop until idle; returns events processed.
   std::size_t run(std::size_t max_events = 50'000'000);
 
+  /// Observer invoked on every application-level delivery (for QoS 2 that
+  /// is in-order release time, not arrival time) — the hook the per-QoS
+  /// ordering tests watch. Pass nullptr to clear.
+  using DeliveryProbe =
+      std::function<void(PeerId peer, GroupId group, std::uint64_t seq, double time)>;
+  void set_delivery_probe(DeliveryProbe probe) { probe_ = std::move(probe); }
+
   [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
   [[nodiscard]] GroupManager& manager() noexcept { return *manager_; }
   [[nodiscard]] GroupStats total_stats() const { return manager_->total_stats(); }
@@ -117,14 +262,76 @@ class PubSubSystem {
   class PubSubNode;
   friend class PubSubNode;
 
+  /// Per-gap repair progress, owned by the system (the SubscriberWindow
+  /// stays pure): when it was detected, how far up the ancestor chain the
+  /// NACKs have escalated, and how many were sent.
+  struct GapState {
+    double detected_at = 0.0;
+    std::size_t ancestor = 0;  // index into the current ancestor chain
+    std::size_t attempts = 0;  // NACK transmissions so far
+  };
+  /// A subscriber's QoS 2 state for one group.
+  struct WindowState {
+    SubscriberWindow window;
+    std::map<std::uint64_t, GapState> gaps;
+    /// Snapshot of the newest wave seen — the source of the ancestor
+    /// chain NACKs walk (trees drift across waves; newest wins, and a
+    /// repair's resent old wave must not regress it).
+    std::shared_ptr<const GroupTree> latest_tree;
+    std::uint64_t latest_wave = 0;
+    bool timer_armed = false;
+  };
+
   void schedule_control(double time, PeerId peer, GroupId group, sim::MessageKind kind);
   void handle_at_root(PeerId self, sim::MessageKind kind, const GroupRequest& request);
   void forward_control(PeerId self, sim::MessageKind kind, const GroupRequest& request);
   /// Handles one arrival of a wave at `self` (`from == kInvalidPeer` for
-  /// the root's own copy at publish time): ack, dedup, deliver, forward.
+  /// the root's own copy at publish time): ack, dedup, retain, deliver
+  /// (QoS 2: through the window), forward.
   void disseminate(PeerId self, PeerId from, const GroupDelivery& delivery);
+
+  // -- QoS 2 repair plane -------------------------------------------------
+  /// Runs a fresh (non-duplicate) arrival of `delivery` through `self`'s
+  /// window: detects gaps, arms the gap timer, releases in-order runs.
+  void window_observe(PeerId self, const GroupDelivery& delivery);
+  /// Gap-timeout tick for one (subscriber, group): defers to in-flight
+  /// per-hop recovery, else NACKs every outstanding gap (escalating those
+  /// already tried) and abandons the ones out of attempts.
+  void on_gap_timer(PeerId self, GroupId group);
+  /// Responder half: serve retained seqs with kRepairKind, report the rest
+  /// with kRepairMissKind.
+  void on_nack(PeerId self, const GapNack& nack);
+  /// A repaired wave arrived: dedup, then fill the gap through the window.
+  void on_repair(PeerId self, const GroupDelivery& delivery);
+  /// The responder (`from`) lacked some seqs: escalate them past it
+  /// immediately (no extra gap timeout). Level-aware: a miss from below a
+  /// gap's current target is stale (several NACK rounds can be in flight)
+  /// and ignored; a miss from the chain's end abandons the gap.
+  void on_repair_miss(PeerId self, PeerId from, const GapRepairMiss& miss);
+
+  /// Sends one batched NACK per distinct ancestor target for `seqs`
+  /// (which must be outstanding gaps of (self, group)), bumping attempts
+  /// and abandoning seqs whose budget is spent. `escalate` moves each
+  /// already-tried gap one ancestor up first.
+  void send_nacks(PeerId self, GroupId group, WindowState& ws,
+                  const std::vector<std::uint64_t>& seqs, bool escalate);
+  /// `self`'s ancestors in its latest wave snapshot, nearest first, dead
+  /// peers skipped (the façade's immediate-departure rule doubles as a
+  /// perfect failure detector, as everywhere else in this layer).
+  [[nodiscard]] std::vector<PeerId> ancestor_chain(PeerId self, const WindowState& ws) const;
+  void arm_gap_timer(PeerId self, GroupId group, WindowState& ws);
+  /// Books an application-level delivery (counter + probe).
+  void deliver_local(PeerId self, GroupId group, std::uint64_t seq);
+  /// Removes a gap as repaired/abandoned, with latency accounting; for
+  /// abandoned gaps also advances the window and releases what it frees.
+  void finish_gap(PeerId self, GroupId group, WindowState& ws, std::uint64_t seq,
+                  bool repaired);
+
   [[nodiscard]] bool acked() const noexcept {
-    return config_.reliability.qos == multicast::QoS::kAcked;
+    return multicast::requires_ack(config_.reliability.qos);
+  }
+  [[nodiscard]] bool end_to_end() const noexcept {
+    return config_.reliability.qos == multicast::QoS::kEndToEnd;
   }
 
   const overlay::OverlayGraph& graph_;
@@ -135,15 +342,16 @@ class PubSubSystem {
   std::vector<std::unique_ptr<PubSubNode>> nodes_;
   std::map<GroupId, std::uint64_t> next_seq_;
   std::uint64_t next_wave_ = 0;
-  /// Per-peer (group, seq) pairs already processed — the QoS 1 dedup that
-  /// tells a retransmission duplicate from fresh data. Unused (empty) under
-  /// QoS 0, where snapshot-tree forwarding makes duplicates impossible.
-  /// Grows O(waves a peer relays) for the simulation's lifetime: an entry
-  /// is only needed while the parent's retransmission window is open, but
-  /// the receiver cannot observe that locally. The QoS 2 follow-on's
-  /// per-group sequence windows (ROADMAP) subsume this with a bounded
-  /// sliding window.
+  /// Per-peer (group, seq) pairs already processed — the QoS 1+ dedup that
+  /// tells a retransmission (or duplicate repair) from fresh data. Unused
+  /// (empty) under QoS 0, where snapshot-tree forwarding makes duplicates
+  /// impossible. Grows O(waves a peer relays) for the simulation's
+  /// lifetime: an entry is only needed while the parent's retransmission
+  /// window is open, but the receiver cannot observe that locally.
   std::vector<std::set<std::pair<GroupId, std::uint64_t>>> seen_;
+  /// Per-peer QoS 2 windows, one per group the peer consumed from.
+  std::vector<std::map<GroupId, WindowState>> windows_;
+  DeliveryProbe probe_;
 };
 
 }  // namespace geomcast::groups

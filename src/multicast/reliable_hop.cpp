@@ -26,7 +26,14 @@ void ReliableHopLayer::send(sim::NodeId from, sim::NodeId to, std::uint64_t seq,
   if (!inserted)
     throw std::logic_error("ReliableHopLayer::send: seq already pending on this hop");
   it->second.payload = std::move(payload);
+  ++pending_by_receiver_[to];
   transmit(key, /*attempt=*/0);
+}
+
+void ReliableHopLayer::retire(std::map<Key, Pending>::iterator it) {
+  const auto receiver = pending_by_receiver_.find(std::get<1>(it->first));
+  if (--receiver->second == 0) pending_by_receiver_.erase(receiver);
+  pending_.erase(it);
 }
 
 void ReliableHopLayer::transmit(const Key& key, std::size_t attempt) {
@@ -50,7 +57,7 @@ void ReliableHopLayer::on_timeout(const Key& key) {
   if (it == pending_.end()) return;
   const auto& [from, to, seq] = key;
   if (hooks_.sender_alive && !hooks_.sender_alive(from)) {
-    pending_.erase(it);
+    retire(it);
     return;
   }
   if (it->second.attempt < config_.max_retries) {
@@ -60,7 +67,7 @@ void ReliableHopLayer::on_timeout(const Key& key) {
   ++stats_.abandoned_hops;
   sim_.network().note_abandoned();
   if (hooks_.on_abandon) hooks_.on_abandon(from, to, seq, it->second.payload);
-  pending_.erase(it);
+  retire(it);
 }
 
 void ReliableHopLayer::acknowledge(sim::NodeId self, sim::NodeId sender,
@@ -70,13 +77,18 @@ void ReliableHopLayer::acknowledge(sim::NodeId self, sim::NodeId sender,
   ++stats_.ack_messages;
 }
 
+std::size_t ReliableHopLayer::pending_to(sim::NodeId to) const noexcept {
+  const auto it = pending_by_receiver_.find(to);
+  return it == pending_by_receiver_.end() ? 0 : it->second;
+}
+
 void ReliableHopLayer::on_ack(const sim::Envelope& envelope) {
   const auto& ack = std::any_cast<const HopAck&>(envelope.payload);
   // The acker is the hop's receiver, the addressee its sender.
   const auto it = pending_.find(Key{envelope.to, envelope.from, ack.seq});
   if (it == pending_.end()) return;  // late ack: hop already retired
   sim_.cancel(it->second.timer);
-  pending_.erase(it);
+  retire(it);
 }
 
 }  // namespace geomcast::multicast

@@ -35,12 +35,21 @@
 
 namespace geomcast::multicast {
 
-/// Delivery guarantee for a payload hop (the MQTT QoS ladder's first two
-/// rungs; end-to-end NACK/repair — QoS 2 — is a ROADMAP follow-on).
+/// Delivery guarantee for a payload hop (the MQTT QoS ladder). The hop
+/// layer itself only distinguishes "acked" from "not": kEndToEnd runs the
+/// same per-hop ack/retransmit cycle as kAcked — the end-to-end NACK/gap-
+/// repair plane that makes it QoS 2 lives with the client (groups/pubsub),
+/// layered ON TOP of the per-hop recovery rather than replacing it.
 enum class QoS : int {
   kFireAndForget = 0,  ///< one send, no acks, no timers
   kAcked = 1,          ///< per-hop ack + timeout/retransmit
+  kEndToEnd = 2,       ///< kAcked hops + client-side NACK/gap repair
 };
+
+/// True for every rung that acks hops (everything above fire-and-forget).
+[[nodiscard]] inline constexpr bool requires_ack(QoS qos) noexcept {
+  return qos != QoS::kFireAndForget;
+}
 
 struct ReliabilityConfig {
   QoS qos = QoS::kAcked;
@@ -109,6 +118,11 @@ class ReliableHopLayer {
   [[nodiscard]] const ReliabilityConfig& config() const noexcept { return config_; }
   /// Hops still awaiting an ack (0 once the simulation drained).
   [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  /// Pending hops addressed to `to` — i.e. senders still retransmitting
+  /// toward that receiver. The QoS 2 gap-repair plane consults this before
+  /// NACKing: while per-hop recovery is in flight the gap may heal on its
+  /// own, so end-to-end repair defers instead of double-repairing.
+  [[nodiscard]] std::size_t pending_to(sim::NodeId to) const noexcept;
 
  private:
   using Key = std::tuple<sim::NodeId, sim::NodeId, std::uint64_t>;
@@ -120,6 +134,7 @@ class ReliableHopLayer {
 
   void transmit(const Key& key, std::size_t attempt);
   void on_timeout(const Key& key);
+  void retire(std::map<Key, Pending>::iterator it);
 
   sim::Simulator& sim_;
   sim::MessageKind data_kind_;
@@ -128,6 +143,9 @@ class ReliableHopLayer {
   Hooks hooks_;
   HopStats stats_;
   std::map<Key, Pending> pending_;
+  /// Per-receiver pending-hop counts, maintained alongside pending_ so
+  /// pending_to() — polled by every QoS 2 gap timer — needs no scan.
+  std::map<sim::NodeId, std::size_t> pending_by_receiver_;
 };
 
 }  // namespace geomcast::multicast

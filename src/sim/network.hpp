@@ -73,6 +73,11 @@ struct NetworkStats {
   std::uint64_t retransmitted = 0;    ///< copies resent after an ack timeout
   std::uint64_t duplicate_data = 0;   ///< duplicate arrivals receivers suppressed
   std::uint64_t abandoned_hops = 0;   ///< hops whose retry budget ran out
+  // End-to-end gap-repair accounting (QoS 2), reported by the pub/sub
+  // repair plane: receiver-driven NACKs for missing sequence numbers and
+  // the retained-payload repairs that answered them.
+  std::uint64_t nacks = 0;            ///< batched gap NACK envelopes sent
+  std::uint64_t repairs_served = 0;   ///< retained payloads resent to a NACKer
   std::map<MessageKind, std::uint64_t> sent_by_kind;
   std::vector<std::uint64_t> sent_by_node;
   std::vector<std::uint64_t> received_by_node;
@@ -97,6 +102,8 @@ class Network {
   void note_retransmission() noexcept { ++stats_.retransmitted; }
   void note_duplicate() noexcept { ++stats_.duplicate_data; }
   void note_abandoned() noexcept { ++stats_.abandoned_hops; }
+  void note_nack() noexcept { ++stats_.nacks; }
+  void note_repair_served() noexcept { ++stats_.repairs_served; }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }

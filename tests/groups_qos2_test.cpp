@@ -1,0 +1,335 @@
+// QoS 2 battery: unit tests for the pure subscriber-side machinery
+// (SubscriberWindow sequencing, RetainedBuffer eviction) plus end-to-end
+// scenarios on the simulated network — NACK batching and its deferral to
+// in-flight per-hop recovery, and the headline case: a forwarder killed
+// mid-wave loses its whole subtree under QoS 1 while QoS 2 repairs it from
+// retained copies up the ancestor chain. The seeded sweep runs several
+// full simulations and is labelled `slow` in ctest.
+#include "groups/pubsub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "groups/failure_injection.hpp"
+#include "groups_test_util.hpp"
+
+namespace geomcast::groups {
+namespace {
+
+using testutil::find_leaf_subscriber;
+using testutil::make_overlay;
+using testutil::subscribe_members;
+
+// ---------------------------------------------------------------- window ----
+
+TEST(SubscriberWindowTest, ContiguousArrivalsReleaseImmediately) {
+  SubscriberWindow window;
+  EXPECT_FALSE(window.initialized());
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    const auto arrival = window.observe(seq);
+    EXPECT_FALSE(arrival.pre_window);
+    EXPECT_TRUE(arrival.new_gaps.empty());
+    ASSERT_EQ(arrival.released.size(), 1u);
+    EXPECT_EQ(arrival.released[0], seq);
+  }
+  EXPECT_TRUE(window.initialized());
+  EXPECT_EQ(window.next_expected(), 4u);
+  EXPECT_EQ(window.gap_count(), 0u);
+  EXPECT_EQ(window.held_count(), 0u);
+}
+
+TEST(SubscriberWindowTest, OutOfOrderArrivalIsHeldAndReleasedInOrder) {
+  SubscriberWindow window;
+  (void)window.observe(0);
+  auto arrival = window.observe(2);  // 1 goes missing
+  EXPECT_EQ(arrival.new_gaps, (std::vector<std::uint64_t>{1}));
+  EXPECT_TRUE(arrival.released.empty());
+  EXPECT_TRUE(window.is_gap(1));
+  EXPECT_EQ(window.held_count(), 1u);
+
+  arrival = window.observe(3);  // still blocked, no new gaps
+  EXPECT_TRUE(arrival.new_gaps.empty());
+  EXPECT_TRUE(arrival.released.empty());
+
+  arrival = window.observe(1);  // the gap fills: everything releases in order
+  EXPECT_EQ(arrival.released, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(window.next_expected(), 4u);
+  EXPECT_EQ(window.gap_count(), 0u);
+  EXPECT_EQ(window.held_count(), 0u);
+}
+
+TEST(SubscriberWindowTest, InitializesAtFirstSeqAndFlagsPreWindowArrivals) {
+  SubscriberWindow window;
+  auto arrival = window.observe(10);  // late joiner: no NACKs for 0..9
+  EXPECT_FALSE(arrival.pre_window);
+  EXPECT_TRUE(arrival.new_gaps.empty());
+  EXPECT_EQ(arrival.released, (std::vector<std::uint64_t>{10}));
+  EXPECT_EQ(window.next_expected(), 11u);
+
+  arrival = window.observe(9);  // init race: released out of band
+  EXPECT_TRUE(arrival.pre_window);
+  EXPECT_TRUE(arrival.released.empty());
+  EXPECT_EQ(window.next_expected(), 11u);  // window untouched
+}
+
+TEST(SubscriberWindowTest, AbandonSkipsHeadGapAndReleasesRun) {
+  SubscriberWindow window;
+  (void)window.observe(0);
+  (void)window.observe(2);
+  (void)window.observe(3);
+  (void)window.observe(5);  // gaps {1, 4}, held {2, 3, 5}
+  EXPECT_EQ(window.gap_count(), 2u);
+
+  EXPECT_EQ(window.abandon(1), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(window.next_expected(), 4u);
+  EXPECT_EQ(window.abandon(4), (std::vector<std::uint64_t>{5}));
+  EXPECT_EQ(window.next_expected(), 6u);
+  EXPECT_EQ(window.gap_count(), 0u);
+  EXPECT_EQ(window.held_count(), 0u);
+}
+
+TEST(SubscriberWindowTest, AbandonedNonHeadGapIsSkippedWhenTheHeadPasses) {
+  SubscriberWindow window;
+  (void)window.observe(0);
+  (void)window.observe(2);
+  (void)window.observe(4);  // gaps {1, 3}
+  EXPECT_TRUE(window.abandon(3).empty());  // non-head: nothing released yet
+  // Filling the head gap releases 2, silently passes the abandoned 3, and
+  // releases 4.
+  const auto arrival = window.observe(1);
+  EXPECT_EQ(arrival.released, (std::vector<std::uint64_t>{1, 2, 4}));
+  EXPECT_EQ(window.next_expected(), 5u);
+}
+
+TEST(SubscriberWindowTest, ReorderBoundForceAbandonsOldestGaps) {
+  SubscriberWindow window(/*reorder_limit=*/2);
+  (void)window.observe(0);
+  (void)window.observe(2);
+  auto arrival = window.observe(3);  // held {2, 3}: at the limit
+  EXPECT_TRUE(arrival.forced_abandoned.empty());
+  arrival = window.observe(4);  // held would be 3: gap 1 is given up
+  EXPECT_EQ(arrival.forced_abandoned, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(arrival.released, (std::vector<std::uint64_t>{2, 3, 4}));
+  EXPECT_EQ(window.next_expected(), 5u);
+  EXPECT_EQ(window.gap_count(), 0u);
+}
+
+TEST(SubscriberWindowTest, ObservingAnAbandonedSeqLaterIsPreWindow) {
+  SubscriberWindow window;
+  (void)window.observe(0);
+  (void)window.observe(2);
+  (void)window.abandon(1);  // head skips to 3
+  const auto arrival = window.observe(1);  // straggler after the skip
+  EXPECT_TRUE(arrival.pre_window);
+  EXPECT_EQ(window.next_expected(), 3u);
+}
+
+// ------------------------------------------------------- retained buffer ----
+
+TEST(RetainedBufferTest, EvictsLowestSeqBeyondCapacity) {
+  RetainedBuffer buffer(2);
+  EXPECT_EQ(buffer.retain(5, std::any{1}), 0u);
+  EXPECT_EQ(buffer.retain(6, std::any{2}), 0u);
+  EXPECT_EQ(buffer.retain(7, std::any{3}), 1u);  // 5 evicted
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.find(5), nullptr);
+  ASSERT_NE(buffer.find(6), nullptr);
+  ASSERT_NE(buffer.find(7), nullptr);
+  EXPECT_EQ(std::any_cast<int>(*buffer.find(7)), 3);
+}
+
+TEST(RetainedBufferTest, ReRetainingAHeldSeqOverwritesWithoutEviction) {
+  RetainedBuffer buffer(2);
+  EXPECT_EQ(buffer.retain(1, std::any{1}), 0u);
+  EXPECT_EQ(buffer.retain(1, std::any{9}), 0u);
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(std::any_cast<int>(*buffer.find(1)), 9);
+}
+
+TEST(RetainedBufferTest, ZeroCapacityRetainsNothing) {
+  RetainedBuffer buffer(0);
+  EXPECT_EQ(buffer.retain(1, std::any{1}), 1u);  // evicts the new entry
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.find(1), nullptr);
+}
+
+// ------------------------------------------------------------ end-to-end ----
+
+TEST(GroupsQoS2Test, NacksAreBatchedAndDeferToInflightPerHopRecovery) {
+  const auto graph = make_overlay(120, 2, 1201);
+  const GroupId g = 0;
+  const std::uint64_t seed = 37;
+  const std::size_t publishes = 4;
+  const PeerId victim = find_leaf_subscriber(graph, g, 10, seed, publishes);
+  ASSERT_NE(victim, kInvalidPeer);
+
+  // Sever seqs 1 and 2 toward the victim completely: per-hop recovery must
+  // burn its budget and abandon, then the gap plane takes over.
+  PubSubConfig config;
+  config.seed = seed;
+  config.reliability.qos = multicast::QoS::kEndToEnd;
+  config.reliability.ack_timeout = 0.05;
+  config.reliability.max_retries = 5;
+  config.loss.drop_if = [victim](const sim::Envelope& e) {
+    if (e.kind != kDeliverKind || e.to != victim) return false;
+    const auto& d = std::any_cast<const GroupDelivery&>(e.payload);
+    return d.seq == 1 || d.seq == 2;
+  };
+  PubSubSystem system(graph, config);
+  std::vector<std::pair<PeerId, std::uint64_t>> order;
+  system.set_delivery_probe([&order](PeerId p, GroupId, std::uint64_t seq, double) {
+    order.emplace_back(p, seq);
+  });
+  const auto members = subscribe_members(system, graph, g, 10, seed);
+  for (std::size_t i = 0; i < publishes; ++i)
+    system.publish_at(2.0 + 0.1 * static_cast<double>(i), members[0], g);
+  system.run();
+
+  const auto& stats = system.stats(g);
+  // Both missing seqs were discovered from seq 3's arrival, repaired from
+  // the victim's parent (which retained them when it forwarded), and
+  // nothing was lost.
+  EXPECT_EQ(stats.gap_seqs_detected, 2u);
+  EXPECT_EQ(stats.gap_seqs_repaired, 2u);
+  EXPECT_EQ(stats.gap_seqs_abandoned, 0u);
+  EXPECT_EQ(stats.repairs_served, 2u);
+  EXPECT_EQ(stats.repair_misses, 0u);
+  EXPECT_DOUBLE_EQ(stats.delivery_ratio(), 1.0);
+  EXPECT_GT(stats.gap_latency_total, 0.0);
+  EXPECT_GT(stats.mean_gap_latency(), 0.0);
+  // One batched NACK carried both seqs...
+  EXPECT_EQ(stats.nacks_sent, 1u);
+  EXPECT_EQ(stats.nacked_seqs, 2u);
+  // ...and it waited for the abandoned per-hop retransmissions first.
+  EXPECT_GE(stats.nack_deferrals, 1u);
+  EXPECT_EQ(stats.abandoned_hops, 2u);
+  // The network-level mirror agrees.
+  EXPECT_EQ(system.simulator().stats().nacks, stats.nacks_sent);
+  EXPECT_EQ(system.simulator().stats().repairs_served, stats.repairs_served);
+  // The victim's releases came out strictly in order despite the repair.
+  std::vector<std::uint64_t> victim_order;
+  for (const auto& [p, seq] : order)
+    if (p == victim) victim_order.push_back(seq);
+  EXPECT_EQ(victim_order, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+struct KillSweepResult {
+  GroupStats total;
+  std::size_t subtree_subs = 0;
+  std::size_t retained_peak = 0;
+};
+
+/// The sweep workload: 4 groups x 12 subscribers, one warm publish each,
+/// then a wave at t=4 whose forwarder is killed mid-flight for every
+/// group, then two flush publishes so the severed subtrees can detect and
+/// repair their gaps.
+KillSweepResult run_kill_scenario(const overlay::OverlayGraph& graph, multicast::QoS qos,
+                                  double loss, std::uint64_t seed) {
+  PubSubConfig config;
+  config.seed = seed;
+  config.loss.drop_probability = loss;
+  config.reliability.qos = qos;
+  config.reliability.ack_timeout = 0.05;
+  config.reliability.max_retries = 5;
+  PubSubSystem system(graph, config);
+
+  const std::size_t group_count = 4;
+  std::vector<bool> member_anywhere(graph.size(), false);
+  std::vector<std::vector<PeerId>> members(group_count);
+  for (GroupId g = 0; g < group_count; ++g) {
+    members[g] = subscribe_members(system, graph, g, 12, seed + g);
+    for (const PeerId p : members[g]) member_anywhere[p] = true;
+  }
+  std::vector<std::size_t> killed(group_count, 0);
+  for (GroupId g = 0; g < group_count; ++g) {
+    const PeerId root = system.manager().root_of(g);
+    // All waves publish from the root itself: the kill wave's start time —
+    // and therefore "mid-wave" — is exact, the flushes cannot strand in
+    // greedy control routing around the fresh departure, and the warm wave
+    // cannot be lost en route (a severed subscriber whose FIRST wave is
+    // the killed one initializes its window there and cannot know about
+    // the gap — the documented NACK-scheme blind spot, not under test).
+    system.publish_at(2.0, root, g);  // warm build
+    system.publish_at(4.0, root, g);
+    schedule_midwave_kill(system, g, 4.0, member_anywhere,
+                          [&killed, g](PeerId, std::size_t severed) {
+                            killed[g] = severed;
+                          });
+    system.publish_at(5.0, root, g);  // flush: reveals the gaps
+    system.publish_at(6.0, root, g);
+  }
+  system.run();
+
+  KillSweepResult result;
+  result.total = system.total_stats();
+  for (const std::size_t subs : killed) result.subtree_subs += subs;
+  result.retained_peak = system.manager().retained_peak();
+  return result;
+}
+
+TEST(GroupsQoS2Test, MidWaveForwarderKillLosesSubtreeUnderQoS1ButNotQoS2) {
+  const auto graph = make_overlay(220, 2, 1202);
+  for (const double loss : {0.0, 0.05}) {
+    SCOPED_TRACE("loss=" + std::to_string(loss));
+    const auto q1 = run_kill_scenario(graph, multicast::QoS::kAcked, loss, 51);
+    const auto q2 = run_kill_scenario(graph, multicast::QoS::kEndToEnd, loss, 51);
+
+    // The kill found a relay with a real subtree in at least one group
+    // (identical trees across runs: same seed, same workload).
+    ASSERT_GT(q2.subtree_subs, 0u);
+    ASSERT_EQ(q1.subtree_subs, q2.subtree_subs);
+
+    // QoS 1 silently loses the severed subtrees' waves...
+    EXPECT_LT(q1.total.delivery_ratio(), 0.9999);
+    // ...QoS 2 detects the gaps downstream and repairs every one.
+    EXPECT_GE(q2.total.delivery_ratio(), 0.9999);
+    EXPECT_GT(q2.total.delivery_ratio(), q1.total.delivery_ratio());
+    EXPECT_GT(q2.total.gap_seqs_detected, 0u);
+    EXPECT_GT(q2.total.nacks_sent, 0u);
+    EXPECT_GT(q2.total.repairs_served, 0u);
+    EXPECT_EQ(q2.total.gap_seqs_repaired, q2.total.gap_seqs_detected);
+    if (loss == 0.0) EXPECT_DOUBLE_EQ(q2.total.delivery_ratio(), 1.0);
+
+    // QoS 1 never touches the repair plane.
+    EXPECT_EQ(q1.total.nacks_sent, 0u);
+    EXPECT_EQ(q1.total.repairs_served, 0u);
+    EXPECT_EQ(q1.total.gap_seqs_detected, 0u);
+    EXPECT_EQ(q1.total.retained_evictions, 0u);
+
+    // Retention stayed within its configured bound.
+    EXPECT_GE(q2.retained_peak, 1u);
+    EXPECT_LE(q2.retained_peak, PubSubConfig{}.groups.retention_window);
+  }
+}
+
+TEST(GroupsQoS2Test, RetentionMemoryIsBoundedByTheConfiguredWindow) {
+  const auto graph = make_overlay(120, 2, 1203);
+  const GroupId g = 0;
+  PubSubConfig config;
+  config.seed = 71;
+  config.reliability.qos = multicast::QoS::kEndToEnd;
+  config.groups.retention_window = 3;
+  PubSubSystem system(graph, config);
+  const auto members = subscribe_members(system, graph, g, 10, 71);
+  for (std::size_t i = 0; i < 10; ++i)  // far more waves than the window
+    system.publish_at(2.0 + 0.1 * static_cast<double>(i), members[0], g);
+  system.run();
+
+  EXPECT_EQ(system.stats(g).delivery_ratio(), 1.0);
+  EXPECT_GT(system.stats(g).retained_evictions, 0u);
+  EXPECT_GE(system.manager().retained_peak(), 1u);
+  EXPECT_LE(system.manager().retained_peak(), 3u);
+  // Every live buffer holds at most `window` entries right now too.
+  const GroupTree* gt = system.manager().cached_tree(g);
+  ASSERT_NE(gt, nullptr);
+  std::size_t responders = 0;
+  for (PeerId p = 0; p < graph.size(); ++p)
+    if (gt->tree.reached(p) && !gt->tree.children(p).empty()) ++responders;
+  EXPECT_LE(system.manager().retained_entry_total(), responders * 3);
+}
+
+}  // namespace
+}  // namespace geomcast::groups

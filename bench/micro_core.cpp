@@ -1,15 +1,23 @@
 // Throughput microbenchmarks (google-benchmark) for the hot paths behind
-// the figure reproductions: neighbour selection, equilibrium construction,
-// multicast tree construction and stable-tree assembly.
+// the figure reproductions — neighbour selection, equilibrium
+// construction, multicast tree construction, stable-tree assembly — plus
+// the batched-publish data plane (subscriber-window range admission,
+// retained-buffer range insert/evict, root coalescing flush) and the
+// event queue under the cancel-heavy load reliable traffic produces.
 #include <benchmark/benchmark.h>
 
+#include <any>
+
 #include "geometry/random_points.hpp"
+#include "groups/group_manager.hpp"
+#include "groups/pubsub.hpp"
 #include "multicast/flooding.hpp"
 #include "multicast/space_partition.hpp"
 #include "overlay/empty_rect.hpp"
 #include "overlay/equilibrium.hpp"
 #include "overlay/hyperplane_k.hpp"
 #include "overlay/orthant_sweep.hpp"
+#include "sim/event_queue.hpp"
 #include "stability/lifetime.hpp"
 #include "stability/stable_tree.hpp"
 #include "util/rng.hpp"
@@ -104,6 +112,125 @@ void BM_StableTreeBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StableTreeBuild)->Arg(1000);
+
+// ---------------------------------------------------------- event queue ----
+
+// The cancel-heavy pattern every acked hop produces: schedule a
+// retransmit timer, then cancel it when the ack lands. Without heap
+// compaction the corpses pile up and every push/pop pays their log; the
+// arg is the live:cancelled ratio (1 cancel kept per `range` scheduled).
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  const auto keep_every = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::size_t fired = 0;
+    for (int round = 0; round < 64; ++round) {
+      std::vector<sim::EventId> ids;
+      ids.reserve(1024);
+      const double base = 1.0 + round;
+      for (int i = 0; i < 1024; ++i)
+        ids.push_back(queue.schedule(base + 0.0001 * i, [&fired] { ++fired; }));
+      for (std::size_t i = 0; i < ids.size(); ++i)
+        if (i % keep_every != 0) queue.cancel(ids[i]);
+      while (queue.pending() > 0) queue.run_next();
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * 1024);
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(2)->Arg(8)->Arg(64);
+
+// ------------------------------------------------- batched publish plane ----
+
+// Range admission through a SubscriberWindow: the batched data plane
+// observes dense [lo, hi] ranges instead of single seqs. Args: batch
+// width x whether every other batch is withheld first (gap + backfill,
+// the repair-path shape) or arrives in order (the hot path).
+void BM_SubscriberWindowRangeAdmission(benchmark::State& state) {
+  const auto width = static_cast<std::uint64_t>(state.range(0));
+  const bool gappy = state.range(1) != 0;
+  constexpr std::uint64_t kBatches = 512;
+  for (auto _ : state) {
+    groups::SubscriberWindow window(/*reorder_limit=*/16 * 1024);
+    std::uint64_t released = 0;
+    if (gappy) {
+      // Even batches arrive late: odd batches open gaps, then the evens
+      // backfill them — exercising the per-seq split machinery.
+      for (std::uint64_t b = 0; b < kBatches; b += 2) {
+        const std::uint64_t lo = (b + 1) * width;
+        released += window.observe_range(lo, lo + width - 1).released.size();
+      }
+      for (std::uint64_t b = 0; b < kBatches; b += 2) {
+        const std::uint64_t lo = b * width;
+        released += window.observe_range(lo, lo + width - 1).released.size();
+      }
+    } else {
+      for (std::uint64_t b = 0; b < kBatches; ++b) {
+        const std::uint64_t lo = b * width;
+        released += window.observe_range(lo, lo + width - 1).released.size();
+      }
+    }
+    benchmark::DoNotOptimize(released);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatches * width));
+}
+BENCHMARK(BM_SubscriberWindowRangeAdmission)
+    ->Args({1, 0})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0});
+
+// Range insert/evict through a RetainedBuffer at steady state: every
+// insert past the window evicts the oldest range. Arg: range width (the
+// batch factor); capacity is fixed so wider ranges mean fewer entries.
+void BM_RetainedBufferRangeInsert(benchmark::State& state) {
+  const auto width = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::size_t kCapacity = 64;
+  constexpr std::uint64_t kWaves = 1024;
+  for (auto _ : state) {
+    groups::RetainedBuffer buffer(kCapacity);
+    std::size_t evicted = 0;
+    for (std::uint64_t w = 0; w < kWaves; ++w) {
+      const std::uint64_t lo = w * width;
+      evicted += buffer.retain(lo, lo + width - 1, std::any{w});
+    }
+    benchmark::DoNotOptimize(evicted);
+    benchmark::DoNotOptimize(buffer.find((kWaves - 1) * width));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWaves));
+}
+BENCHMARK(BM_RetainedBufferRangeInsert)->Arg(1)->Arg(8)->Arg(64);
+
+// Root coalescing flush, end to end: a publish burst lands at the root,
+// buffers, and flushes as one range wave down a real 64-peer group tree
+// (the simulated network included, so this prices the whole flush path,
+// not just the buffer). Arg: burst size; 1 runs the unbatched pipeline
+// for the baseline column.
+void BM_RootCoalescingFlush(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  const auto points = make_points(64, 3);
+  const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+  for (auto _ : state) {
+    groups::PubSubConfig config;
+    config.reliability.qos = multicast::QoS::kAcked;
+    if (burst > 1) {
+      config.batch_window = 0.05;
+      config.max_batch = burst;
+    }
+    groups::PubSubSystem system(graph, config);
+    for (overlay::PeerId p = 1; p < 33; ++p)
+      system.subscribe_at(0.001 * static_cast<double>(p), p, /*group=*/0);
+    for (int round = 0; round < 8; ++round)
+      for (std::size_t i = 0; i < burst; ++i)
+        system.publish_at(2.0 + 0.5 * round, 1, /*group=*/0);
+    benchmark::DoNotOptimize(system.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_RootCoalescingFlush)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

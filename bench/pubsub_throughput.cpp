@@ -30,6 +30,8 @@
 // Flags: --peers=N --dims=D --groups=G --subscribers=M --publishes=P
 //        --departures=C --midwave=K --loss=p --qos=0|1|2 --retries=R
 //        --ack-timeout=T --retention=W --seed=S --csv --quick --sweep
+//        --batch-window=W --max-batch=B --pub-burst=K --json=FILE
+//        --batch-compare
 //
 // --sweep ignores --loss/--qos and instead runs the same scenario for
 // QoS 0, 1 and 2 at each loss in {0, 0.05, 0.15}, printing one row per
@@ -38,8 +40,22 @@
 // kills (--midwave, default 4): random churn removes subscribers, whose
 // in-flight waves no QoS level can deliver, which would drown the
 // subtree-repair signal the sweep gates on.
+//
+// Wave coalescing (ISSUE 4): --batch-window/--max-batch switch on root-
+// side publish batching, --pub-burst=K turns the publish schedule into
+// back-to-back bursts of K from one publisher (the workload batching
+// amortises), and --batch-compare runs the burst workload at every QoS
+// rung both unbatched and batched, gating on (a) the delivered
+// (peer, group, seq) set being bit-identical and (b) payload+ack
+// envelopes shrinking >= 3x at QoS 1. --json=FILE emits the run's
+// numbers machine-readable (the perf-trajectory artifact CI uploads).
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <set>
+#include <sstream>
+#include <tuple>
 #include <vector>
 
 #include "geometry/random_points.hpp"
@@ -65,8 +81,15 @@ struct ScenarioParams {
   double ack_timeout = 0.05;
   std::size_t max_retries = 5;
   std::size_t retention_window = 64;
+  double batch_window = 0.0;   // root-side coalescing window (0 = off)
+  std::size_t max_batch = 16;  // publishes per coalesced wave
+  std::size_t pub_burst = 1;   // publishes per burst in the schedule
   std::uint64_t seed = 42;
 };
+
+/// One application-level delivery, the unit the batching-equivalence gate
+/// compares: batched and unbatched runs must deliver the identical set.
+using DeliveryKey = std::tuple<overlay::PeerId, groups::GroupId, std::uint64_t>;
 
 struct ScenarioOutcome {
   groups::GroupStats total;
@@ -98,7 +121,8 @@ struct ScenarioOutcome {
 /// apples-to-apples.
 ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
                              const ScenarioParams& params, multicast::QoS qos,
-                             double loss) {
+                             double loss,
+                             std::set<DeliveryKey>* delivered_out = nullptr) {
   const std::size_t peers = graph.size();
   groups::PubSubConfig config;
   config.seed = params.seed;
@@ -107,7 +131,14 @@ ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
   config.reliability.ack_timeout = params.ack_timeout;
   config.reliability.max_retries = params.max_retries;
   config.groups.retention_window = params.retention_window;
+  config.batch_window = params.batch_window;
+  config.max_batch = params.max_batch;
   groups::PubSubSystem system(graph, config);
+  if (delivered_out != nullptr)
+    system.set_delivery_probe([delivered_out](overlay::PeerId peer, groups::GroupId group,
+                                              std::uint64_t seq, double) {
+      delivered_out->emplace(peer, group, seq);
+    });
 
   // Roots are excluded from membership and churn so the bench measures
   // steady-state group service, not rendezvous migration (which has its
@@ -143,12 +174,19 @@ ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
   // Warm publish per group at t=2 (pays the lazy builds), then churn
   // interleaved with publish rounds over t in [3, 9). Publishers that
   // depart before their slot are skipped, so total.publishes reports
-  // what actually ran.
+  // what actually ran. With --pub-burst=K the remaining publishes are
+  // issued in back-to-back bursts of K from one publisher at one instant
+  // (the hot-group workload coalescing amortises); K=1 draws the exact
+  // historic schedule, one (publisher, time) pair per publish.
+  const std::size_t burst = std::max<std::size_t>(params.pub_burst, 1);
   for (std::size_t g = 0; g < params.group_count; ++g) {
     system.publish_at(2.0, members[g][0], g);
-    for (std::size_t i = 1; i < params.publishes; ++i) {
+    for (std::size_t i = 1; i < params.publishes;) {
       const auto publisher = members[g][rng.next_below(params.subscribers)];
-      system.publish_at(rng.uniform(3.0, 9.0), publisher, g);
+      const double when = rng.uniform(3.0, 9.0);
+      const std::size_t count = std::min(burst, params.publishes - i);
+      for (std::size_t j = 0; j < count; ++j) system.publish_at(when, publisher, g);
+      i += count;
     }
   }
   ScenarioOutcome outcome;
@@ -172,16 +210,23 @@ ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
   std::vector<bool> member_anywhere(peers, false);
   for (const auto& group_members : members)
     for (const overlay::PeerId p : group_members) member_anywhere[p] = true;
+  // With batching on, a root-published wave buffers for one window before
+  // it flushes; the kill must be timed against the flushed start or the
+  // relay dies before the wave exists (and the tree repairs around it).
+  const double wave_start_delay =
+      (params.batch_window > 0.0 && params.max_batch > 1) ? params.batch_window : 0.0;
   for (std::size_t i = 0; i < params.midwave; ++i) {
     const auto g = static_cast<groups::GroupId>(i % params.group_count);
     const double wave_time = 10.0 + 2.0 * static_cast<double>(i);
     const overlay::PeerId root = system.manager().root_of(g);
     system.publish_at(wave_time, root, g);
-    groups::schedule_midwave_kill(system, g, wave_time, member_anywhere,
-                                  [&outcome](overlay::PeerId, std::size_t severed) {
-                                    ++outcome.midwave_kills;
-                                    outcome.severed_subscribers += severed;
-                                  });
+    groups::schedule_midwave_kill(
+        system, g, wave_time, member_anywhere,
+        [&outcome](overlay::PeerId, std::size_t severed) {
+          ++outcome.midwave_kills;
+          outcome.severed_subscribers += severed;
+        },
+        wave_start_delay);
     system.publish_at(wave_time + 0.5, root, g);  // flushes reveal the gaps
     system.publish_at(wave_time + 1.0, root, g);
   }
@@ -291,6 +336,155 @@ int run_sweep(const overlay::OverlayGraph& graph, const ScenarioParams& params,
   return all_ok ? 0 : 2;
 }
 
+// ---------------------------------------------------------------- JSON ----
+
+/// One scenario cell as a JSON object — the machine-readable slice the
+/// perf trajectory (BENCH_pubsub.json) and CI artifacts are built from.
+/// Hand-rolled: every value is a number or bool, so no escaping needed.
+std::string scenario_json(const ScenarioParams& params, multicast::QoS qos,
+                          double loss, const ScenarioOutcome& r) {
+  std::ostringstream o;
+  o.precision(10);
+  o << "{\"qos\":" << static_cast<int>(qos) << ",\"loss\":" << loss
+    << ",\"batch_window\":" << params.batch_window
+    << ",\"max_batch\":" << params.max_batch
+    << ",\"pub_burst\":" << params.pub_burst
+    << ",\"publishes\":" << r.total.publishes
+    << ",\"delivery_ratio\":" << r.total.delivery_ratio()
+    << ",\"deliveries\":" << r.total.deliveries
+    << ",\"expected_deliveries\":" << r.total.expected_deliveries
+    << ",\"payload_messages\":" << r.total.payload_messages
+    << ",\"ack_messages\":" << r.total.ack_messages
+    << ",\"nacks_sent\":" << r.total.nacks_sent
+    << ",\"retransmissions\":" << r.total.retransmissions
+    << ",\"duplicate_deliveries\":" << r.total.duplicate_deliveries
+    << ",\"batch_flushes_window\":" << r.total.batch_flushes_window
+    << ",\"batch_flushes_full\":" << r.total.batch_flushes_full
+    << ",\"mean_batch_occupancy\":" << r.total.mean_batch_occupancy()
+    << ",\"envelopes_saved\":" << r.total.envelopes_saved
+    << ",\"sim_events\":" << r.events
+    << ",\"run_secs\":" << r.run_secs << "}";
+  return o.str();
+}
+
+std::string params_json(const ScenarioParams& params) {
+  std::ostringstream o;
+  o.precision(10);
+  o << "{\"peers\":" << params.peers << ",\"groups\":" << params.group_count
+    << ",\"subscribers\":" << params.subscribers
+    << ",\"publishes\":" << params.publishes
+    << ",\"departures\":" << params.departures
+    << ",\"pub_burst\":" << params.pub_burst
+    << ",\"batch_window\":" << params.batch_window
+    << ",\"max_batch\":" << params.max_batch
+    << ",\"retention\":" << params.retention_window
+    << ",\"seed\":" << params.seed << "}";
+  return o.str();
+}
+
+void write_json_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write --json file: " + path);
+  out << body << "\n";
+}
+
+// -------------------------------------------------------- batch compare ----
+
+/// The ISSUE 4 acceptance harness: the burst workload at every QoS rung,
+/// unbatched vs. batched, gating on bit-identical delivered
+/// (peer, group, seq) sets and a >= 3x payload+ack envelope reduction at
+/// QoS 1. Churn/kills are off — equivalence is defined on stable
+/// membership (a wave in flight to a departing subscriber dies at a
+/// slightly different instant under the two pipelines, which is timing,
+/// not correctness; the lossy/churny equivalence story lives in
+/// tests/groups_batching_test.cpp where a QoS guarantee pins the set).
+int run_batch_compare(const overlay::OverlayGraph& graph, ScenarioParams params,
+                      bool csv, const std::string& json_path, double overlay_secs) {
+  params.departures = 0;
+  params.midwave = 0;
+  if (params.pub_burst <= 1) params.pub_burst = 8;
+  if (params.batch_window <= 0.0) params.batch_window = 0.1;
+  util::Table table({"qos", "batched", "publishes", "delivery_ratio", "payload_msgs",
+                     "ack_msgs", "payload+ack", "nacks", "retx", "waves", "occupancy",
+                     "envelopes_saved", "identical_set", "run_secs"});
+  std::ostringstream cells;
+  bool all_identical = true;
+  double reduction_qos1 = 0.0;
+  for (const auto qos : {multicast::QoS::kFireAndForget, multicast::QoS::kAcked,
+                         multicast::QoS::kEndToEnd}) {
+    ScenarioParams unbatched = params;
+    unbatched.batch_window = 0.0;
+    std::set<DeliveryKey> set_unbatched, set_batched;
+    const auto base = run_scenario(graph, unbatched, qos, 0.0, &set_unbatched);
+    const auto coalesced = run_scenario(graph, params, qos, 0.0, &set_batched);
+    const bool identical = set_unbatched == set_batched &&
+                           base.total.deliveries == set_unbatched.size() &&
+                           coalesced.total.deliveries == set_batched.size();
+    all_identical = all_identical && identical;
+    const auto envelopes = [](const ScenarioOutcome& r) {
+      return r.total.payload_messages + r.total.ack_messages;
+    };
+    if (qos == multicast::QoS::kAcked && envelopes(coalesced) > 0)
+      reduction_qos1 = static_cast<double>(envelopes(base)) /
+                       static_cast<double>(envelopes(coalesced));
+    for (const auto* r : {&base, &coalesced}) {
+      const bool batched = r == &coalesced;
+      table.begin_row()
+          .add_number(static_cast<double>(qos), 0)
+          .add_number(batched ? 1 : 0, 0)
+          .add_number(static_cast<double>(r->total.publishes), 0)
+          .add_number(r->total.delivery_ratio(), 5)
+          .add_number(static_cast<double>(r->total.payload_messages), 0)
+          .add_number(static_cast<double>(r->total.ack_messages), 0)
+          .add_number(static_cast<double>(envelopes(*r)), 0)
+          .add_number(static_cast<double>(r->total.nacks_sent), 0)
+          .add_number(static_cast<double>(r->total.retransmissions), 0)
+          .add_number(static_cast<double>(r->total.batch_flushes_window +
+                                          r->total.batch_flushes_full),
+                      0)
+          .add_number(r->total.mean_batch_occupancy(), 2)
+          .add_number(static_cast<double>(r->total.envelopes_saved), 0)
+          .add_number(identical ? 1 : 0, 0)
+          .add_number(r->run_secs, 3);
+      if (cells.tellp() > 0) cells << ",";
+      cells << "\n    "
+            << scenario_json(batched ? params : unbatched, qos, 0.0, *r);
+    }
+  }
+  const bool reduction_ok = reduction_qos1 >= 3.0;
+  const bool all_ok = all_identical && reduction_ok;
+  std::ostringstream json;
+  json.precision(10);
+  json << "{\n  \"bench\": \"pubsub_throughput\",\n  \"mode\": \"batch_compare\",\n"
+       << "  \"params\": " << params_json(params) << ",\n  \"cells\": [" << cells.str()
+       << "\n  ],\n  \"delivered_sets_identical\": " << (all_identical ? "true" : "false")
+       << ",\n  \"payload_ack_reduction_qos1\": " << reduction_qos1
+       << ",\n  \"gate_identical\": " << (all_identical ? "true" : "false")
+       << ",\n  \"gate_reduction_ge_3x\": " << (reduction_ok ? "true" : "false") << "\n}";
+  if (!json_path.empty()) write_json_file(json_path, json.str());
+  if (csv) {
+    table.print_csv(std::cout);
+    if (!all_ok)
+      std::cerr << "pubsub_throughput: batch-compare gate failed (identical="
+                << all_identical << ", reduction=" << reduction_qos1 << ")\n";
+  } else {
+    std::cout << "=== batch compare: bursts of " << params.pub_burst << " over "
+              << params.group_count << " groups x " << params.subscribers
+              << " subscribers on " << graph.size() << " peers, batch_window="
+              << params.batch_window << ", max_batch=" << params.max_batch
+              << ", seed=" << params.seed << " (overlay built in "
+              << util::format_number(overlay_secs, 2) << "s) ===\n\n";
+    table.print(std::cout);
+    std::cout << "\nacceptance: delivered (peer, group, seq) sets bit-identical at"
+                 " QoS 0/1/2: "
+              << (all_identical ? "PASS" : "FAIL")
+              << "\nacceptance: payload+ack envelopes reduced >= 3x at QoS 1: "
+              << (reduction_ok ? "PASS" : "FAIL") << " ("
+              << util::format_number(reduction_qos1, 2) << "x)\n";
+  }
+  return all_ok ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,6 +500,9 @@ int main(int argc, char** argv) {
     params.ack_timeout = flags.get_double("ack-timeout", 0.05);
     params.max_retries = static_cast<std::size_t>(flags.get_int("retries", 5));
     params.retention_window = static_cast<std::size_t>(flags.get_int("retention", 64));
+    params.batch_window = flags.get_double("batch-window", 0.0);
+    params.max_batch = static_cast<std::size_t>(flags.get_int("max-batch", 16));
+    params.pub_burst = static_cast<std::size_t>(flags.get_int("pub-burst", 1));
     params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
     const double loss = flags.get_double("loss", 0.0);
     const std::int64_t qos_level = flags.get_int("qos", 0);
@@ -314,6 +511,8 @@ int main(int argc, char** argv) {
     const auto qos = static_cast<multicast::QoS>(qos_level);
     const bool csv = flags.get_bool("csv", false);
     const bool sweep = flags.get_bool("sweep", false);
+    const bool batch_compare = flags.get_bool("batch-compare", false);
+    const std::string json_path = flags.get_string("json", "");
     // Sweep mode gates on subtree repair, so its departures are mid-wave
     // forwarder kills; random churn (which removes subscribers outright)
     // stays a non-sweep knob.
@@ -323,6 +522,7 @@ int main(int argc, char** argv) {
       params.peers = 200;
       params.group_count = 8;
       params.departures = sweep ? 0 : 6;
+      if (batch_compare) params.publishes = std::max<std::size_t>(params.publishes, 16);
       // One kill: at 200 peers a severed subtree is a big enough slice of
       // the traffic that two would push QoS 1 below the >= 0.99 per-hop
       // gate for reasons that have nothing to do with link loss.
@@ -336,9 +536,15 @@ int main(int argc, char** argv) {
     const double overlay_secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t_overlay).count();
 
+    if (batch_compare) return run_batch_compare(graph, params, csv, json_path, overlay_secs);
     if (sweep) return run_sweep(graph, params, csv, overlay_secs);
 
     const auto outcome = run_scenario(graph, params, qos, loss);
+    if (!json_path.empty())
+      write_json_file(json_path,
+                      "{\n  \"bench\": \"pubsub_throughput\",\n  \"params\": " +
+                          params_json(params) + ",\n  \"run\": " +
+                          scenario_json(params, qos, loss, outcome) + "\n}");
     const auto& total = outcome.total;
     const double full_dissemination = static_cast<double>(params.peers - 1);
     const double publishes_per_sec =
@@ -372,6 +578,11 @@ int main(int argc, char** argv) {
     row("ack_msgs", static_cast<double>(total.ack_messages), 0);
     row("retransmissions", static_cast<double>(total.retransmissions), 0);
     row("retx_per_publish", outcome.retx_per_publish(), 2);
+    row("batch_flushes_window", static_cast<double>(total.batch_flushes_window), 0);
+    row("batch_flushes_full", static_cast<double>(total.batch_flushes_full), 0);
+    row("mean_batch_occupancy", total.mean_batch_occupancy(), 2);
+    row("envelopes_saved", static_cast<double>(total.envelopes_saved), 0);
+    row("batch_publishes_lost", static_cast<double>(total.batch_publishes_lost), 0);
     row("abandoned_hops", static_cast<double>(total.abandoned_hops), 0);
     row("gap_seqs_detected", static_cast<double>(total.gap_seqs_detected), 0);
     row("gap_seqs_repaired", static_cast<double>(total.gap_seqs_repaired), 0);

@@ -8,10 +8,12 @@ namespace geomcast::groups {
 void schedule_midwave_kill(
     PubSubSystem& system, GroupId group, double wave_time,
     const std::vector<bool>& member_anywhere,
-    std::function<void(PeerId relay, std::size_t severed_subscribers)> on_kill) {
+    std::function<void(PeerId relay, std::size_t severed_subscribers)> on_kill,
+    double wave_start_delay) {
   system.simulator().schedule_at(
       wave_time + 0.001,
-      [&system, group, wave_time, &member_anywhere, on_kill = std::move(on_kill)]() {
+      [&system, group, wave_time, wave_start_delay, &member_anywhere,
+       on_kill = std::move(on_kill)]() {
         const GroupTree* gt = system.manager().cached_tree(group);
         if (gt == nullptr) return;
         const auto depths = gt->tree.depths();
@@ -37,8 +39,11 @@ void schedule_midwave_kill(
         if (best == kInvalidPeer) return;
         if (on_kill) on_kill(best, best_subs);
         // Depart just before the wave's constant-latency arrival at the
-        // relay's tree depth, clamped to "now" for depth-1 relays.
-        const double arrival = wave_time + 0.01 * static_cast<double>(depths[best]);
+        // relay's tree depth, clamped to "now" for depth-1 relays. The
+        // wave leaves the root at wave_time + wave_start_delay (the batch
+        // window when coalescing buffers the root's own publish).
+        const double arrival = wave_time + wave_start_delay +
+                               0.01 * static_cast<double>(depths[best]);
         system.simulator().schedule_at(
             std::max(arrival - 0.005, system.simulator().now()),
             [&system, best]() { system.manager().handle_departure(best); });

@@ -29,9 +29,18 @@ namespace geomcast::groups {
 /// outlive the run; the wave at `wave_time` should publish from the
 /// group's root so the wave start — and the arrival-time estimate the
 /// kill is timed against — is exact.
+///
+/// `wave_start_delay` shifts the arrival estimate for pipelines where the
+/// wave leaves the root later than the publish lands there: with batching
+/// on, a root-published wave buffers for one `PubSubConfig::batch_window`
+/// before flushing, and a kill timed against the unbatched start would
+/// depart the relay BEFORE the wave exists — the tree repairs around it
+/// and nothing is severed mid-flight (a different, weaker scenario). Pass
+/// the batch window so the kill lands mid-wave on the flushed range too.
 void schedule_midwave_kill(
     PubSubSystem& system, GroupId group, double wave_time,
     const std::vector<bool>& member_anywhere,
-    std::function<void(PeerId relay, std::size_t severed_subscribers)> on_kill);
+    std::function<void(PeerId relay, std::size_t severed_subscribers)> on_kill,
+    double wave_start_delay = 0.0);
 
 }  // namespace geomcast::groups

@@ -8,16 +8,34 @@
 
 namespace geomcast::groups {
 
-std::size_t RetainedBuffer::retain(std::uint64_t seq, std::any payload) {
-  entries_.insert_or_assign(seq, std::move(payload));
-  if (entries_.size() <= capacity_) return 0;
-  entries_.erase(entries_.begin());  // lowest seq goes first
-  return 1;
+std::size_t RetainedBuffer::retain(std::uint64_t lo, std::uint64_t hi,
+                                   std::any payload) {
+  if (hi < lo) throw std::invalid_argument("RetainedBuffer::retain: hi < lo");
+  // Re-retaining a held range (same lo) overwrites in place; drop the old
+  // width before adding the new so covered_ stays exact either way.
+  const auto held = entries_.find(lo);
+  if (held != entries_.end())
+    covered_ -= static_cast<std::size_t>(held->second.seq_hi - lo + 1);
+  entries_.insert_or_assign(lo, Entry{hi, std::move(payload)});
+  covered_ += static_cast<std::size_t>(hi - lo + 1);
+  std::size_t evicted = 0;
+  while (covered_ > capacity_) {  // lowest ranges go first
+    const auto oldest = entries_.begin();
+    const std::size_t width =
+        static_cast<std::size_t>(oldest->second.seq_hi - oldest->first + 1);
+    covered_ -= width;
+    evicted += width;
+    entries_.erase(oldest);
+  }
+  return evicted;
 }
 
 const std::any* RetainedBuffer::find(std::uint64_t seq) const {
-  const auto it = entries_.find(seq);
-  return it == entries_.end() ? nullptr : &it->second;
+  // The covering range, if any: the last entry starting at or below seq.
+  auto it = entries_.upper_bound(seq);
+  if (it == entries_.begin()) return nullptr;
+  --it;
+  return it->second.seq_hi >= seq ? &it->second.payload : nullptr;
 }
 
 GroupManager::GroupManager(const overlay::OverlayGraph& graph, GroupConfig config)
@@ -177,13 +195,13 @@ const GroupTree* GroupManager::cached_tree(GroupId group) const {
   return it->second.cached.get();
 }
 
-std::size_t GroupManager::retain_payload(PeerId peer, GroupId group, std::uint64_t seq,
-                                         std::any payload) {
+std::size_t GroupManager::retain_payload(PeerId peer, GroupId group, std::uint64_t lo,
+                                         std::uint64_t hi, std::any payload) {
   if (config_.retention_window == 0) return 0;
   auto& buffer = retained_[peer]
                      .try_emplace(group, config_.retention_window)
                      .first->second;
-  const std::size_t evicted = buffer.retain(seq, std::move(payload));
+  const std::size_t evicted = buffer.retain(lo, hi, std::move(payload));
   retained_peak_ = std::max(retained_peak_, buffer.size());
   return evicted;
 }

@@ -39,22 +39,40 @@ class RetainedBuffer {
  public:
   explicit RetainedBuffer(std::size_t capacity) : capacity_(capacity) {}
 
-  /// Retains `payload` for `seq`; evicts the lowest retained seq when the
-  /// buffer would exceed capacity. Returns evictions performed (0 or 1; a
-  /// zero-capacity buffer evicts the new entry itself). Re-retaining a
-  /// held seq overwrites in place.
-  std::size_t retain(std::uint64_t seq, std::any payload);
+  /// Retains `payload` for the dense seq range [lo, hi] (one entry — a
+  /// batched wave retains once, not per seq); evicts the lowest retained
+  /// ranges while the buffer covers more than `capacity` seqs. Returns the
+  /// number of seqs evicted (a zero-capacity buffer evicts the new entry
+  /// itself). Re-retaining a held range (same lo) overwrites in place;
+  /// ranges of one group never partially overlap — the root assigns them.
+  std::size_t retain(std::uint64_t lo, std::uint64_t hi, std::any payload);
+  /// Single-seq convenience (the unbatched pipeline).
+  std::size_t retain(std::uint64_t seq, std::any payload) {
+    return retain(seq, seq, std::move(payload));
+  }
 
-  /// The retained payload for `seq`, or nullptr when absent (never held,
-  /// or already evicted — the caller escalates to an older ancestor).
+  /// The retained payload whose range covers `seq`, or nullptr when absent
+  /// (never held, or already evicted — the caller escalates to an older
+  /// ancestor).
   [[nodiscard]] const std::any* find(std::uint64_t seq) const;
 
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// Seqs covered across all retained ranges — the unit the capacity
+  /// bound is expressed in (a range wave costs its width, so batching
+  /// cannot inflate the retention memory bound).
+  [[nodiscard]] std::size_t size() const noexcept { return covered_; }
+  /// Retained range entries (<= size(); one per wave).
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  struct Entry {
+    std::uint64_t seq_hi;
+    std::any payload;
+  };
+
   std::size_t capacity_;
-  std::map<std::uint64_t, std::any> entries_;
+  std::size_t covered_ = 0;
+  std::map<std::uint64_t, Entry> entries_;  // keyed by the range's seq_lo
 };
 
 struct GroupConfig {
@@ -112,11 +130,13 @@ class GroupManager {
   // are dropped with it — the dead cannot serve repairs, which is exactly
   // why NACKs escalate ancestor-by-ancestor.
 
-  /// Retains a wave payload at `peer` for later repair service; bounded by
-  /// GroupConfig::retention_window. Returns evictions (0 or 1) so the
-  /// caller can attribute them to the group's stats.
-  std::size_t retain_payload(PeerId peer, GroupId group, std::uint64_t seq,
-                             std::any payload);
+  /// Retains a wave payload covering seqs [lo, hi] at `peer` for later
+  /// repair service; bounded by GroupConfig::retention_window (counted in
+  /// seqs, so batched range waves cannot inflate the memory bound).
+  /// Returns seqs evicted so the caller can attribute them to the group's
+  /// stats.
+  std::size_t retain_payload(PeerId peer, GroupId group, std::uint64_t lo,
+                             std::uint64_t hi, std::any payload);
   /// The payload `peer` retained for (group, seq), or nullptr.
   [[nodiscard]] const std::any* retained_payload(PeerId peer, GroupId group,
                                                  std::uint64_t seq) const;

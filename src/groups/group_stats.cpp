@@ -22,10 +22,22 @@ double GroupStats::mean_gap_latency() const noexcept {
   return gap_latency_total / static_cast<double>(gap_seqs_repaired);
 }
 
+double GroupStats::mean_batch_occupancy() const noexcept {
+  const std::uint64_t flushes = batch_flushes_window + batch_flushes_full;
+  if (flushes == 0) return 0.0;
+  return static_cast<double>(batch_occupancy_sum) / static_cast<double>(flushes);
+}
+
 GroupStats& GroupStats::operator+=(const GroupStats& other) noexcept {
   subscribes += other.subscribes;
   unsubscribes += other.unsubscribes;
   publishes += other.publishes;
+  batched_publishes += other.batched_publishes;
+  batch_flushes_window += other.batch_flushes_window;
+  batch_flushes_full += other.batch_flushes_full;
+  batch_occupancy_sum += other.batch_occupancy_sum;
+  batch_publishes_lost += other.batch_publishes_lost;
+  envelopes_saved += other.envelopes_saved;
   expected_deliveries += other.expected_deliveries;
   deliveries += other.deliveries;
   duplicate_deliveries += other.duplicate_deliveries;
@@ -80,6 +92,11 @@ std::string GroupStats::summary() const {
         << ") repairs_served=" << repairs_served << " (misses " << repair_misses
         << ", escalations " << repair_escalations << ") retained_evictions="
         << retained_evictions;
+  if (batch_flushes_window + batch_flushes_full > 0)
+    out << " batches=" << (batch_flushes_window + batch_flushes_full) << " (window "
+        << batch_flushes_window << ", full " << batch_flushes_full << ", occupancy "
+        << util::format_number(mean_batch_occupancy(), 2) << ", lost "
+        << batch_publishes_lost << ") envelopes_saved=" << envelopes_saved;
   return out.str();
 }
 

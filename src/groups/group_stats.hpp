@@ -20,6 +20,20 @@ struct GroupStats {
 
   // Publish pipeline.
   std::uint64_t publishes = 0;
+  // Wave coalescing (PubSubConfig::batch_window > 0): publishes buffered
+  // at the root and flushed as range waves, with the flush reason split
+  // out (window timer expired vs. batch hit max_batch) so a workload's
+  // burst profile is readable from the stats.
+  std::uint64_t batched_publishes = 0;     // publishes that entered a buffer
+  std::uint64_t batch_flushes_window = 0;  // waves flushed by the window timer
+  std::uint64_t batch_flushes_full = 0;    // waves flushed by max_batch
+  std::uint64_t batch_occupancy_sum = 0;   // publishes across flushed waves
+  /// Buffered publishes dropped because the buffering root departed before
+  /// the flush (they died at the root, like any publish to a dead root).
+  std::uint64_t batch_publishes_lost = 0;
+  /// Payload (+ack at QoS 1+) envelopes the coalesced waves avoided versus
+  /// one wave per publish: (batch size - 1) x tree edges per flush.
+  std::uint64_t envelopes_saved = 0;
   /// Sum over publishes of the subscriber count the tree spanned at
   /// publish time — the denominator of delivery_ratio().
   std::uint64_t expected_deliveries = 0;
@@ -89,6 +103,8 @@ struct GroupStats {
   /// Mean simulated seconds from gap detection to repair; 0 when no gap
   /// was repaired.
   [[nodiscard]] double mean_gap_latency() const noexcept;
+  /// Mean publishes per flushed wave; 0 when nothing was coalesced.
+  [[nodiscard]] double mean_batch_occupancy() const noexcept;
 
   GroupStats& operator+=(const GroupStats& other) noexcept;
 

@@ -20,54 +20,74 @@ void SubscriberWindow::release_run(std::vector<std::uint64_t>& released) {
   }
 }
 
-SubscriberWindow::Arrival SubscriberWindow::observe(std::uint64_t seq) {
+SubscriberWindow::Arrival SubscriberWindow::observe_range(std::uint64_t lo,
+                                                          std::uint64_t hi) {
   Arrival arrival;
+  if (lo > hi) return arrival;
   if (!initialized_) {
     // Late joiners start at whatever wave reaches them first; the history
     // before it was never owed to this window.
     initialized_ = true;
-    next_expected_ = seq;
+    next_expected_ = lo;
+    frontier_ = lo;
   }
-  if (seq < next_expected_) {
-    // First sighting below the head (init race or an abandoned gap whose
-    // copy finally straggled in): release out of band, window unchanged.
-    arrival.pre_window = true;
+  // Split off the below-head part (init race or an abandoned gap whose
+  // copy finally straggled in): release out of band, window unchanged.
+  for (; lo <= hi && lo < next_expected_; ++lo) arrival.pre_window.push_back(lo);
+  if (lo > hi) return arrival;
+  if (lo == next_expected_ && gaps_.empty() && held_.empty() && skipped_.empty()) {
+    // The batching hot path: an in-order range with a clean window
+    // releases wholesale, no per-seq set traffic at all.
+    for (std::uint64_t s = lo; s <= hi; ++s) arrival.released.push_back(s);
+    next_expected_ = hi + 1;
+    frontier_ = std::max(frontier_, next_expected_);
     return arrival;
   }
-  if (gaps_.erase(seq) > 0) {
-    // A gap filled (by repair, or by per-hop recovery winning the race).
+  for (std::uint64_t seq = lo; seq <= hi; ++seq) {
+    if (seq < next_expected_) {
+      // The head overtook this still-unprocessed seq mid-range (a forced
+      // abandonment ran past it, or release_run passed an earlier-skipped
+      // seq): below the head now, so out of band like any pre-window seq.
+      arrival.pre_window.push_back(seq);
+      continue;
+    }
+    if (gaps_.erase(seq) > 0) {
+      // A gap filled (by repair, or by per-hop recovery winning the race).
+      if (seq == next_expected_) {
+        arrival.released.push_back(seq);
+        ++next_expected_;
+        release_run(arrival.released);
+      } else {
+        held_.insert(seq);
+      }
+      continue;
+    }
     if (seq == next_expected_) {
       arrival.released.push_back(seq);
       ++next_expected_;
       release_run(arrival.released);
-    } else {
-      held_.insert(seq);
+      continue;
     }
-    return arrival;
-  }
-  if (seq == next_expected_) {
-    arrival.released.push_back(seq);
-    ++next_expected_;
-    release_run(arrival.released);
-    return arrival;
-  }
-  // Ahead of the head: everything between becomes a gap, the arrival is
-  // held back for in-order release.
-  for (std::uint64_t m = next_expected_; m < seq; ++m)
-    if (held_.count(m) == 0 && gaps_.count(m) == 0 && skipped_.count(m) == 0) {
-      gaps_.insert(m);
+    // Ahead of the head: everything between becomes a gap, the arrival is
+    // held back for in-order release. Everything below the frontier is
+    // already held, a gap, or skipped, so only [frontier_, seq) is new —
+    // no membership probes, no rescan of the reorder distance.
+    for (std::uint64_t m = std::max(next_expected_, frontier_); m < seq; ++m) {
+      gaps_.insert(gaps_.end(), m);
       arrival.new_gaps.push_back(m);
     }
-  held_.insert(seq);
-  // Bounded hold-back: when the buffer overflows, the oldest gaps are the
-  // blockers — give up on them rather than grow without bound. The head is
-  // always a gap here (otherwise it would have been released).
-  while (held_.size() > reorder_limit_) {
-    const std::uint64_t head = next_expected_;
-    gaps_.erase(head);
-    arrival.forced_abandoned.push_back(head);
-    ++next_expected_;
-    release_run(arrival.released);
+    held_.insert(seq);
+    // Bounded hold-back: when the buffer overflows, the oldest gaps are
+    // the blockers — give up on them rather than grow without bound. The
+    // head is always a gap here (otherwise it would have been released).
+    while (held_.size() > reorder_limit_) {
+      const std::uint64_t head = next_expected_;
+      gaps_.erase(head);
+      arrival.forced_abandoned.push_back(head);
+      ++next_expected_;
+      release_run(arrival.released);
+    }
+    frontier_ = std::max(frontier_, seq + 1);
   }
   return arrival;
 }
@@ -214,17 +234,76 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
     case kPublishKind: {
       GroupStats& stats = manager_->stats(request.group);
       ++stats.publishes;
-      const auto snapshot = manager_->tree_snapshot(request.group);
-      if (snapshot == nullptr) return;  // nobody subscribed
-      stats.expected_deliveries += snapshot->reached_subscribers;
-      disseminate(self, kInvalidPeer,
-                  GroupDelivery{request.group, next_seq_[request.group]++,
-                                next_wave_++, snapshot});
+      if (!batching()) {
+        // Immediate flush: the historic single-seq wave, bit-identical to
+        // the unbatched pipeline (no buffer, no timer, same send order).
+        const auto snapshot = manager_->tree_snapshot(request.group);
+        if (snapshot == nullptr) return;  // nobody subscribed
+        stats.expected_deliveries += snapshot->reached_subscribers;
+        const std::uint64_t seq = next_seq_[request.group]++;
+        disseminate(self, kInvalidPeer,
+                    GroupDelivery{request.group, seq, seq, next_wave_++, snapshot});
+        return;
+      }
+      PendingBatch& batch = pending_batch_[request.group];
+      if (batch.count > 0 && !manager_->alive(batch.root)) {
+        // The buffering root died with publishes pending: they died with
+        // it (exactly like unbatched publishes addressed to a dead root).
+        // `self` is the migrated-to root starting a fresh buffer; the dead
+        // root's window timer must not flush it early.
+        stats.batch_publishes_lost += batch.count;
+        batch.count = 0;
+        sim_->cancel(batch.timer);
+      }
+      ++batch.count;
+      ++stats.batched_publishes;
+      if (batch.count == 1) {
+        batch.root = self;
+        batch.timer = sim_->schedule_after(
+            config_.batch_window,
+            [this, group = request.group]() { flush_batch(group, true); });
+      }
+      if (batch.count >= config_.max_batch) {
+        sim_->cancel(batch.timer);
+        flush_batch(request.group, false);
+      }
       return;
     }
     default:
       throw std::logic_error("PubSubSystem: control kind expected");
   }
+}
+
+void PubSubSystem::flush_batch(GroupId group, bool window_expired) {
+  const auto it = pending_batch_.find(group);
+  if (it == pending_batch_.end() || it->second.count == 0) return;
+  const std::size_t count = it->second.count;
+  const PeerId root = it->second.root;
+  it->second.count = 0;
+  GroupStats& stats = manager_->stats(group);
+  if (!manager_->alive(root)) {
+    // Nothing migrates a pending buffer: it was state of the dead root.
+    stats.batch_publishes_lost += count;
+    return;
+  }
+  const auto snapshot = manager_->tree_snapshot(group);
+  if (snapshot == nullptr) return;  // nobody subscribed (publishes counted)
+  ++(window_expired ? stats.batch_flushes_window : stats.batch_flushes_full);
+  stats.batch_occupancy_sum += count;
+  stats.expected_deliveries +=
+      static_cast<std::uint64_t>(count) * snapshot->reached_subscribers;
+  // Envelope amortisation: unbatched, each of the `count` publishes would
+  // have paid one payload envelope per tree edge (and one ack per edge at
+  // QoS 1+); the batch pays each edge once.
+  const std::uint64_t saved = static_cast<std::uint64_t>(count - 1) *
+                              snapshot->tree.edge_count() * (acked() ? 2 : 1);
+  stats.envelopes_saved += saved;
+  sim_->network().note_batched_wave(saved);
+  std::uint64_t& next = next_seq_[group];
+  const std::uint64_t seq_lo = next;
+  next += count;
+  disseminate(root, kInvalidPeer,
+              GroupDelivery{group, seq_lo, seq_lo + count - 1, next_wave_++, snapshot});
 }
 
 void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& delivery) {
@@ -233,34 +312,50 @@ void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& de
     // Ack before anything else — a dedup hit included. The duplicate's
     // arrival means our previous ack may have been the lost message; an
     // unacked sender would retransmit until its budget died on a hop that
-    // already delivered.
+    // already delivered. One ack covers the wave's whole range.
     ++stats.ack_messages;
     hop_->acknowledge(self, from, delivery.wave);
   }
-  if (acked() && !seen_[self].emplace(delivery.group, delivery.seq).second) {
-    ++stats.duplicate_deliveries;
-    sim_->network().note_duplicate();
-    return;  // re-acked above, but never re-delivered or re-forwarded
+  // Per-seq dedup over the range: a retransmitted wave is usually stale
+  // end to end, but a repair can have filled part of the range first —
+  // then only the fresh remainder is delivered.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fresh;
+  if (acked()) {
+    fresh = fresh_runs(self, delivery.group, delivery.seq, delivery.seq_hi);
+    if (fresh.empty()) {
+      // Every seq already processed: a pure duplicate, re-acked above but
+      // never re-delivered or re-forwarded.
+      ++stats.duplicate_deliveries;
+      sim_->network().note_duplicate();
+      return;
+    }
+  } else {
+    // Under QoS 0 the dedup is moot: the snapshot is a tree (one parent
+    // per peer) and every wave has a unique (group, seq range), so without
+    // retransmissions a peer can never receive the same wave twice.
+    fresh.emplace_back(delivery.seq, delivery.seq_hi);
   }
   // Forwarding reads the wave's own snapshot, never the live cache — a
-  // mid-wave graft/prune/rebuild affects later publishes only. Under QoS 0
-  // the dedup above is moot: the snapshot is a tree (one parent per peer)
-  // and every wave has a unique (group, seq), so without retransmissions a
-  // peer can never receive the same wave twice.
+  // mid-wave graft/prune/rebuild affects later publishes only.
   const GroupTree* gt = delivery.tree.get();
   if (gt == nullptr || !gt->tree.reached(self)) return;
   // QoS 2 repair responders: the root and every forwarder retain the wave
   // (bounded per-(peer, group) window) so downstream NACKs can be served
-  // from the nearest ancestor instead of the publisher.
+  // from the nearest ancestor instead of the publisher. One slot covers
+  // the whole range.
   if (end_to_end() &&
       (gt->tree.root() == self || !gt->tree.children(self).empty()))
-    stats.retained_evictions +=
-        manager_->retain_payload(self, delivery.group, delivery.seq, delivery);
+    stats.retained_evictions += manager_->retain_payload(
+        self, delivery.group, delivery.seq, delivery.seq_hi, delivery);
   if (gt->is_subscriber[self]) {
-    if (end_to_end())
-      window_observe(self, delivery);  // in-order release path
-    else
-      deliver_local(self, delivery.group, delivery.seq);
+    for (const auto& [lo, hi] : fresh) {
+      if (end_to_end()) {
+        window_observe(self, delivery, lo, hi);  // in-order release path
+      } else {
+        for (std::uint64_t s = lo; s <= hi; ++s)
+          deliver_local(self, delivery.group, s);
+      }
+    }
   }
   for (PeerId child : gt->tree.children(self)) {
     ++stats.payload_messages;
@@ -268,12 +363,27 @@ void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& de
   }
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>> PubSubSystem::fresh_runs(
+    PeerId self, GroupId group, std::uint64_t lo, std::uint64_t hi) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fresh;
+  auto& seen = seen_[self];
+  for (std::uint64_t s = lo; s <= hi; ++s) {
+    if (!seen.emplace(group, s).second) continue;
+    if (!fresh.empty() && fresh.back().second + 1 == s)
+      fresh.back().second = s;
+    else
+      fresh.emplace_back(s, s);
+  }
+  return fresh;
+}
+
 void PubSubSystem::deliver_local(PeerId self, GroupId group, std::uint64_t seq) {
   ++manager_->stats(group).deliveries;
   if (probe_) probe_(self, group, seq, sim_->now());
 }
 
-void PubSubSystem::window_observe(PeerId self, const GroupDelivery& delivery) {
+void PubSubSystem::window_observe(PeerId self, const GroupDelivery& delivery,
+                                  std::uint64_t lo, std::uint64_t hi) {
   WindowState& ws = windows_[self]
                         .try_emplace(delivery.group,
                                      WindowState{SubscriberWindow{config_.repair.reorder_limit},
@@ -286,14 +396,14 @@ void PubSubSystem::window_observe(PeerId self, const GroupDelivery& delivery) {
     ws.latest_wave = delivery.wave;
   }
   GroupStats& stats = manager_->stats(delivery.group);
-  // The gap healed — by a kRepairKind, or by per-hop recovery winning the
-  // race before any NACK went out.
-  finish_gap(self, delivery.group, ws, delivery.seq, /*repaired=*/true);
-  const auto arrival = ws.window.observe(delivery.seq);
-  if (arrival.pre_window) {
+  // Gaps inside the range healed — by a kRepairKind, or by per-hop
+  // recovery winning the race before any NACK went out.
+  for (std::uint64_t s = lo; s <= hi; ++s)
+    finish_gap(self, delivery.group, ws, s, /*repaired=*/true);
+  const auto arrival = ws.window.observe_range(lo, hi);
+  for (const std::uint64_t m : arrival.pre_window) {
     ++stats.pre_window_deliveries;
-    deliver_local(self, delivery.group, delivery.seq);
-    return;
+    deliver_local(self, delivery.group, m);
   }
   for (const std::uint64_t m : arrival.new_gaps) {
     ws.gaps.emplace(m, GapState{sim_->now(), 0, 0});
@@ -405,12 +515,16 @@ void PubSubSystem::on_gap_timer(PeerId self, GroupId group) {
 void PubSubSystem::on_nack(PeerId self, const GapNack& nack) {
   GroupStats& stats = manager_->stats(nack.group);
   std::vector<std::uint64_t> missing;
+  // Range repair service: several NACKed seqs can live in one retained
+  // range wave — resend each retained envelope at most once per NACK.
+  std::set<std::uint64_t> served_ranges;  // keyed by the range's seq_lo
   for (const std::uint64_t seq : nack.seqs) {
     if (const std::any* payload = manager_->retained_payload(self, nack.group, seq)) {
+      const auto& wave = std::any_cast<const GroupDelivery&>(*payload);
+      if (!served_ranges.insert(wave.seq).second) continue;
       ++stats.repairs_served;
       sim_->network().note_repair_served();
-      sim_->send(self, nack.origin, kRepairKind,
-                 std::any_cast<const GroupDelivery&>(*payload));
+      sim_->send(self, nack.origin, kRepairKind, wave);
     } else {
       missing.push_back(seq);
     }
@@ -425,13 +539,16 @@ void PubSubSystem::on_nack(PeerId self, const GapNack& nack) {
 void PubSubSystem::on_repair(PeerId self, const GroupDelivery& delivery) {
   GroupStats& stats = manager_->stats(delivery.group);
   // Escalation can recruit two responders for one seq (a slow repair plus
-  // a retried ancestor): the shared dedup suppresses the second copy.
-  if (!seen_[self].emplace(delivery.group, delivery.seq).second) {
+  // a retried ancestor): the shared dedup suppresses the second copy. A
+  // range repair can also overlap seqs that arrived since the NACK went
+  // out — only the fresh remainder runs through the window.
+  const auto fresh = fresh_runs(self, delivery.group, delivery.seq, delivery.seq_hi);
+  if (fresh.empty()) {
     ++stats.duplicate_deliveries;
     sim_->network().note_duplicate();
     return;
   }
-  window_observe(self, delivery);
+  for (const auto& [lo, hi] : fresh) window_observe(self, delivery, lo, hi);
   // Retain by the CURRENT tree, not the repaired wave's old snapshot: a
   // peer that forwards for the rebuilt tree can serve its own subtree's
   // NACKs for this wave even if the failed tree had it as a leaf.
@@ -439,8 +556,8 @@ void PubSubSystem::on_repair(PeerId self, const GroupDelivery& delivery) {
   const GroupTree* latest = ws.latest_tree.get();
   if (latest != nullptr && latest->tree.reached(self) &&
       !latest->tree.children(self).empty())
-    stats.retained_evictions +=
-        manager_->retain_payload(self, delivery.group, delivery.seq, delivery);
+    stats.retained_evictions += manager_->retain_payload(
+        self, delivery.group, delivery.seq, delivery.seq_hi, delivery);
 }
 
 void PubSubSystem::on_repair_miss(PeerId self, PeerId from, const GapRepairMiss& miss) {

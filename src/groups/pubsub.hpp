@@ -13,6 +13,16 @@
 // wave installed) and consumes the payload iff subscribed, with per-
 // (group, seq) duplicate suppression.
 //
+// Wave coalescing (PubSubConfig::batch_window / max_batch): back-to-back
+// publishes to the same group are buffered at the rendezvous root and
+// flushed as ONE tree wave whose envelope carries the dense sequence
+// range [seq, seq_hi] — one envelope, one ack, one pending-retransmit
+// entry, and one retained-buffer slot per tree edge per batch instead of
+// per publish, amortising the whole QoS ladder by the batch factor. The
+// buffer flushes when the window expires or max_batch publishes have
+// joined; delivery stays per-seq at the subscribers (the window splits
+// ranges), so the delivered (group, seq) set is identical to unbatched.
+//
 // The data plane has a QoS ladder (PubSubConfig::reliability): QoS 0 is
 // fire-and-forget, QoS 1 runs every kDeliverKind hop through the shared
 // per-hop reliability layer (multicast/reliable_hop.hpp) — each hop is
@@ -108,14 +118,26 @@ struct GroupRequest {
 /// zones): grafts/prunes/repairs landing mid-wave affect later publishes
 /// only, so delivery accounting is exact against the snapshot. The
 /// snapshot lives as long as some envelope of the wave is in flight.
+///
+/// A wave covers the dense sequence RANGE [seq, seq_hi] (inclusive): the
+/// root coalesces publishes landing within PubSubConfig::batch_window into
+/// one envelope per tree edge instead of one per publish, so every hop,
+/// ack, pending-retransmit entry, and retained-buffer slot is amortised by
+/// the batch factor. An unbatched publish is the degenerate seq_hi == seq
+/// range, bit-identical to the historic single-seq wave.
 struct GroupDelivery {
   GroupId group = 0;
-  std::uint64_t seq = 0;  // per-group publish sequence number
+  std::uint64_t seq = 0;     // lowest publish seq the wave carries
+  std::uint64_t seq_hi = 0;  // highest (== seq for an unbatched wave)
   /// System-wide wave id — the reliability layer's ack token. Unique across
   /// groups (per-group seqs are not), so concurrent waves of different
   /// groups traversing the same link can never cancel each other's timers.
+  /// One wave id covers the whole range: one ack and one retransmit repair
+  /// the entire batch at a hop.
   std::uint64_t wave = 0;
   std::shared_ptr<const GroupTree> tree;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return seq_hi - seq + 1; }
 };
 
 /// Batched gap request: `origin` is missing `seqs` of `group` and asks the
@@ -154,6 +176,18 @@ struct RepairConfig {
 
 struct PubSubConfig {
   GroupConfig groups;
+  /// Publish coalescing at the rendezvous root: publishes to the same
+  /// group arriving within `batch_window` simulated seconds are merged
+  /// into one tree wave carrying the sequence range they span. 0 (the
+  /// default) disables coalescing — every publish flushes immediately on
+  /// the historic single-seq path. The window is measured from the first
+  /// buffered publish (a flush timer, not a sliding deadline), so worst-
+  /// case added latency is exactly one window.
+  double batch_window = 0.0;
+  /// Publishes per wave before the buffer flushes early (a full batch
+  /// must not wait out the window); also caps the range an envelope,
+  /// a pending hop entry, and a retained-buffer slot can cover.
+  std::size_t max_batch = 16;
   sim::LatencyModel latency = sim::LatencyModel::constant(0.01);
   /// Extra stochastic loss on top of the always-on "departed peers drop
   /// everything" rule.
@@ -185,8 +219,11 @@ class SubscriberWindow {
       : reorder_limit_(reorder_limit == 0 ? 1 : reorder_limit) {}
 
   struct Arrival {
-    /// Below the window head: release immediately, no window change.
-    bool pre_window = false;
+    /// Seqs below the window head: release immediately out of band, no
+    /// window change. A range straddling the head is split — the below-
+    /// head part lands here, the rest runs through the window — so range
+    /// admission never regresses the head.
+    std::vector<std::uint64_t> pre_window;
     /// Seqs newly discovered missing (became gaps) by this arrival.
     std::vector<std::uint64_t> new_gaps;
     /// Seqs released in order by this arrival (includes the arrival itself
@@ -198,7 +235,16 @@ class SubscriberWindow {
   };
 
   /// Records the arrival of `seq` and advances the window.
-  [[nodiscard]] Arrival observe(std::uint64_t seq);
+  [[nodiscard]] Arrival observe(std::uint64_t seq) { return observe_range(seq, seq); }
+
+  /// Range admission: records the arrival of the dense seq range
+  /// [lo, hi] (inclusive) in one call — the batched-wave hot path. The
+  /// in-order case (range starts at the head, nothing held or missing)
+  /// releases the whole range without touching the gap/held sets;
+  /// otherwise the range splits into pre-window, gap-filling, and ahead-
+  /// of-head parts with per-seq bookkeeping, so gap detection and NACKs
+  /// stay per-seq while release is range-at-a-time.
+  [[nodiscard]] Arrival observe_range(std::uint64_t lo, std::uint64_t hi);
 
   /// Gives up on missing `seq`: the window will skip it. Returns the seqs
   /// released by the skip (empty when an earlier gap still blocks the
@@ -219,6 +265,12 @@ class SubscriberWindow {
 
   bool initialized_ = false;
   std::uint64_t next_expected_ = 0;
+  /// One past the highest seq ever admitted. Every seq in
+  /// [next_expected_, frontier_) is held, a gap, or skipped, so new gaps
+  /// can only open at or above the frontier — the gap-marking loop starts
+  /// there instead of rescanning from the head (O(new gaps) amortised,
+  /// not O(reorder distance) per out-of-order arrival).
+  std::uint64_t frontier_ = 0;
   std::set<std::uint64_t> held_;     // received, awaiting an earlier gap
   std::set<std::uint64_t> gaps_;     // missing, under repair
   std::set<std::uint64_t> skipped_;  // abandoned above the head, to pass over
@@ -282,18 +334,45 @@ class PubSubSystem {
     bool timer_armed = false;
   };
 
+  /// Per-group publish coalescing buffer, conceptually resident at the
+  /// rendezvous root: publishes join the pending batch until the window
+  /// timer fires or the batch fills, then flush as one range wave. The
+  /// buffer holds only a count — publishes carry no payload bytes here, so
+  /// a batch is fully described by how many seqs it will span.
+  struct PendingBatch {
+    std::size_t count = 0;
+    PeerId root = kInvalidPeer;  // the peer buffering (dies with it)
+    sim::EventId timer = 0;      // window-flush timer, cancelled on early flush
+  };
+
   void schedule_control(double time, PeerId peer, GroupId group, sim::MessageKind kind);
   void handle_at_root(PeerId self, sim::MessageKind kind, const GroupRequest& request);
   void forward_control(PeerId self, sim::MessageKind kind, const GroupRequest& request);
+  /// Pushes the group's pending batch down the tree as one range wave.
+  /// `window_expired` selects the flush-reason counter (window timer vs.
+  /// batch full). A batch whose buffering root died is dropped — those
+  /// publishes died at the root exactly like unbatched publishes addressed
+  /// to a dead root.
+  void flush_batch(GroupId group, bool window_expired);
   /// Handles one arrival of a wave at `self` (`from == kInvalidPeer` for
   /// the root's own copy at publish time): ack, dedup, retain, deliver
-  /// (QoS 2: through the window), forward.
+  /// (QoS 2: through the window), forward. Range-aware end to end — a
+  /// partially-duplicate range (a repair filled part of it first) delivers
+  /// only the fresh seqs but still forwards the whole envelope.
   void disseminate(PeerId self, PeerId from, const GroupDelivery& delivery);
+  /// Marks [lo, hi] of `group` seen at `self` and returns the contiguous
+  /// runs of first-sighted seqs — the dedup step shared by the data plane
+  /// and the repair plane (whole range fresh on the common path; empty
+  /// means a pure duplicate). Only meaningful under QoS 1+ (seen_ sized).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> fresh_runs(
+      PeerId self, GroupId group, std::uint64_t lo, std::uint64_t hi);
 
   // -- QoS 2 repair plane -------------------------------------------------
-  /// Runs a fresh (non-duplicate) arrival of `delivery` through `self`'s
-  /// window: detects gaps, arms the gap timer, releases in-order runs.
-  void window_observe(PeerId self, const GroupDelivery& delivery);
+  /// Runs the fresh (non-duplicate) sub-range [lo, hi] of `delivery`
+  /// through `self`'s window: detects gaps, arms the gap timer, releases
+  /// in-order runs.
+  void window_observe(PeerId self, const GroupDelivery& delivery, std::uint64_t lo,
+                      std::uint64_t hi);
   /// Gap-timeout tick for one (subscriber, group): defers to in-flight
   /// per-hop recovery, else NACKs every outstanding gap (escalating those
   /// already tried) and abandons the ones out of attempts.
@@ -333,6 +412,9 @@ class PubSubSystem {
   [[nodiscard]] bool end_to_end() const noexcept {
     return config_.reliability.qos == multicast::QoS::kEndToEnd;
   }
+  [[nodiscard]] bool batching() const noexcept {
+    return config_.batch_window > 0.0 && config_.max_batch > 1;
+  }
 
   const overlay::OverlayGraph& graph_;
   PubSubConfig config_;
@@ -341,6 +423,7 @@ class PubSubSystem {
   std::unique_ptr<multicast::ReliableHopLayer> hop_;
   std::vector<std::unique_ptr<PubSubNode>> nodes_;
   std::map<GroupId, std::uint64_t> next_seq_;
+  std::map<GroupId, PendingBatch> pending_batch_;
   std::uint64_t next_wave_ = 0;
   /// Per-peer (group, seq) pairs already processed — the QoS 1+ dedup that
   /// tells a retransmission (or duplicate repair) from fresh data. Unused

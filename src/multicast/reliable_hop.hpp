@@ -20,9 +20,14 @@
 // One layer instance serves every peer of a simulation: pending
 // retransmission state is keyed by (sender, receiver, seq), so `seq` must
 // be unique per logical transfer (per wave in pub/sub, per edge in
-// single-shot dissemination). Aggregate counters land in HopStats and are
-// mirrored into the simulator's NetworkStats via the note_* hooks;
-// per-client attribution (e.g. per-group stats) goes through Hooks.
+// single-shot dissemination). A transfer is whatever the client puts in
+// one payload — pub/sub's coalesced range waves ride a single wave-id
+// `seq`, so one pending entry, one ack, and one timeout/retransmit cycle
+// cover the whole [seq_lo, seq_hi] batch; the layer's per-hop cost is
+// amortised by the batch factor with no range awareness here. Aggregate
+// counters land in HopStats and are mirrored into the simulator's
+// NetworkStats via the note_* hooks; per-client attribution (e.g.
+// per-group stats) goes through Hooks.
 #pragma once
 
 #include <any>

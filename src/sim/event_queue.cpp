@@ -1,39 +1,69 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace geomcast::sim {
+
+namespace {
+/// Compaction floor: below this, lazy head-dropping is already cheap and a
+/// rebuild would churn tiny heaps for nothing.
+constexpr std::size_t kMinCompactHeap = 64;
+}  // namespace
 
 EventId EventQueue::schedule(SimTime when, std::function<void()> action) {
   if (when < last_popped_)
     throw std::invalid_argument("EventQueue::schedule: time is in the past");
   if (!action) throw std::invalid_argument("EventQueue::schedule: empty action");
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(action)});
+  heap_.push_back(Entry{when, id, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_ids_.insert(id);
   return id;
 }
 
-bool EventQueue::cancel(EventId id) { return pending_ids_.erase(id) > 0; }
+bool EventQueue::cancel(EventId id) {
+  if (pending_ids_.erase(id) == 0) return false;
+  // Cancelled entries linger in the heap until they surface; under
+  // ack-heavy traffic (every acked hop cancels its retransmit timer) they
+  // would dominate it and every push/pop would pay their log. Compact once
+  // they exceed half the heap: O(n) now, amortised O(1) per cancel.
+  if (heap_.size() >= kMinCompactHeap && heap_.size() > 2 * pending_ids_.size())
+    compact();
+  return true;
+}
+
+void EventQueue::compact() const {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& entry) {
+                               return pending_ids_.count(entry.id) == 0;
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
 
 void EventQueue::drop_stale_head() const {
-  while (!heap_.empty() && pending_ids_.count(heap_.top().id) == 0) heap_.pop();
+  while (!heap_.empty() && pending_ids_.count(heap_.front().id) == 0) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
 }
 
 SimTime EventQueue::next_time() const {
   drop_stale_head();
   if (heap_.empty()) throw std::logic_error("EventQueue::next_time: queue is empty");
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 bool EventQueue::run_next() {
   drop_stale_head();
   if (heap_.empty()) return false;
-  // Copy the entry out before running: the action may schedule new events,
+  // Move the entry out before running: the action may schedule new events,
   // which can reallocate the heap's underlying storage.
-  Entry entry = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
   pending_ids_.erase(entry.id);
   last_popped_ = entry.when;
   entry.action();

@@ -5,7 +5,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -24,11 +23,19 @@ class EventQueue {
 
   /// Cancels a pending event; returns false if it already ran, was already
   /// cancelled, or never existed. Lazy removal: the heap entry stays until
-  /// it reaches the front.
+  /// it reaches the front — but once stale entries outnumber live ones
+  /// (every acked hop cancels its retransmit timer, so under reliable
+  /// traffic most of the heap is corpses), the heap is compacted in one
+  /// O(n) pass instead of surfacing each corpse through O(log n) pops.
   bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const noexcept { return pending_ids_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return pending_ids_.size(); }
+  /// Heap slots currently held, cancelled corpses included — pending() plus
+  /// the stale entries compaction has not yet reclaimed (observability for
+  /// the compaction tests/bench; always < 2 * pending() + a small floor
+  /// after any cancel, by the compaction invariant).
+  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
   /// Time of the earliest pending event; queue must not be empty.
   [[nodiscard]] SimTime next_time() const;
   [[nodiscard]] SimTime last_popped_time() const noexcept { return last_popped_; }
@@ -52,8 +59,11 @@ class EventQueue {
 
   /// Removes heap entries whose id is no longer pending (cancelled).
   void drop_stale_head() const;
+  /// One-pass removal of every stale entry, re-establishing the heap
+  /// property; called when corpses exceed half the heap.
+  void compact() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::vector<Entry> heap_;  // min-heap per Later (std::*_heap)
   std::unordered_set<EventId> pending_ids_;
   EventId next_id_ = 1;
   SimTime last_popped_ = kTimeZero;

@@ -78,6 +78,11 @@ struct NetworkStats {
   // the retained-payload repairs that answered them.
   std::uint64_t nacks = 0;            ///< batched gap NACK envelopes sent
   std::uint64_t repairs_served = 0;   ///< retained payloads resent to a NACKer
+  // Wave-coalescing accounting (groups/pubsub batching): range waves the
+  // rendezvous roots flushed and the per-edge envelopes (payload, plus
+  // acks at QoS 1+) those ranges avoided versus one wave per publish.
+  std::uint64_t batched_waves = 0;    ///< coalesced range waves flushed
+  std::uint64_t envelopes_saved = 0;  ///< envelopes amortised away by batching
   std::map<MessageKind, std::uint64_t> sent_by_kind;
   std::vector<std::uint64_t> sent_by_node;
   std::vector<std::uint64_t> received_by_node;
@@ -104,6 +109,10 @@ class Network {
   void note_abandoned() noexcept { ++stats_.abandoned_hops; }
   void note_nack() noexcept { ++stats_.nacks; }
   void note_repair_served() noexcept { ++stats_.repairs_served; }
+  void note_batched_wave(std::uint64_t envelopes_saved) noexcept {
+    ++stats_.batched_waves;
+    stats_.envelopes_saved += envelopes_saved;
+  }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }

@@ -30,7 +30,7 @@ TEST(SubscriberWindowTest, ContiguousArrivalsReleaseImmediately) {
   EXPECT_FALSE(window.initialized());
   for (std::uint64_t seq = 0; seq < 4; ++seq) {
     const auto arrival = window.observe(seq);
-    EXPECT_FALSE(arrival.pre_window);
+    EXPECT_TRUE(arrival.pre_window.empty());
     EXPECT_TRUE(arrival.new_gaps.empty());
     ASSERT_EQ(arrival.released.size(), 1u);
     EXPECT_EQ(arrival.released[0], seq);
@@ -64,13 +64,13 @@ TEST(SubscriberWindowTest, OutOfOrderArrivalIsHeldAndReleasedInOrder) {
 TEST(SubscriberWindowTest, InitializesAtFirstSeqAndFlagsPreWindowArrivals) {
   SubscriberWindow window;
   auto arrival = window.observe(10);  // late joiner: no NACKs for 0..9
-  EXPECT_FALSE(arrival.pre_window);
+  EXPECT_TRUE(arrival.pre_window.empty());
   EXPECT_TRUE(arrival.new_gaps.empty());
   EXPECT_EQ(arrival.released, (std::vector<std::uint64_t>{10}));
   EXPECT_EQ(window.next_expected(), 11u);
 
   arrival = window.observe(9);  // init race: released out of band
-  EXPECT_TRUE(arrival.pre_window);
+  EXPECT_EQ(arrival.pre_window, (std::vector<std::uint64_t>{9}));
   EXPECT_TRUE(arrival.released.empty());
   EXPECT_EQ(window.next_expected(), 11u);  // window untouched
 }
@@ -123,7 +123,7 @@ TEST(SubscriberWindowTest, ObservingAnAbandonedSeqLaterIsPreWindow) {
   (void)window.observe(2);
   (void)window.abandon(1);  // head skips to 3
   const auto arrival = window.observe(1);  // straggler after the skip
-  EXPECT_TRUE(arrival.pre_window);
+  EXPECT_EQ(arrival.pre_window, (std::vector<std::uint64_t>{1}));
   EXPECT_EQ(window.next_expected(), 3u);
 }
 

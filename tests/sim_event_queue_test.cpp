@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace geomcast::sim {
@@ -109,6 +110,48 @@ TEST(EventQueueTest, PendingCountsLiveEventsOnly) {
   EXPECT_EQ(queue.pending(), 1u);
   queue.run_next();
   EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(EventQueueTest, CancelHeavyHeapIsCompacted) {
+  // Every acked hop cancels its retransmit timer, so reliable traffic
+  // cancels most of what it schedules; the heap must shed those corpses
+  // instead of carrying them until they surface.
+  EventQueue queue;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1024; ++i)
+    ids.push_back(queue.schedule(1.0 + 0.001 * i, [] {}));
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (i % 8 != 0) queue.cancel(ids[i]);  // 7/8 cancelled
+  EXPECT_EQ(queue.pending(), 128u);
+  // Compaction invariant: stale entries never exceed live ones (plus the
+  // small floor below which compaction does not bother).
+  EXPECT_LE(queue.heap_size(), std::max<std::size_t>(2 * queue.pending(), 64));
+  // The survivors still fire, in time order.
+  std::size_t fired = 0;
+  double last = 0.0;
+  while (queue.run_next()) {
+    ++fired;
+    EXPECT_GE(queue.last_popped_time(), last);
+    last = queue.last_popped_time();
+  }
+  EXPECT_EQ(fired, 128u);
+}
+
+TEST(EventQueueTest, CompactionPreservesTieBreakOrder) {
+  // Simultaneous events must still run in scheduling order after the heap
+  // was rebuilt around their cancelled neighbours.
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 200; ++i) {
+    const int tag = i;
+    queue.schedule(1.0, [&order, tag] { order.push_back(tag); });
+    doomed.push_back(queue.schedule(1.0, [] {}));
+  }
+  for (const EventId id : doomed) queue.cancel(id);
+  while (queue.run_next()) {}
+  ASSERT_EQ(order.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
 }
 
 TEST(EventQueueTest, CancelledHeadSkippedTransparently) {

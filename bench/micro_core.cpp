@@ -203,6 +203,73 @@ void BM_RetainedBufferRangeInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_RetainedBufferRangeInsert)->Arg(1)->Arg(8)->Arg(64);
 
+// ------------------------------------------------------- graft descent ----
+
+// One full zone-descent graft, step by step through the resumable
+// GraftCursor (the unit the routed control plane executes once per
+// envelope), followed by the prune that restores the tree — so every
+// iteration runs against the identical cached state with no per-iteration
+// copy. Items = descent decisions, i.e. the per-step cost the distributed
+// graft pays at each hop.
+void BM_GraftCursorStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = make_points(n, 3);
+  const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+  util::Rng rng(23);
+  std::vector<bool> subscribers(n, false);
+  for (std::size_t picked = 0; picked < 32;) {
+    const auto p = static_cast<overlay::PeerId>(rng.next_below(n));
+    if (p == 0 || subscribers[p]) continue;
+    subscribers[p] = true;
+    ++picked;
+  }
+  auto gt = groups::build_group_tree(graph, /*root=*/0, subscribers);
+  // A peer the descent must actually walk to (not already a relay).
+  overlay::PeerId target = overlay::kInvalidPeer;
+  for (overlay::PeerId p = 0; p < n; ++p)
+    if (!subscribers[p] && !gt.tree.reached(p)) {
+      target = p;
+      break;
+    }
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    auto cursor = groups::graft_cursor(gt, target);
+    while (groups::graft_step(graph, gt, cursor).status ==
+           groups::GraftStatus::kDescend) {
+    }
+    steps += static_cast<std::int64_t>(cursor.steps);
+    groups::prune_subscriber(gt, target);  // exact inverse: tree restored
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_GraftCursorStep)->Arg(200)->Arg(1000);
+
+// Routed vs local graft, end to end on the simulated network: 16 early
+// subscribers build the tree, 16 late ones graft into it — arg 1 drives
+// every descent with routed QoS 1 envelopes, arg 0 runs the root-local
+// oracle. The delta is the full distribution overhead of the control
+// plane (envelopes, acks, timers), the regression this guard watches.
+void BM_RoutedVsLocalGraft(benchmark::State& state) {
+  const bool routed = state.range(0) != 0;
+  const auto points = make_points(64, 3);
+  const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+  for (auto _ : state) {
+    groups::PubSubConfig config;
+    config.reliability.qos = multicast::QoS::kAcked;
+    config.routed_graft = routed;
+    groups::PubSubSystem system(graph, config);
+    for (overlay::PeerId p = 1; p < 17; ++p)
+      system.subscribe_at(0.001 * static_cast<double>(p), p, /*group=*/0);
+    system.publish_at(2.0, 1, /*group=*/0);
+    for (overlay::PeerId p = 17; p < 33; ++p)
+      system.subscribe_at(3.0 + 0.01 * static_cast<double>(p), p, /*group=*/0);
+    system.publish_at(6.0, 1, /*group=*/0);
+    benchmark::DoNotOptimize(system.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_RoutedVsLocalGraft)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 // Root coalescing flush, end to end: a publish burst lands at the root,
 // buffers, and flushes as one range wave down a real 64-peer group tree
 // (the simulated network included, so this prices the whole flush path,

@@ -31,7 +31,19 @@
 //        --departures=C --midwave=K --loss=p --qos=0|1|2 --retries=R
 //        --ack-timeout=T --retention=W --seed=S --csv --quick --sweep
 //        --batch-window=W --max-batch=B --pub-burst=K --json=FILE
-//        --batch-compare
+//        --batch-compare --graft-cost
+//
+// Graft cost (ISSUE 5): --graft-cost prices the distributed control plane
+// on a graft-heavy workload (half the members subscribe AFTER the warm
+// publish, so every one of them is a zone-descent graft against the clean
+// cached tree). Per pinned seed it runs the local-descent oracle and the
+// routed descent at zero loss — gating on bit-identical delivered
+// (peer, group, seq) sets and tree edge sets — plus a routed cell at 5%
+// loss with mid-graft kills, gating on every surviving registered member
+// ending up spanned (graft_aborts each resolved by abort-and-resubscribe
+// plus rebuild+rescue). The table reports control_envelopes, graft hops,
+// mean hops per graft, retries, and aborts; --json pins it machine-
+// readable (BENCH_graft_cost.json is the checked-in full-size run).
 //
 // --sweep ignores --loss/--qos and instead runs the same scenario for
 // QoS 0, 1 and 2 at each loss in {0, 0.05, 0.15}, printing one row per
@@ -485,6 +497,260 @@ int run_batch_compare(const overlay::OverlayGraph& graph, ScenarioParams params,
   return all_ok ? 0 : 2;
 }
 
+// ------------------------------------------------------------ graft cost ----
+
+/// One (mode, loss, kills) cell of the graft-cost compare.
+struct GraftCell {
+  groups::GroupStats total;
+  sim::NetworkStats net;
+  std::set<DeliveryKey> delivered;
+  /// Sorted (parent, child) edge set per group — the bit-identical gate's
+  /// subject. Collected from the post-run cached trees (zero-loss cells
+  /// end with every cache clean in both modes).
+  std::vector<std::vector<std::pair<overlay::PeerId, overlay::PeerId>>> trees;
+  bool attached_ok = true;  // every surviving registered member spanned
+  std::size_t inflight = 0;
+  double run_secs = 0.0;
+
+  [[nodiscard]] double hops_per_graft() const {
+    return total.grafts ? static_cast<double>(total.graft_hops) /
+                              static_cast<double>(total.grafts)
+                        : 0.0;
+  }
+};
+
+/// The graft-heavy workload: the late half of every group's membership
+/// subscribes AFTER the warm publish built the tree, so each one exercises
+/// the zone descent; `kills` mid-graft departures land inside the late-
+/// subscribe window. Deterministic per (params.seed, routed, loss, kills).
+GraftCell run_graft_scenario(const overlay::OverlayGraph& graph,
+                             const ScenarioParams& params, bool routed, double loss,
+                             std::size_t kills) {
+  groups::PubSubConfig config;
+  config.seed = params.seed;
+  config.routed_graft = routed;
+  config.loss.drop_probability = loss;
+  config.reliability.qos = multicast::QoS::kAcked;
+  config.reliability.ack_timeout = params.ack_timeout;
+  config.reliability.max_retries = params.max_retries;
+  groups::PubSubSystem system(graph, config);
+  GraftCell cell;
+  system.set_delivery_probe([&cell](overlay::PeerId peer, groups::GroupId group,
+                                    std::uint64_t seq, double) {
+    cell.delivered.emplace(peer, group, seq);
+  });
+
+  const std::size_t peers = graph.size();
+  std::vector<bool> is_root(peers, false);
+  for (std::size_t g = 0; g < params.group_count; ++g)
+    is_root[system.manager().root_of(g)] = true;
+
+  util::Rng rng(params.seed ^ 0x67726166747363ULL);  // graft-schedule stream
+  std::vector<std::vector<overlay::PeerId>> members(params.group_count);
+  for (std::size_t g = 0; g < params.group_count; ++g) {
+    std::vector<bool> chosen(peers, false);
+    while (members[g].size() < params.subscribers) {
+      const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
+      if (chosen[p] || is_root[p]) continue;
+      chosen[p] = true;
+      const std::size_t i = members[g].size();
+      members[g].push_back(p);
+      // Early half before the warm publish (the lazy build spans them);
+      // late half in (3, 5) — every one a graft against the cached tree.
+      system.subscribe_at(i < params.subscribers / 2 ? rng.uniform(0.0, 1.0)
+                                                     : rng.uniform(3.0, 5.0),
+                          p, g);
+    }
+    system.publish_at(2.0, members[g][0], g);  // warm: pays the build
+    for (std::size_t i = 1; i < params.publishes; ++i)
+      system.publish_at(rng.uniform(6.0, 9.0),
+                        members[g][rng.next_below(params.subscribers / 2)], g);
+  }
+  {
+    std::vector<bool> doomed(peers, false);
+    std::size_t scheduled = 0;
+    while (scheduled < kills) {
+      const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
+      if (doomed[p] || is_root[p]) continue;
+      doomed[p] = true;
+      system.depart_at(rng.uniform(3.2, 4.8), p);  // inside the graft window
+      ++scheduled;
+    }
+  }
+
+  const auto t_run = std::chrono::steady_clock::now();
+  system.run();
+  cell.run_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_run).count();
+  cell.total = system.total_stats();
+  cell.net = system.simulator().stats();
+  cell.inflight = system.manager().inflight_graft_count();
+  for (std::size_t g = 0; g < params.group_count; ++g) {
+    std::vector<std::pair<overlay::PeerId, overlay::PeerId>> edges;
+    if (const groups::GroupTree* gt = system.manager().cached_tree(g)) {
+      for (overlay::PeerId p = 0; p < peers; ++p)
+        if (p != gt->tree.root() && gt->tree.reached(p))
+          edges.emplace_back(gt->tree.parent(p), p);
+      std::sort(edges.begin(), edges.end());
+    }
+    cell.trees.push_back(std::move(edges));
+  }
+  // The attach gate reads REFRESHED trees (an abort defers the subscriber
+  // to the next rebuild; tree() performs it) — run after the stats grab so
+  // the refresh's builds don't pollute the cell's numbers.
+  for (std::size_t g = 0; g < params.group_count; ++g) {
+    const groups::GroupTree* gt = system.manager().tree(g);
+    if (gt == nullptr) continue;
+    for (overlay::PeerId p = 0; p < peers; ++p)
+      if (system.manager().alive(p) && system.manager().is_subscribed(g, p) &&
+          !(gt->is_subscriber[p] && gt->tree.reached(p)))
+        cell.attached_ok = false;
+  }
+  return cell;
+}
+
+std::string graft_cell_json(const char* mode, double loss, std::size_t kills,
+                            const GraftCell& cell, bool identical_ok) {
+  std::ostringstream o;
+  o.precision(10);
+  o << "{\"mode\":\"" << mode << "\",\"loss\":" << loss << ",\"kills\":" << kills
+    << ",\"subscribes\":" << cell.total.subscribes
+    << ",\"grafts\":" << cell.total.grafts
+    << ",\"graft_messages\":" << cell.total.graft_messages
+    << ",\"graft_hops\":" << cell.total.graft_hops
+    << ",\"hops_per_graft\":" << cell.hops_per_graft()
+    << ",\"graft_retries\":" << cell.total.graft_retries
+    << ",\"graft_aborts\":" << cell.total.graft_aborts
+    << ",\"graft_resubscribes\":" << cell.total.graft_resubscribes
+    << ",\"stranded_rescues\":" << cell.total.stranded_rescues
+    << ",\"control_envelopes\":" << cell.net.control_envelopes
+    << ",\"net_graft_hops\":" << cell.net.graft_hops
+    << ",\"delivery_ratio\":" << cell.total.delivery_ratio()
+    << ",\"identical_to_local\":" << (identical_ok ? "true" : "false")
+    << ",\"attached_ok\":" << (cell.attached_ok ? "true" : "false")
+    << ",\"inflight_leaked\":" << cell.inflight
+    << ",\"run_secs\":" << cell.run_secs << "}";
+  return o.str();
+}
+
+/// The ISSUE 5 acceptance harness: per pinned seed (three of them), the
+/// local-descent oracle vs the routed descent at zero loss — delivered
+/// sets and tree edge sets must be bit-identical, with every routed hop
+/// visible in NetworkStats — plus a routed churn cell (5% loss, mid-graft
+/// kills) that must leave every surviving registered member attached.
+int run_graft_cost(ScenarioParams params, std::size_t dims, bool csv,
+                   const std::string& json_path) {
+  util::Table table({"seed", "mode", "loss", "kills", "subscribes", "grafts",
+                     "graft_msgs", "graft_hops", "hops_per_graft", "retries",
+                     "aborts", "resubs", "rescues", "control_env",
+                     "delivery_ratio", "identical", "attached", "run_secs"});
+  bool identical_ok = true, visible_ok = true, attached_ok = true, leak_ok = true;
+  std::ostringstream seeds_json;
+  const std::size_t churn_kills = std::max<std::size_t>(params.departures / 4, 2);
+  for (std::uint64_t seed = params.seed; seed < params.seed + 3; ++seed) {
+    ScenarioParams cell_params = params;
+    cell_params.seed = seed;
+    util::Rng rng(seed);
+    const auto points = geometry::random_points(rng, params.peers, dims, 100.0);
+    const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+
+    const auto local = run_graft_scenario(graph, cell_params, /*routed=*/false, 0.0, 0);
+    const auto routed = run_graft_scenario(graph, cell_params, /*routed=*/true, 0.0, 0);
+    const auto churn =
+        run_graft_scenario(graph, cell_params, /*routed=*/true, 0.05, churn_kills);
+
+    const bool cell_identical =
+        routed.delivered == local.delivered && routed.trees == local.trees &&
+        routed.total.grafts == local.total.grafts &&
+        routed.total.graft_messages == local.total.graft_messages;
+    identical_ok = identical_ok && cell_identical && local.total.grafts > 0;
+    visible_ok = visible_ok && routed.total.graft_hops > 0 &&
+                 routed.net.control_envelopes > 0 &&
+                 routed.net.graft_hops == routed.total.graft_hops &&
+                 churn.net.control_envelopes > 0;
+    attached_ok = attached_ok && local.attached_ok && routed.attached_ok &&
+                  churn.attached_ok;
+    leak_ok = leak_ok && routed.inflight == 0 && churn.inflight == 0;
+
+    const struct {
+      const char* name;
+      const GraftCell* cell;
+      double loss;
+      std::size_t kills;
+      bool identical;
+    } rows[] = {{"local", &local, 0.0, 0, true},
+                {"routed", &routed, 0.0, 0, cell_identical},
+                {"routed+churn", &churn, 0.05, churn_kills, false}};
+    for (const auto& row : rows) {
+      table.begin_row()
+          .add_number(static_cast<double>(seed), 0)
+          .add_cell(row.name)
+          .add_number(row.loss, 2)
+          .add_number(static_cast<double>(row.kills), 0)
+          .add_number(static_cast<double>(row.cell->total.subscribes), 0)
+          .add_number(static_cast<double>(row.cell->total.grafts), 0)
+          .add_number(static_cast<double>(row.cell->total.graft_messages), 0)
+          .add_number(static_cast<double>(row.cell->total.graft_hops), 0)
+          .add_number(row.cell->hops_per_graft(), 2)
+          .add_number(static_cast<double>(row.cell->total.graft_retries), 0)
+          .add_number(static_cast<double>(row.cell->total.graft_aborts), 0)
+          .add_number(static_cast<double>(row.cell->total.graft_resubscribes), 0)
+          .add_number(static_cast<double>(row.cell->total.stranded_rescues), 0)
+          .add_number(static_cast<double>(row.cell->net.control_envelopes), 0)
+          .add_number(row.cell->total.delivery_ratio(), 5)
+          .add_number(row.identical ? 1 : 0, 0)
+          .add_number(row.cell->attached_ok ? 1 : 0, 0)
+          .add_number(row.cell->run_secs, 3);
+    }
+    if (seeds_json.tellp() > 0) seeds_json << ",";
+    seeds_json << "\n    {\"seed\":" << seed << ",\"cells\":["
+               << "\n      " << graft_cell_json("local", 0.0, 0, local, true) << ","
+               << "\n      " << graft_cell_json("routed", 0.0, 0, routed, cell_identical)
+               << ","
+               << "\n      "
+               << graft_cell_json("routed+churn", 0.05, churn_kills, churn, false)
+               << "\n    ]}";
+  }
+  const bool all_ok = identical_ok && visible_ok && attached_ok && leak_ok;
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"pubsub_throughput\",\n  \"mode\": \"graft_cost\",\n"
+         << "  \"params\": " << params_json(params) << ",\n  \"seeds\": ["
+         << seeds_json.str() << "\n  ],\n  \"gate_identical\": "
+         << (identical_ok ? "true" : "false")
+         << ",\n  \"gate_cost_visible\": " << (visible_ok ? "true" : "false")
+         << ",\n  \"gate_all_attached\": " << (attached_ok ? "true" : "false")
+         << ",\n  \"gate_no_leaked_cursors\": " << (leak_ok ? "true" : "false")
+         << "\n}";
+    write_json_file(json_path, json.str());
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+    if (!all_ok)
+      std::cerr << "pubsub_throughput: graft-cost gate failed (identical="
+                << identical_ok << ", visible=" << visible_ok << ", attached="
+                << attached_ok << ", leaks=" << !leak_ok << ")\n";
+  } else {
+    std::cout << "=== graft cost: routed vs local descent, " << params.group_count
+              << " groups x " << params.subscribers << " subscribers on "
+              << params.peers << " peers, late half grafted, seeds "
+              << params.seed << ".." << params.seed + 2 << " ===\n\n";
+    table.print(std::cout);
+    std::cout << "\nacceptance: routed graft bit-identical to local oracle at zero"
+                 " loss (trees + delivered sets): "
+              << (identical_ok ? "PASS" : "FAIL")
+              << "\nacceptance: graft cost visible in NetworkStats"
+                 " (control_envelopes, graft_hops): "
+              << (visible_ok ? "PASS" : "FAIL")
+              << "\nacceptance: all surviving subscribers attached under 5% loss"
+                 " + mid-graft kills: "
+              << (attached_ok ? "PASS" : "FAIL")
+              << "\nacceptance: no leaked in-flight graft cursors: "
+              << (leak_ok ? "PASS" : "FAIL") << "\n";
+  }
+  return all_ok ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -512,6 +778,7 @@ int main(int argc, char** argv) {
     const bool csv = flags.get_bool("csv", false);
     const bool sweep = flags.get_bool("sweep", false);
     const bool batch_compare = flags.get_bool("batch-compare", false);
+    const bool graft_cost = flags.get_bool("graft-cost", false);
     const std::string json_path = flags.get_string("json", "");
     // Sweep mode gates on subtree repair, so its departures are mid-wave
     // forwarder kills; random churn (which removes subscribers outright)
@@ -528,6 +795,10 @@ int main(int argc, char** argv) {
       // gate for reasons that have nothing to do with link loss.
       if (sweep && !flags.has("midwave")) params.midwave = 1;
     }
+
+    // Graft-cost builds one overlay per pinned seed itself; dispatch before
+    // paying for the shared overlay below.
+    if (graft_cost) return run_graft_cost(params, dims, csv, json_path);
 
     util::Rng rng(params.seed);
     const auto points = geometry::random_points(rng, params.peers, dims, 100.0);

@@ -46,7 +46,7 @@ void schedule_midwave_kill(
                                0.01 * static_cast<double>(depths[best]);
         system.simulator().schedule_at(
             std::max(arrival - 0.005, system.simulator().now()),
-            [&system, best]() { system.manager().handle_departure(best); });
+            [&system, best]() { system.depart_now(best); });
       });
 }
 

@@ -109,7 +109,7 @@ void GroupManager::subscribe(GroupId group, PeerId peer) {
       // Grafts are exact (the tree equals a fresh build), so they do not
       // count toward drift.
       ++gs.stats.grafts;
-      gs.stats.repair_messages += graft.messages;
+      gs.stats.graft_messages += graft.messages;
     } else {
       gs.dirty = true;  // stranded graft: rebuild lazily on next publish
     }
@@ -135,9 +135,115 @@ void GroupManager::unsubscribe(GroupId group, PeerId peer) {
     const std::size_t removed = prune_subscriber(writable_tree(gs), peer);
     if (touched) {  // prunes are exact too: no drift, just bookkeeping
       ++gs.stats.prunes;
-      gs.stats.repair_messages += removed;
+      gs.stats.prune_messages += removed;
     }
   }
+}
+
+GroupManager::SubscribeNeed GroupManager::subscribe_membership(GroupId group,
+                                                               PeerId peer) {
+  if (peer >= graph_.size())
+    throw std::invalid_argument("GroupManager::subscribe_membership: peer out of range");
+  if (!alive_[peer])
+    throw std::invalid_argument("GroupManager::subscribe_membership: peer has departed");
+  GroupState& gs = state_of(group);
+  const bool fresh = !gs.subscribers[peer];
+  if (fresh) {
+    gs.subscribers[peer] = true;
+    ++gs.count;
+    ++gs.stats.subscribes;
+  }
+  const bool graftable = gs.cached && !gs.dirty && !gs.cached->zones_stale;
+  if (graftable &&
+      !(gs.cached->is_subscriber[peer] && gs.cached->tree.reached(peer)))
+    return SubscribeNeed::kGraft;
+  // Mirror subscribe(): a fresh member without a graftable tree rides the
+  // next publish's lazy rebuild; duplicates leave the cache flags alone.
+  if (fresh && !graftable) gs.dirty = true;
+  return SubscribeNeed::kNone;
+}
+
+std::uint64_t GroupManager::graft_begin(GroupId group, PeerId subscriber, PeerId root) {
+  GroupState& gs = state_of(group);
+  if (subscriber >= graph_.size() || !alive_[subscriber] ||
+      !gs.subscribers[subscriber])
+    return 0;
+  if (gs.root != root || !gs.cached || gs.dirty || gs.cached->zones_stale) return 0;
+  if (!grafting_.insert({group, subscriber}).second) return 0;  // one at a time
+  const std::uint64_t id = next_graft_id_++;
+  grafts_.emplace(id, InFlightGraft{group, subscriber, root,
+                                    graft_cursor(*gs.cached, subscriber)});
+  return id;
+}
+
+GroupManager::GraftAdvance GroupManager::graft_advance(std::uint64_t graft_id,
+                                                       PeerId self) {
+  GraftAdvance advance;  // kFailed unless proven otherwise
+  const auto it = grafts_.find(graft_id);
+  if (it == grafts_.end()) return advance;  // aborted while the request flew
+  InFlightGraft& g = it->second;
+  GroupState& gs = groups_.at(g.group);
+  // The cursor is only valid against the exact tree state it left: any
+  // rebuild, repair (stale zones), migration, membership change, or death
+  // of subscriber/current since the previous step fails the descent here
+  // rather than replaying it against a tree it never saw.
+  if (!alive_[g.subscriber] || !gs.subscribers[g.subscriber] || gs.root != g.root ||
+      !gs.cached || gs.dirty || gs.cached->zones_stale ||
+      self != g.cursor.current || !gs.cached->tree.reached(g.cursor.current))
+    return advance;
+  const std::size_t decisions_before = g.cursor.steps;
+  const GraftStep step = graft_step(graph_, writable_tree(gs), g.cursor,
+                                    config_.tree, alive_);
+  gs.stats.graft_messages += g.cursor.steps - decisions_before;
+  switch (step.status) {
+    case GraftStatus::kAttached:
+      advance.status = GraftAdvance::Status::kAttached;
+      break;  // the entry retires on the root's graft_finish
+    case GraftStatus::kDescend:
+      advance.status = GraftAdvance::Status::kDescend;
+      advance.next = step.next;
+      break;
+    case GraftStatus::kStranded:
+    case GraftStatus::kExhausted:
+      break;  // kFailed: caller reports reject, the root aborts
+  }
+  return advance;
+}
+
+bool GroupManager::graft_finish(std::uint64_t graft_id) {
+  const auto it = grafts_.find(graft_id);
+  if (it == grafts_.end()) return false;
+  GroupState& gs = groups_.at(it->second.group);
+  const PeerId subscriber = it->second.subscriber;
+  ++gs.stats.grafts;
+  // Revalidate before retiring: membership can churn while the accept is
+  // in flight. An unsubscribe prunes the attached subscriber out of the
+  // still-clean tree, and a re-subscribe landing before this finish is
+  // blocked by the in-flight guard below (graft_begin returns 0) — so a
+  // member can end up owed a span no descent will ever provide. Defer to
+  // a rebuild rather than leave a clean cache that never delivers.
+  if (gs.subscribers[subscriber] && gs.cached && !gs.dirty &&
+      !(gs.cached->is_subscriber[subscriber] && gs.cached->tree.reached(subscriber)))
+    gs.dirty = true;
+  grafting_.erase({it->second.group, subscriber});
+  grafts_.erase(it);
+  return true;
+}
+
+std::optional<GroupManager::AbortedGraft> GroupManager::graft_abort(
+    std::uint64_t graft_id) {
+  const auto it = grafts_.find(graft_id);
+  if (it == grafts_.end()) return std::nullopt;
+  const AbortedGraft aborted{it->second.group, it->second.subscriber};
+  GroupState& gs = groups_.at(aborted.group);
+  // The half-grafted relay path (if any) serves nobody: dirty the cache so
+  // the next publish rebuilds — spanning the subscriber's membership if it
+  // survived — instead of publishing down dangling edges forever.
+  gs.dirty = true;
+  ++gs.stats.graft_aborts;
+  grafting_.erase({aborted.group, aborted.subscriber});
+  grafts_.erase(it);
+  return aborted;
 }
 
 bool GroupManager::is_subscribed(GroupId group, PeerId peer) const {
@@ -171,6 +277,14 @@ void GroupManager::refresh_tree(GroupState& gs) {
   gs.repairs_since_build = 0;
   ++gs.stats.tree_builds;
   gs.stats.build_messages += gs.cached->build_messages;
+  // A fresh recursion under churn can strand subscribers a repaired tree
+  // kept (a dead delegate walls off their slices); splice them back via
+  // greedy routes so a rebuild is never WORSE than the repair it replaced.
+  // Rescue paths deviate from the recursion like repairs do, but are not
+  // drift: another rebuild would strand — and rescue — identically.
+  const auto rescue = rescue_stranded(graph_, *gs.cached, alive_);
+  gs.stats.stranded_rescues += rescue.rescued;
+  gs.stats.repair_messages += rescue.messages;
   gs.stats.stranded_subscribers =
       gs.cached->subscriber_count - gs.cached->reached_subscribers;
 }
@@ -243,10 +357,11 @@ GroupManager::PublishReceipt GroupManager::publish(GroupId group) {
   return receipt;
 }
 
-void GroupManager::handle_departure(PeerId peer) {
+std::vector<GroupManager::AbortedGraft> GroupManager::handle_departure(PeerId peer) {
   if (peer >= graph_.size())
     throw std::invalid_argument("GroupManager::handle_departure: peer out of range");
-  if (!alive_[peer]) return;
+  std::vector<AbortedGraft> aborted;
+  if (!alive_[peer]) return aborted;
   alive_[peer] = false;
   // The dead serve no repairs: drop the peer's retained history (NACKs
   // that would have landed here escalate to the next ancestor instead).
@@ -298,6 +413,24 @@ void GroupManager::handle_departure(PeerId peer) {
       ++gs.repairs_since_build;
     }
   }
+  // Sweep the in-flight grafts: any descent whose ground shifted — its
+  // subscriber died or left, its root migrated, its tree was reset or
+  // stale-zoned by the repair above, or its current peer fell out of the
+  // tree — aborts now rather than limping on to a reject. The survivors
+  // (groups the departure never touched) keep descending.
+  for (auto it = grafts_.begin(); it != grafts_.end();) {
+    const InFlightGraft& g = it->second;
+    const GroupState& gs = groups_.at(g.group);
+    const bool valid = alive_[g.subscriber] && gs.subscribers[g.subscriber] &&
+                       gs.root == g.root && gs.cached && !gs.dirty &&
+                       !gs.cached->zones_stale &&
+                       gs.cached->tree.reached(g.cursor.current);
+    const std::uint64_t id = it->first;
+    ++it;  // graft_abort erases `id`; advance first
+    if (!valid)
+      if (const auto a = graft_abort(id)) aborted.push_back(*a);
+  }
+  return aborted;
 }
 
 GroupStats& GroupManager::stats(GroupId group) { return state_of(group).stats; }

@@ -20,6 +20,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "groups/group_stats.hpp"
@@ -100,10 +103,77 @@ class GroupManager {
   /// group's tree invalidated) when the incumbent departs.
   [[nodiscard]] PeerId root_of(GroupId group);
 
+  /// Synchronous subscribe: records membership AND grafts the subscriber
+  /// into the cached tree in place (the local-descent oracle the routed
+  /// control plane is verified against).
   void subscribe(GroupId group, PeerId peer);
   void unsubscribe(GroupId group, PeerId peer);
   [[nodiscard]] bool is_subscribed(GroupId group, PeerId peer) const;
   [[nodiscard]] std::size_t subscriber_count(GroupId group) const;
+
+  // -- routed graft (the distributed zone descent) -------------------------
+  // The message-driven subscribe path splits the oracle's subscribe() in
+  // two: membership is recorded immediately at the root, while the tree
+  // splice becomes an in-flight graft — a GraftCursor advanced one descent
+  // decision per routed envelope. The table below holds every in-flight
+  // cursor; races with publish (COW snapshots), departures (validation per
+  // step), and rebuilds (abort + dirty) are resolved here.
+
+  /// What the routed subscribe must do beyond recording membership.
+  enum class SubscribeNeed {
+    kNone,   ///< lazy build / existing span covers the subscriber
+    kGraft,  ///< clean cached tree exists and the subscriber is not spanned
+  };
+  /// Records membership only (idempotent; a duplicate changes nothing) and
+  /// reports whether a routed graft is owed. Mirrors subscribe()'s cache
+  /// handling: when no graftable tree exists, a fresh member dirties the
+  /// cache so the next publish's rebuild spans it.
+  SubscribeNeed subscribe_membership(GroupId group, PeerId peer);
+
+  /// Registers an in-flight graft of `subscriber` into `group`'s cached
+  /// tree, initiated by `root`. Returns the graft id (the control plane's
+  /// reliability token), or 0 when no graft can start: tree not graftable,
+  /// subscriber dead/not a member, or a graft for this (group, subscriber)
+  /// already in flight.
+  [[nodiscard]] std::uint64_t graft_begin(GroupId group, PeerId subscriber, PeerId root);
+
+  struct GraftAdvance {
+    enum class Status {
+      kDescend,   ///< decision taken; route the request to `next`
+      kAttached,  ///< subscriber spliced in; report accept to the root
+      kFailed,    ///< cursor invalid (stranded/raced/aborted); report reject
+    };
+    Status status = Status::kFailed;
+    PeerId next = kInvalidPeer;
+  };
+  /// Takes one descent decision of graft `graft_id` at `self` (which must
+  /// be the cursor's current peer). Validates the cursor against the live
+  /// group state first: a rebuild, repair, migration, membership change,
+  /// or participant death since the previous step fails the graft instead
+  /// of corrupting the tree.
+  [[nodiscard]] GraftAdvance graft_advance(std::uint64_t graft_id, PeerId self);
+
+  /// Retires a completed graft (the root received the accept): books the
+  /// graft in the group's stats. False when the entry is gone (aborted
+  /// meanwhile, or a duplicate accept) — idempotent by design.
+  bool graft_finish(std::uint64_t graft_id);
+
+  struct AbortedGraft {
+    GroupId group = 0;
+    PeerId subscriber = kInvalidPeer;
+  };
+  /// Gives up on an in-flight graft: drops the cursor and dirties the
+  /// group's cache so the next publish rebuilds with the subscriber's
+  /// membership (the half-grafted relay path is discarded with it). The
+  /// caller re-issues the subscribe for alive subscribers. nullopt when
+  /// the entry is already gone — idempotent like graft_finish.
+  std::optional<AbortedGraft> graft_abort(std::uint64_t graft_id);
+
+  /// In-flight graft cursors currently held (0 once a simulation drains —
+  /// the "no leaked cursor state" invariant the churn battery pins).
+  [[nodiscard]] std::size_t inflight_graft_count() const noexcept {
+    return grafts_.size();
+  }
 
   /// The group's dissemination tree — built lazily, cached across
   /// publishes, incrementally maintained. Returns nullptr for a group with
@@ -161,8 +231,10 @@ class GroupManager {
   PublishReceipt publish(GroupId group);
 
   /// Marks `peer` departed everywhere: membership, cached trees (repaired
-  /// in place where possible), and rendezvous roots (migrated).
-  void handle_departure(PeerId peer);
+  /// in place where possible), rendezvous roots (migrated), and in-flight
+  /// grafts whose descent the departure invalidated — those are aborted
+  /// and returned so the protocol layer can re-issue the subscribes.
+  std::vector<AbortedGraft> handle_departure(PeerId peer);
   [[nodiscard]] bool alive(PeerId peer) const { return alive_[peer]; }
 
   /// Mutable access materializes state for a first-seen group (the
@@ -191,11 +263,24 @@ class GroupManager {
   /// reference it, then returns it for mutation.
   [[nodiscard]] GroupTree& writable_tree(GroupState& gs);
 
+  struct InFlightGraft {
+    GroupId group = 0;
+    PeerId subscriber = kInvalidPeer;
+    PeerId root = kInvalidPeer;  // initiating root (invalidates on migration)
+    GraftCursor cursor;
+  };
+
   const overlay::OverlayGraph& graph_;
   GroupConfig config_;
   std::vector<bool> alive_;
   std::vector<double> bounds_lo_, bounds_hi_;  // peer bounding box (immutable)
   std::map<GroupId, GroupState> groups_;
+  /// In-flight routed grafts by id, plus the (group, subscriber) guard
+  /// that keeps duplicate subscribes from racing two descents for one
+  /// subscriber.
+  std::map<std::uint64_t, InFlightGraft> grafts_;
+  std::set<std::pair<GroupId, PeerId>> grafting_;
+  std::uint64_t next_graft_id_ = 1;
   /// QoS 2 retention, keyed peer-first so a departure drops the whole
   /// peer's history in one erase.
   std::map<PeerId, std::map<GroupId, RetainedBuffer>> retained_;

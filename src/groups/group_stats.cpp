@@ -13,7 +13,8 @@ double GroupStats::delivery_ratio() const noexcept {
 
 double GroupStats::maintenance_per_publish() const noexcept {
   if (publishes == 0) return 0.0;
-  return static_cast<double>(build_messages + repair_messages) /
+  return static_cast<double>(build_messages + graft_messages + prune_messages +
+                             repair_messages) /
          static_cast<double>(publishes);
 }
 
@@ -63,11 +64,18 @@ GroupStats& GroupStats::operator+=(const GroupStats& other) noexcept {
   build_messages += other.build_messages;
   cache_hits += other.cache_hits;
   grafts += other.grafts;
+  graft_messages += other.graft_messages;
   prunes += other.prunes;
+  prune_messages += other.prune_messages;
   repairs += other.repairs;
   repair_messages += other.repair_messages;
   repair_failures += other.repair_failures;
   root_migrations += other.root_migrations;
+  stranded_rescues += other.stranded_rescues;
+  graft_hops += other.graft_hops;
+  graft_retries += other.graft_retries;
+  graft_aborts += other.graft_aborts;
+  graft_resubscribes += other.graft_resubscribes;
   stranded_subscribers += other.stranded_subscribers;
   return *this;
 }
@@ -80,10 +88,15 @@ std::string GroupStats::summary() const {
       << retransmissions << ", dup " << duplicate_deliveries << ", abandoned "
       << abandoned_hops << ") control=" << control_messages
       << " builds=" << tree_builds << " (msgs " << build_messages << ") cache_hits="
-      << cache_hits << " grafts=" << grafts << " prunes=" << prunes << " repairs="
+      << cache_hits << " grafts=" << grafts << " (msgs " << graft_messages
+      << ") prunes=" << prunes << " (msgs " << prune_messages << ") repairs="
       << repairs << " (msgs " << repair_messages << ", failures " << repair_failures
       << ") root_migrations=" << root_migrations
       << " stranded_subscribers=" << stranded_subscribers;
+  if (graft_hops > 0 || graft_aborts > 0)
+    out << " graft_hops=" << graft_hops << " (retries " << graft_retries
+        << ", aborts " << graft_aborts << ", resubscribes " << graft_resubscribes
+        << ")";
   if (gap_seqs_detected > 0 || nacks_sent > 0)
     out << " gaps=" << gap_seqs_detected << " (repaired " << gap_seqs_repaired
         << ", abandoned " << gap_seqs_abandoned << ", mean_latency "

@@ -78,26 +78,46 @@ struct GroupStats {
   /// or next hop departed).
   std::uint64_t stranded_messages = 0;
 
-  // Tree cache behaviour.
+  // Tree cache behaviour. Each maintenance verb keeps its own message
+  // counter — graft descent decisions, prune cascade removals, and repair
+  // reattach/splice traffic are different costs and must not conflate
+  // (repair_messages once absorbed all three; see maintenance_per_publish
+  // for the aggregate).
   std::uint64_t tree_builds = 0;     // full construction waves
   std::uint64_t build_messages = 0;  // construction requests across builds
   std::uint64_t cache_hits = 0;      // publishes served by an unchanged tree
   std::uint64_t grafts = 0;          // subscribers spliced into a cached tree
+  std::uint64_t graft_messages = 0;  // zone-descent decisions across grafts
   std::uint64_t prunes = 0;          // subscribers cascaded out of a cached tree
+  std::uint64_t prune_messages = 0;  // cascade removals across prunes
   std::uint64_t repairs = 0;         // departures mended in place
-  std::uint64_t repair_messages = 0; // graft/prune/reattach control traffic
+  std::uint64_t repair_messages = 0; // reattach/splice repair traffic only
   std::uint64_t repair_failures = 0; // orphans no rule could reattach
   std::uint64_t root_migrations = 0; // rendezvous root departed, successor picked
-  /// Gauge (last build): subscribers the construction could not span —
-  /// e.g. identifiers in degenerate position the open-zone recursion
-  /// cannot reach. Nonzero means delivery_ratio() is measured against a
-  /// smaller set than the membership.
+  // Routed graft control plane (PubSubConfig::routed_graft): the zone
+  // descent above driven by real kGraftRequestKind envelopes, one per
+  // hop, at QoS 1. graft_messages still counts the descent decisions
+  // (identical to the local oracle at zero loss); these count the
+  // envelopes and the failure handling the distribution adds.
+  std::uint64_t graft_hops = 0;          // kGraftRequestKind envelopes sent
+  std::uint64_t graft_retries = 0;       // graft control envelopes retransmitted
+  std::uint64_t graft_aborts = 0;        // in-flight grafts given up (tree dirtied)
+  std::uint64_t graft_resubscribes = 0;  // aborts that re-issued the subscribe
+  /// Subscribers a fresh build could not reach (a departed delegate walls
+  /// off their slices) that the build-time rescue pass spliced back in via
+  /// greedy routes (group_tree's rescue_stranded).
+  std::uint64_t stranded_rescues = 0;
+  /// Gauge (last build, after rescue): subscribers the construction still
+  /// could not span — e.g. identifiers in degenerate position the
+  /// open-zone recursion cannot reach, with no greedy route to the tree
+  /// either. Nonzero means delivery_ratio() is measured against a smaller
+  /// set than the membership.
   std::uint64_t stranded_subscribers = 0;
 
   /// Fraction of expected deliveries that arrived; 1 when nothing was
   /// published yet.
   [[nodiscard]] double delivery_ratio() const noexcept;
-  /// Tree maintenance messages (builds + grafts/prunes/repairs) per
+  /// Tree maintenance messages (builds + grafts + prunes + repairs) per
   /// publish; the "repair overhead" axis of the bench.
   [[nodiscard]] double maintenance_per_publish() const noexcept;
   /// Mean simulated seconds from gap detection to repair; 0 when no gap

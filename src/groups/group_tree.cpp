@@ -116,60 +116,89 @@ GroupTree build_group_tree(const overlay::OverlayGraph& graph, PeerId root,
   return gt;
 }
 
-GraftResult graft_subscriber(const overlay::OverlayGraph& graph, GroupTree& gt, PeerId s,
-                             const multicast::MulticastConfig& config,
-                             const std::vector<bool>& alive) {
-  if (s >= graph.size()) throw std::invalid_argument("graft_subscriber: peer out of range");
+GraftCursor graft_cursor(const GroupTree& gt, PeerId s) {
+  return GraftCursor{s, gt.tree.root(), 0};
+}
+
+GraftStep graft_step(const overlay::OverlayGraph& graph, GroupTree& gt,
+                     GraftCursor& cursor, const multicast::MulticastConfig& config,
+                     const std::vector<bool>& alive) {
+  const PeerId s = cursor.subscriber;
+  if (s >= graph.size()) throw std::invalid_argument("graft_step: peer out of range");
   if (gt.zones_stale)
-    throw std::logic_error("graft_subscriber: zones are stale after a repair; rebuild");
+    throw std::logic_error("graft_step: zones are stale after a repair; rebuild");
   check_deterministic(config);
 
-  GraftResult result;
-  if (gt.tree.reached(s)) {  // already a relay (or re-subscribing)
+  if (gt.tree.reached(s)) {
+    // Already spanned: a re-subscribe, a relay promotion, or (mid-descent)
+    // a concurrent graft that recruited s as a relay first. Flip the
+    // delivery flag and stop — no further descent decision is owed.
     if (!gt.is_subscriber[s]) {
       gt.is_subscriber[s] = true;
       ++gt.subscriber_count;
       ++gt.reached_subscribers;
     }
-    result.attached = true;
-    return result;
+    return GraftStep{GraftStatus::kAttached, s};
   }
+  // Every decision either follows an existing edge or creates the next
+  // missing one, so a legal descent is bounded by the tree height plus the
+  // new path's length; past the peer count the cache is inconsistent.
+  if (cursor.steps > graph.size()) return GraftStep{GraftStatus::kExhausted};
 
-  // Resume the recursion along the slices containing s. Every iteration
-  // either follows an existing edge or creates the next missing one, so
-  // the walk is bounded by the tree height plus the new path's length.
   const geometry::Point& target = graph.point(s);
-  PeerId current = gt.tree.root();
-  for (std::size_t guard = 0; guard <= graph.size(); ++guard) {
-    const auto neighbors = alive_neighbors(graph, current, alive);
-    const auto assignments = multicast::partition_step(
-        graph.point(current), gt.zones[current], neighbors, config.policy, config.metric);
-    const multicast::ZoneAssignment* next = nullptr;
-    for (const multicast::ZoneAssignment& a : assignments)
-      if (a.zone.contains_interior(target)) {
-        next = &a;
-        break;
-      }
-    if (next == nullptr) return result;  // stranded: caller falls back to a rebuild
-    ++result.messages;
-    if (!gt.tree.reached(next->child)) {
-      gt.tree.add_edge(current, next->child);
-      gt.zones[next->child] = next->zone;
-      // A stranded subscriber recruited as a relay is spanned again.
-      if (gt.is_subscriber[next->child]) ++gt.reached_subscribers;
+  const auto neighbors = alive_neighbors(graph, cursor.current, alive);
+  const auto assignments =
+      multicast::partition_step(graph.point(cursor.current), gt.zones[cursor.current],
+                                neighbors, config.policy, config.metric);
+  const multicast::ZoneAssignment* next = nullptr;
+  for (const multicast::ZoneAssignment& a : assignments)
+    if (a.zone.contains_interior(target)) {
+      next = &a;
+      break;
     }
-    current = next->child;
-    if (current == s) {
-      if (!gt.is_subscriber[s]) {
-        gt.is_subscriber[s] = true;
-        ++gt.subscriber_count;
-        ++gt.reached_subscribers;
-      }
-      result.attached = true;
-      return result;
+  if (next == nullptr) return GraftStep{GraftStatus::kStranded};
+  ++cursor.steps;
+  if (!gt.tree.reached(next->child)) {
+    gt.tree.add_edge(cursor.current, next->child);
+    gt.zones[next->child] = next->zone;
+    // A stranded subscriber recruited as a relay is spanned again.
+    if (gt.is_subscriber[next->child]) ++gt.reached_subscribers;
+  }
+  cursor.current = next->child;
+  if (cursor.current == s) {
+    if (!gt.is_subscriber[s]) {
+      gt.is_subscriber[s] = true;
+      ++gt.subscriber_count;
+      ++gt.reached_subscribers;
+    }
+    return GraftStep{GraftStatus::kAttached, s};
+  }
+  return GraftStep{GraftStatus::kDescend, cursor.current};
+}
+
+GraftResult graft_subscriber(const overlay::OverlayGraph& graph, GroupTree& gt, PeerId s,
+                             const multicast::MulticastConfig& config,
+                             const std::vector<bool>& alive) {
+  // The synchronous oracle: the routed control plane's step function,
+  // looped to completion in place. Keeping it a pure wrapper is what makes
+  // "routed == local" a structural property rather than a parallel
+  // implementation to keep in sync.
+  GraftResult result;
+  GraftCursor cursor = graft_cursor(gt, s);
+  for (;;) {
+    const GraftStep step = graft_step(graph, gt, cursor, config, alive);
+    result.messages = cursor.steps;
+    switch (step.status) {
+      case GraftStatus::kAttached:
+        result.attached = true;
+        return result;
+      case GraftStatus::kDescend:
+        continue;
+      case GraftStatus::kStranded:
+      case GraftStatus::kExhausted:
+        return result;  // caller falls back to a rebuild
     }
   }
-  return result;  // guard tripped (inconsistent cache); caller rebuilds
 }
 
 std::size_t prune_subscriber(GroupTree& gt, PeerId s) {
@@ -271,6 +300,54 @@ GroupRepairResult repair_group_tree(const overlay::OverlayGraph& graph, GroupTre
   // the candidate sets of its in-tree overlay neighbours, so replaying the
   // recursion (what a graft does) would pick different delegates there.
   gt.zones_stale = true;
+  return result;
+}
+
+StrandRescueResult rescue_stranded(const overlay::OverlayGraph& graph, GroupTree& gt,
+                                   const std::vector<bool>& alive) {
+  StrandRescueResult result;
+  if (gt.reached_subscribers == gt.subscriber_count) return result;
+  const auto usable = [&](PeerId q) { return is_alive(alive, q); };
+  for (PeerId s = 0; s < gt.is_subscriber.size(); ++s) {
+    if (!gt.is_subscriber[s] || gt.tree.reached(s)) continue;
+    // Same shape as repair's splice fallback, with a single stranded peer
+    // instead of an orphan subtree: greedy-walk toward the root, recruit
+    // the non-tree relays passed through, attach at the first in-tree
+    // peer. (An earlier rescue may already have recruited s as a relay —
+    // the reached() check above skips it, spanned.)
+    std::vector<PeerId> chain;
+    PeerId cursor = s;
+    PeerId adopter = kInvalidPeer;
+    for (std::size_t guard = 0; guard < graph.size(); ++guard) {
+      const PeerId next = overlay::greedy_next_hop(graph, cursor, gt.tree.root(), usable);
+      if (next == kInvalidPeer) break;  // truly unreachable from here
+      if (gt.tree.reached(next)) {
+        adopter = next;
+        break;
+      }
+      chain.push_back(next);
+      cursor = next;
+    }
+    if (adopter == kInvalidPeer) {
+      ++result.still_stranded;
+      continue;
+    }
+    PeerId parent = adopter;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      gt.tree.add_edge(parent, *it);
+      if (gt.is_subscriber[*it]) ++gt.reached_subscribers;
+      ++result.spliced_relays;
+      ++result.messages;
+      parent = *it;
+    }
+    gt.tree.add_edge(parent, s);
+    ++gt.reached_subscribers;
+    ++result.rescued;
+    ++result.messages;
+  }
+  // Splice paths are not what the recursion would have produced: replaying
+  // a zone descent against them is undefined, so grafts must rebuild.
+  if (result.rescued > 0 || result.spliced_relays > 0) gt.zones_stale = true;
   return result;
 }
 

@@ -75,9 +75,51 @@ struct GraftResult {
   std::size_t messages = 0;  // graft-request hops walked/created
 };
 
+/// Resumable zone-descent state for splicing one subscriber into a cached
+/// tree: each graft_step() takes exactly ONE descent decision — the local
+/// partition step at `current` — so the descent can be driven hop by hop
+/// from routed envelopes (the distributed control plane) or looped locally
+/// (graft_subscriber, the synchronous oracle). The cursor holds only peer
+/// indices, never tree pointers: steps always run against the caller's
+/// current GroupTree, so copy-on-write clones between steps are safe.
+struct GraftCursor {
+  PeerId subscriber = kInvalidPeer;
+  PeerId current = kInvalidPeer;  // peer whose descent decision runs next
+  std::size_t steps = 0;          // decisions taken (the guard counter)
+};
+
+enum class GraftStatus {
+  kAttached,   ///< subscriber spliced in (delivery flag set); descent done
+  kDescend,    ///< one step taken; route the request to `next`
+  kStranded,   ///< no slice contains the subscriber: caller rebuilds
+  kExhausted,  ///< step guard tripped (inconsistent cache): caller rebuilds
+};
+
+struct GraftStep {
+  GraftStatus status = GraftStatus::kStranded;
+  PeerId next = kInvalidPeer;  // the peer to hand the descent to (kDescend)
+};
+
+/// Starts a graft of `s` into `gt`: the first decision runs at the root.
+[[nodiscard]] GraftCursor graft_cursor(const GroupTree& gt, PeerId s);
+
+/// Takes one descent decision at `cursor.current`: replays the partition
+/// step there, follows (or creates) the edge of the slice containing the
+/// subscriber's point, and advances the cursor. Attaches immediately when
+/// the subscriber is already spanned (re-subscribe / relay promotion).
+/// Must not be called on a stale-zoned tree (throws std::logic_error) —
+/// the caller gates on `zones_stale` before every step because a repair
+/// can land between steps of an in-flight descent.
+[[nodiscard]] GraftStep graft_step(const overlay::OverlayGraph& graph, GroupTree& gt,
+                                   GraftCursor& cursor,
+                                   const multicast::MulticastConfig& config = {},
+                                   const std::vector<bool>& alive = {});
+
 /// Splices subscriber `s` into a cached tree by resuming the recursion
-/// along the slices containing s's point. Exact: the result equals a fresh
-/// build with s added. Throws std::logic_error if `gt.zones_stale`.
+/// along the slices containing s's point — graft_cursor/graft_step looped
+/// to completion in place, which keeps this the golden oracle the routed
+/// descent is verified against. Exact: the result equals a fresh build
+/// with s added. Throws std::logic_error if `gt.zones_stale`.
 [[nodiscard]] GraftResult graft_subscriber(const overlay::OverlayGraph& graph, GroupTree& gt,
                                            PeerId s,
                                            const multicast::MulticastConfig& config = {},
@@ -105,5 +147,22 @@ struct GroupRepairResult {
 [[nodiscard]] GroupRepairResult repair_group_tree(const overlay::OverlayGraph& graph,
                                                   GroupTree& gt, PeerId departed,
                                                   const std::vector<bool>& alive);
+
+struct StrandRescueResult {
+  std::size_t rescued = 0;         // stranded subscribers spliced in
+  std::size_t spliced_relays = 0;  // non-tree relays recruited en route
+  std::size_t messages = 0;        // splice control traffic
+  std::size_t still_stranded = 0;  // no greedy route reached the tree
+};
+
+/// Splices every unreached subscriber onto the tree via the greedy route
+/// toward the root — the repair fallback applied at build time. A fresh
+/// zone-recursion build under churn can strand subscribers the in-place
+/// repair rule would have kept (a departed delegate makes whole slices
+/// unreachable from the root), so a rebuild alone is NOT a superset of
+/// repair; this pass restores that guarantee. Splice paths deviate from
+/// the recursion, so any change marks the zones stale (grafts rebuild).
+StrandRescueResult rescue_stranded(const overlay::OverlayGraph& graph, GroupTree& gt,
+                                   const std::vector<bool>& alive);
 
 }  // namespace geomcast::groups

@@ -1,0 +1,87 @@
+// Message-kind registry for the groups subsystem — every envelope kind the
+// pub/sub control and data planes put on the simulated network, in one
+// place, with a compile-time uniqueness check.
+//
+// The registry continues the multicast construction protocol's numbering
+// (kBuildRequestKind = 10, kDataKind = 11, kAckKind = 12) in the 20+ band;
+// the groups kinds share a Simulator with each other (and conceptually
+// with the §2 build wave), so a collision would silently misroute
+// dispatch. Other subsystems run their own simulations in their own bands
+// (overlay gossip: 1–3, stability convergecast: 20 — never co-resident
+// with a PubSubSystem).
+//
+// | kind | value | plane   | payload          | reliability            |
+// |------|-------|---------|------------------|------------------------|
+// | kSubscribeKind    | 20 | control | GroupRequest  | best-effort routed |
+// | kUnsubscribeKind  | 21 | control | GroupRequest  | best-effort routed |
+// | kPublishKind      | 22 | control | GroupRequest  | best-effort routed |
+// | kDeliverKind      | 23 | data    | GroupDelivery | PubSubConfig QoS   |
+// | kDeliverAckKind   | 24 | data    | HopAck        | (ack of 23)        |
+// | kNackKind         | 25 | repair  | GapNack       | best-effort unicast|
+// | kRepairKind       | 26 | repair  | GroupDelivery | best-effort unicast|
+// | kRepairMissKind   | 27 | repair  | GapRepairMiss | best-effort unicast|
+// | kGraftRequestKind | 28 | graft   | GraftEnvelope | QoS 1 (acked)      |
+// | kGraftAcceptKind  | 29 | graft   | GraftEnvelope | QoS 1 (acked)      |
+// | kGraftRejectKind  | 30 | graft   | GraftEnvelope | QoS 1 (acked)      |
+// | kGraftAckKind     | 31 | graft   | HopAck        | (ack of 28–30)     |
+//
+// README.md carries the same table for readers who never open headers.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+#include "sim/network.hpp"
+
+namespace geomcast::groups {
+
+// -- control plane (greedy-routed toward the group's rendezvous root) ------
+inline constexpr sim::MessageKind kSubscribeKind = 20;
+inline constexpr sim::MessageKind kUnsubscribeKind = 21;
+inline constexpr sim::MessageKind kPublishKind = 22;
+
+// -- data plane (tree waves + their per-hop acks) --------------------------
+inline constexpr sim::MessageKind kDeliverKind = 23;
+inline constexpr sim::MessageKind kDeliverAckKind = 24;
+
+// -- QoS 2 repair plane. NACK/repair traffic is unicast peer-to-peer (the
+// underlay, not the tree): repair conversations are point-to-point between
+// a subscriber and one ancestor, exactly the case direct unicast serves in
+// deployed NACK multicast schemes.
+inline constexpr sim::MessageKind kNackKind = 25;        // batched gap request
+inline constexpr sim::MessageKind kRepairKind = 26;      // retained wave resent
+inline constexpr sim::MessageKind kRepairMissKind = 27;  // "not retained here"
+
+// -- routed graft control plane (the distributed zone descent). Request
+// envelopes hop peer-to-peer down the descent path; accept/reject report
+// the outcome to the initiating root. All three ride one shared
+// ReliableHopLayer at QoS 1 (acked as kGraftAckKind, retransmitted on
+// timeout) so a lost control envelope cannot strand the subscriber.
+inline constexpr sim::MessageKind kGraftRequestKind = 28;  // one descent step
+inline constexpr sim::MessageKind kGraftAcceptKind = 29;   // subscriber -> root
+inline constexpr sim::MessageKind kGraftRejectKind = 30;   // failing peer -> root
+inline constexpr sim::MessageKind kGraftAckKind = 31;      // per-hop graft ack
+
+namespace detail {
+/// The full registry this simulation family dispatches on: the multicast
+/// build/data/ack band (protocol.hpp / dissemination.hpp pin 10–12) plus
+/// every groups kind above. Compile-time-checked pairwise distinct so a
+/// future kind cannot silently shadow an existing dispatch arm.
+inline constexpr sim::MessageKind kRegistry[] = {
+    10, 11, 12,  // multicast: kBuildRequestKind, kDataKind, kAckKind
+    kSubscribeKind, kUnsubscribeKind, kPublishKind,
+    kDeliverKind, kDeliverAckKind,
+    kNackKind, kRepairKind, kRepairMissKind,
+    kGraftRequestKind, kGraftAcceptKind, kGraftRejectKind, kGraftAckKind,
+};
+
+constexpr bool registry_unique() {
+  for (std::size_t i = 0; i < std::size(kRegistry); ++i)
+    for (std::size_t j = i + 1; j < std::size(kRegistry); ++j)
+      if (kRegistry[i] == kRegistry[j]) return false;
+  return true;
+}
+static_assert(registry_unique(), "message-kind registry has a duplicate value");
+}  // namespace detail
+
+}  // namespace geomcast::groups

@@ -150,6 +150,25 @@ class PubSubSystem::PubSubNode final : public sim::Node {
                                std::any_cast<const GapRepairMiss&>(envelope.payload));
         return;
       }
+      case kGraftRequestKind: {
+        system_.on_graft_request(id(), envelope.from,
+                                 std::any_cast<const GraftEnvelope&>(envelope.payload));
+        return;
+      }
+      case kGraftAcceptKind: {
+        system_.on_graft_accept(id(), envelope.from,
+                                std::any_cast<const GraftEnvelope&>(envelope.payload));
+        return;
+      }
+      case kGraftRejectKind: {
+        system_.on_graft_reject(id(), envelope.from,
+                                std::any_cast<const GraftEnvelope&>(envelope.payload));
+        return;
+      }
+      case kGraftAckKind: {
+        system_.graft_hop_->on_ack(envelope);
+        return;
+      }
       default:
         throw std::logic_error("PubSubNode: unexpected message kind");
     }
@@ -197,6 +216,34 @@ PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig conf
   if (acked()) seen_.resize(graph.size());
   if (end_to_end()) windows_.resize(graph.size());
 
+  if (config_.routed_graft) {
+    // Graft control hops are ALWAYS acked (QoS 1), whatever the data plane
+    // runs at: a lost descent envelope must retransmit, not strand the
+    // subscriber. An abandoned hop (receiver died, or budget spent against
+    // persistent loss) aborts the whole graft — the abort dirties the
+    // cache and re-issues the subscribe, so the subscriber converges
+    // through the rebuild path instead.
+    multicast::ReliableHopLayer::Hooks graft_hooks;
+    graft_hooks.on_retransmit = [this](sim::NodeId, sim::NodeId, std::uint64_t,
+                                       const std::any& payload) {
+      const auto& graft = std::any_cast<const GraftEnvelope&>(payload);
+      ++manager_->stats(graft.group).graft_retries;
+      sim_->network().note_graft_retry();
+    };
+    graft_hooks.on_abandon = [this](sim::NodeId, sim::NodeId, std::uint64_t,
+                                    const std::any& payload) {
+      abort_graft(std::any_cast<const GraftEnvelope&>(payload).graft_id);
+    };
+    graft_hooks.sender_alive = [this](sim::NodeId p) { return manager_->alive(p); };
+    graft_hop_ = std::make_unique<multicast::ReliableHopLayer>(
+        *sim_, kGraftRequestKind, kGraftAckKind,
+        multicast::ReliabilityConfig{multicast::QoS::kAcked,
+                                     config_.reliability.ack_timeout,
+                                     config_.reliability.max_retries},
+        std::move(graft_hooks));
+    graft_seen_.resize(graph.size());
+  }
+
   nodes_.reserve(graph.size());
   for (PeerId p = 0; p < graph.size(); ++p) {
     nodes_.push_back(std::make_unique<PubSubNode>(p, *this));
@@ -216,6 +263,7 @@ void PubSubSystem::forward_control(PeerId self, sim::MessageKind kind,
     return;
   }
   ++stats.control_messages;
+  sim_->network().note_control_envelope();
   sim_->send(self, next, kind, request);
 }
 
@@ -225,8 +273,16 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
     case kSubscribeKind:
       // The origin may have departed while its request was in flight; a
       // dead peer must not (re)enter the membership.
-      if (manager_->alive(request.origin))
+      if (!manager_->alive(request.origin)) return;
+      if (config_.routed_graft) {
+        // Membership is booked here; the tree splice — when one is owed —
+        // becomes a routed descent instead of root-local work.
+        if (manager_->subscribe_membership(request.group, request.origin) ==
+            GroupManager::SubscribeNeed::kGraft)
+          start_graft(self, request.group, request.origin);
+      } else {
         manager_->subscribe(request.group, request.origin);
+      }
       return;
     case kUnsubscribeKind:
       manager_->unsubscribe(request.group, request.origin);
@@ -272,6 +328,91 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
     default:
       throw std::logic_error("PubSubSystem: control kind expected");
   }
+}
+
+void PubSubSystem::start_graft(PeerId root, GroupId group, PeerId subscriber) {
+  const std::uint64_t id = manager_->graft_begin(group, subscriber, root);
+  if (id == 0) return;  // a descent is already in flight, or the tree raced away
+  // The root IS the first decision point: its step runs locally (no
+  // envelope is owed to reach yourself), and only the handoff to the next
+  // descent peer goes on the wire.
+  advance_graft(root, GraftEnvelope{group, subscriber, root, id});
+}
+
+void PubSubSystem::advance_graft(PeerId self, const GraftEnvelope& graft) {
+  const auto advance = manager_->graft_advance(graft.graft_id, self);
+  GroupStats& stats = manager_->stats(graft.group);
+  switch (advance.status) {
+    case GroupManager::GraftAdvance::Status::kDescend:
+      ++stats.graft_hops;
+      sim_->network().note_graft_hop();
+      graft_hop_->send(self, advance.next, graft.graft_id, graft, kGraftRequestKind);
+      return;
+    case GroupManager::GraftAdvance::Status::kAttached:
+      if (self == graft.root) {
+        // Zero-hop graft (re-subscribe / relay promotion / root itself):
+        // nothing descended, so there is nobody to report back from.
+        manager_->graft_finish(graft.graft_id);
+      } else {
+        sim_->network().note_control_envelope();
+        graft_hop_->send(self, graft.root, graft.graft_id, graft, kGraftAcceptKind);
+      }
+      return;
+    case GroupManager::GraftAdvance::Status::kFailed:
+      if (self == graft.root) {
+        abort_graft(graft.graft_id);
+      } else {
+        sim_->network().note_control_envelope();
+        graft_hop_->send(self, graft.root, graft.graft_id, graft, kGraftRejectKind);
+      }
+      return;
+  }
+}
+
+void PubSubSystem::on_graft_request(PeerId self, PeerId from, const GraftEnvelope& graft) {
+  // Ack first, dedup second: the duplicate's arrival means our previous
+  // ack may have been the lost envelope, but a descent decision must run
+  // exactly once per peer however many copies land.
+  graft_hop_->acknowledge(self, from, graft.graft_id);
+  // Suppressed silently: duplicate_data is the DATA plane's counter, and
+  // the sender half of this event is already visible as graft_retries.
+  if (!graft_seen_[self].insert(graft.graft_id).second) return;
+  advance_graft(self, graft);
+}
+
+void PubSubSystem::on_graft_accept(PeerId self, PeerId from, const GraftEnvelope& graft) {
+  graft_hop_->acknowledge(self, from, graft.graft_id);
+  // Idempotent: a retransmitted accept — or one that raced a departure
+  // sweep's abort — finds the entry gone and changes nothing.
+  manager_->graft_finish(graft.graft_id);
+}
+
+void PubSubSystem::on_graft_reject(PeerId self, PeerId from, const GraftEnvelope& graft) {
+  graft_hop_->acknowledge(self, from, graft.graft_id);
+  abort_graft(graft.graft_id);
+}
+
+void PubSubSystem::abort_graft(std::uint64_t graft_id) {
+  const auto aborted = manager_->graft_abort(graft_id);
+  if (!aborted) return;  // already retired (duplicate reject, raced sweep)
+  sim_->network().note_graft_abort();
+  resubscribe(aborted->group, aborted->subscriber);
+}
+
+void PubSubSystem::resubscribe(GroupId group, PeerId subscriber) {
+  // Abort-and-resubscribe: the subscriber re-enters through the normal
+  // subscribe path (routed to the CURRENT root — it may have migrated
+  // since). The abort already dirtied the cache, so the usual outcome is
+  // membership-only + rebuild on next publish; the re-issue exists for
+  // the migration races where the new root's view needs the nudge.
+  if (!manager_->alive(subscriber) || !manager_->is_subscribed(group, subscriber))
+    return;  // died or unsubscribed mid-graft: nothing owed
+  ++manager_->stats(group).graft_resubscribes;
+  const GroupRequest request{group, subscriber, manager_->root_of(group)};
+  if (subscriber == request.target)
+    handle_at_root(subscriber, kSubscribeKind, request);
+  else
+    forward_control(subscriber, kSubscribeKind, request);
 }
 
 void PubSubSystem::flush_batch(GroupId group, bool window_expired) {
@@ -621,8 +762,18 @@ void PubSubSystem::publish_at(double time, PeerId peer, GroupId group) {
   schedule_control(time, peer, group, kPublishKind);
 }
 
+void PubSubSystem::depart_now(PeerId peer) {
+  // The departure sweep aborts every in-flight graft it invalidated; the
+  // surviving subscribers re-enter through resubscribe so churn mid-graft
+  // converges (the churn battery pins this).
+  for (const auto& aborted : manager_->handle_departure(peer)) {
+    sim_->network().note_graft_abort();
+    resubscribe(aborted.group, aborted.subscriber);
+  }
+}
+
 void PubSubSystem::depart_at(double time, PeerId peer) {
-  sim_->schedule_at(time, [this, peer]() { manager_->handle_departure(peer); });
+  sim_->schedule_at(time, [this, peer]() { depart_now(peer); });
 }
 
 std::size_t PubSubSystem::run(std::size_t max_events) {

@@ -6,12 +6,57 @@
 // Control plane: subscribe/unsubscribe/publish envelopes are forwarded hop
 // by hop toward the group's rendezvous root with greedy geometric routing
 // (overlay/routing.hpp); each hop uses only local information plus the
-// group id carried by the envelope. Data plane: the root resolves the
-// group's cached pruned tree through the GroupManager and pushes the
-// payload down it, one kDeliverKind envelope per tree edge; every peer
-// forwards to its current tree children (the forwarding state the build
-// wave installed) and consumes the payload iff subscribed, with per-
-// (group, seq) duplicate suppression.
+// group id carried by the envelope. Every control envelope is charged to
+// NetworkStats like data traffic (control_envelopes), so finding and
+// maintaining a tree costs measurable messages, not free root-side work.
+//
+// Routed graft (PubSubConfig::routed_graft, default on): a subscribe that
+// lands at a root holding a clean cached tree does NOT splice the
+// newcomer in locally. The zone descent itself becomes messages — the
+// decentralized construction the paper claims, applied to maintenance:
+//
+//            subscriber --kSubscribeKind-->  root
+//                                             | graft_begin (cursor @ root)
+//                                             v
+//        +----------------- kGraftRequestKind, one DESCENT hop ---------+
+//        |  each peer on the path replays ITS partition step against    |
+//        |  its recorded zone, follows/creates the slice edge holding   |
+//        |  the subscriber's point, and forwards the request to that    |
+//        |  child (GroupManager::graft_advance — one decision per       |
+//        |  envelope, counted as graft_hops in Group/NetworkStats)      |
+//        +---------------------------------------------------------+---+
+//              |                            |                      |
+//          reaches the                no slice fits /          peer died /
+//          subscriber                 cursor invalidated       envelope lost
+//              |                            |                      |
+//              v                            v                      v
+//      kGraftAcceptKind -> root     kGraftRejectKind -> root   QoS 1 retransmit,
+//      (graft_finish: booked        (graft_abort: cache        then abandon ->
+//      as stats.grafts)             dirtied, resubscribe)      abort + resubscribe
+//
+// All three graft kinds ride one shared ReliableHopLayer at QoS 1
+// (kGraftAckKind acks, ack-timeout retransmits) regardless of the data
+// plane's QoS, so a lost control envelope retries instead of stranding
+// the subscriber; retransmitted requests are deduped per (peer, graft id)
+// and never replay a descent decision. An abort dirties the group's cache
+// (the next publish rebuilds, spanning the surviving membership — any
+// half-grafted relay path is discarded with the stale tree) and re-issues
+// the subscribe from the subscriber (graft_resubscribes), so a root or
+// relay dying mid-graft degrades to one extra round trip, never to a
+// silently unsubscribed peer. The subscriber's delivery flag is set only
+// by the final descent step, so a publish wave racing the graft sees the
+// newcomer as (at most) a relay chain and cannot deliver to — or count —
+// a half-attached subscriber. With routed_graft off, subscribe falls back
+// to GroupManager::subscribe's synchronous local descent: the golden
+// oracle the routed path is pinned bit-identical against on lossless
+// seeds (tests/groups_routed_graft_test.cpp).
+//
+// Data plane: the root resolves the group's cached pruned tree through
+// the GroupManager and pushes the payload down it, one kDeliverKind
+// envelope per tree edge; every peer forwards to its current tree
+// children (the forwarding state the build wave installed) and consumes
+// the payload iff subscribed, with per-(group, seq) duplicate
+// suppression.
 //
 // Wave coalescing (PubSubConfig::batch_window / max_batch): back-to-back
 // publishes to the same group are buffered at the rendezvous root and
@@ -85,25 +130,15 @@
 #include <vector>
 
 #include "groups/group_manager.hpp"
+#include "groups/message_kinds.hpp"
 #include "multicast/reliable_hop.hpp"
 #include "sim/simulator.hpp"
 
 namespace geomcast::groups {
 
-/// Message kinds, continuing the registry started by
-/// multicast::kBuildRequestKind (10) / kDataKind (11) / kAckKind (12).
-inline constexpr sim::MessageKind kSubscribeKind = 20;
-inline constexpr sim::MessageKind kUnsubscribeKind = 21;
-inline constexpr sim::MessageKind kPublishKind = 22;
-inline constexpr sim::MessageKind kDeliverKind = 23;
-inline constexpr sim::MessageKind kDeliverAckKind = 24;
-/// QoS 2 repair plane. NACK/repair traffic is unicast peer-to-peer (the
-/// underlay, not the tree): repair conversations are point-to-point
-/// between a subscriber and one ancestor, exactly the case direct unicast
-/// serves in deployed NACK multicast schemes.
-inline constexpr sim::MessageKind kNackKind = 25;        // batched gap request
-inline constexpr sim::MessageKind kRepairKind = 26;      // retained wave resent
-inline constexpr sim::MessageKind kRepairMissKind = 27;  // "not retained here"
+// Message kinds live in groups/message_kinds.hpp — the one registry of
+// every envelope kind this simulation family dispatches on, uniqueness
+// checked at compile time.
 
 /// Control envelope routed toward a group root.
 struct GroupRequest {
@@ -156,6 +191,18 @@ struct GapRepairMiss {
   std::vector<std::uint64_t> seqs;
 };
 
+/// One routed-graft control envelope (request, accept, and reject all
+/// carry the same identity; the kind says which leg of the state machine
+/// it is). `graft_id` doubles as the reliability-layer seq token — unique
+/// across every graft of a simulation, so concurrent descents crossing
+/// one link can never cancel each other's retransmit timers.
+struct GraftEnvelope {
+  GroupId group = 0;
+  PeerId subscriber = kInvalidPeer;
+  PeerId root = kInvalidPeer;  // initiating root, the accept/reject addressee
+  std::uint64_t graft_id = 0;
+};
+
 /// Knobs of the QoS 2 end-to-end repair plane (ignored below QoS 2).
 struct RepairConfig {
   /// Quiet time between detecting a gap and NACKing it — and between
@@ -198,6 +245,12 @@ struct PubSubConfig {
   /// subscriber-side gap detection and ancestor repair per `repair`.
   multicast::ReliabilityConfig reliability{multicast::QoS::kFireAndForget};
   RepairConfig repair;
+  /// Subscribe path for roots holding a clean cached tree: true (the
+  /// default) drives the zone descent with routed kGraftRequestKind
+  /// envelopes — one real hop per descent decision, QoS 1, visible in
+  /// NetworkStats; false runs GroupManager::subscribe's synchronous local
+  /// descent (the golden oracle, bit-identical on lossless seeds).
+  bool routed_graft = true;
   std::uint64_t seed = 1;
 };
 
@@ -292,6 +345,11 @@ class PubSubSystem {
   /// The peer stops responding at `time`; membership and trees are
   /// repaired through the GroupManager at the same instant.
   void depart_at(double time, PeerId peer);
+  /// Same, effective immediately at the simulator's current time — the
+  /// entry point for in-simulation failure injectors (schedule through
+  /// this, not the bare GroupManager, so grafts aborted by the departure
+  /// get their resubscribes issued).
+  void depart_now(PeerId peer);
 
   /// Runs the event loop until idle; returns events processed.
   std::size_t run(std::size_t max_events = 50'000'000);
@@ -348,6 +406,24 @@ class PubSubSystem {
   void schedule_control(double time, PeerId peer, GroupId group, sim::MessageKind kind);
   void handle_at_root(PeerId self, sim::MessageKind kind, const GroupRequest& request);
   void forward_control(PeerId self, sim::MessageKind kind, const GroupRequest& request);
+
+  // -- routed graft control plane -----------------------------------------
+  /// Root half of a graftable subscribe: registers the in-flight cursor
+  /// and takes the first descent decision locally (the root IS the first
+  /// decision point; no envelope is owed to reach yourself).
+  void start_graft(PeerId root, GroupId group, PeerId subscriber);
+  /// Takes one descent decision at `self` and acts on the outcome:
+  /// descend (route the request on), attached (accept to the root), or
+  /// failed (reject to the root / local abort when self is the root).
+  void advance_graft(PeerId self, const GraftEnvelope& graft);
+  void on_graft_request(PeerId self, PeerId from, const GraftEnvelope& graft);
+  void on_graft_accept(PeerId self, PeerId from, const GraftEnvelope& graft);
+  void on_graft_reject(PeerId self, PeerId from, const GraftEnvelope& graft);
+  /// Abort + abort-and-resubscribe: gives the graft up through the
+  /// manager (cache dirtied) and re-issues the subscribe from the
+  /// subscriber when it survived — the liveness half of the state machine.
+  void abort_graft(std::uint64_t graft_id);
+  void resubscribe(GroupId group, PeerId subscriber);
   /// Pushes the group's pending batch down the tree as one range wave.
   /// `window_expired` selects the flush-reason counter (window timer vs.
   /// batch full). A batch whose buffering root died is dropped — those
@@ -421,6 +497,11 @@ class PubSubSystem {
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<GroupManager> manager_;
   std::unique_ptr<multicast::ReliableHopLayer> hop_;
+  /// Graft control hops: always QoS 1 (ack kGraftAckKind, retransmit on
+  /// timeout) whatever the data plane runs at — a lost descent envelope
+  /// must retry, not strand the subscriber. One layer carries all three
+  /// graft kinds; graft ids keep the (from, to, seq) key space disjoint.
+  std::unique_ptr<multicast::ReliableHopLayer> graft_hop_;
   std::vector<std::unique_ptr<PubSubNode>> nodes_;
   std::map<GroupId, std::uint64_t> next_seq_;
   std::map<GroupId, PendingBatch> pending_batch_;
@@ -434,6 +515,11 @@ class PubSubSystem {
   std::vector<std::set<std::pair<GroupId, std::uint64_t>>> seen_;
   /// Per-peer QoS 2 windows, one per group the peer consumed from.
   std::vector<std::map<GroupId, WindowState>> windows_;
+  /// Per-peer graft ids whose descent step already ran here — the dedup
+  /// that keeps a retransmitted kGraftRequestKind from replaying a
+  /// decision (a descent visits each peer at most once, so the id alone
+  /// is the key). Sized only when routed_graft is on.
+  std::vector<std::set<std::uint64_t>> graft_seen_;
   DeliveryProbe probe_;
 };
 

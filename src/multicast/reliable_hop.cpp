@@ -15,9 +15,10 @@ ReliableHopLayer::ReliableHopLayer(sim::Simulator& sim, sim::MessageKind data_ki
       hooks_(std::move(hooks)) {}
 
 void ReliableHopLayer::send(sim::NodeId from, sim::NodeId to, std::uint64_t seq,
-                            std::any payload) {
+                            std::any payload, sim::MessageKind kind) {
+  const sim::MessageKind wire_kind = kind == kInvalidKind ? data_kind_ : kind;
   if (config_.qos == QoS::kFireAndForget) {
-    sim_.send(from, to, data_kind_, std::move(payload));
+    sim_.send(from, to, wire_kind, std::move(payload));
     ++stats_.data_messages;
     return;
   }
@@ -26,6 +27,7 @@ void ReliableHopLayer::send(sim::NodeId from, sim::NodeId to, std::uint64_t seq,
   if (!inserted)
     throw std::logic_error("ReliableHopLayer::send: seq already pending on this hop");
   it->second.payload = std::move(payload);
+  it->second.kind = kind;
   ++pending_by_receiver_[to];
   transmit(key, /*attempt=*/0);
 }
@@ -39,7 +41,8 @@ void ReliableHopLayer::retire(std::map<Key, Pending>::iterator it) {
 void ReliableHopLayer::transmit(const Key& key, std::size_t attempt) {
   const auto& [from, to, seq] = key;
   Pending& entry = pending_.at(key);
-  sim_.send(from, to, data_kind_, entry.payload);
+  sim_.send(from, to, entry.kind == kInvalidKind ? data_kind_ : entry.kind,
+            entry.payload);
   ++stats_.data_messages;
   if (attempt > 0) {
     ++stats_.retransmissions;

@@ -107,7 +107,16 @@ class ReliableHopLayer {
   /// Sender half: transmits `payload` from -> to and, under QoS 1, arms the
   /// ack-timeout/retransmit cycle. `seq` must be unique per logical
   /// (from, to) transfer and must not collide with one still pending.
-  void send(sim::NodeId from, sim::NodeId to, std::uint64_t seq, std::any payload);
+  ///
+  /// `kind` overrides the envelope kind for this transfer (retransmissions
+  /// reuse it); kInvalidKind means the layer's data_kind. Lets one layer
+  /// instance — one pending table, one ack kind, one timeout discipline —
+  /// carry a small family of related kinds (e.g. the routed-graft
+  /// request/accept/reject trio) whose seqs share a key space.
+  static constexpr sim::MessageKind kInvalidKind =
+      static_cast<sim::MessageKind>(-1);
+  void send(sim::NodeId from, sim::NodeId to, std::uint64_t seq, std::any payload,
+            sim::MessageKind kind = kInvalidKind);
 
   /// Receiver half: acknowledge a data arrival back to its sender. Call for
   /// EVERY arrival, duplicates included — the previous ack may have been
@@ -135,6 +144,7 @@ class ReliableHopLayer {
     std::any payload;
     std::size_t attempt = 0;
     sim::EventId timer = 0;
+    sim::MessageKind kind = kInvalidKind;  // per-transfer override
   };
 
   void transmit(const Key& key, std::size_t attempt);

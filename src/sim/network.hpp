@@ -83,6 +83,15 @@ struct NetworkStats {
   // acks at QoS 1+) those ranges avoided versus one wave per publish.
   std::uint64_t batched_waves = 0;    ///< coalesced range waves flushed
   std::uint64_t envelopes_saved = 0;  ///< envelopes amortised away by batching
+  // Control-plane cost attribution (groups routed control + graft plane):
+  // the envelopes that find/maintain trees, as opposed to the payload
+  // envelopes that traverse them. Reported by the pub/sub layer so the
+  // "tree construction costs real messages" claim is measurable here, not
+  // just in per-group bookkeeping.
+  std::uint64_t control_envelopes = 0;  ///< routed control + graft envelopes sent
+  std::uint64_t graft_hops = 0;         ///< kGraftRequestKind descent hops sent
+  std::uint64_t graft_retries = 0;      ///< graft control envelopes retransmitted
+  std::uint64_t graft_aborts = 0;       ///< in-flight grafts given up (resubscribed)
   std::map<MessageKind, std::uint64_t> sent_by_kind;
   std::vector<std::uint64_t> sent_by_node;
   std::vector<std::uint64_t> received_by_node;
@@ -113,6 +122,13 @@ class Network {
     ++stats_.batched_waves;
     stats_.envelopes_saved += envelopes_saved;
   }
+  void note_control_envelope() noexcept { ++stats_.control_envelopes; }
+  void note_graft_hop() noexcept {
+    ++stats_.graft_hops;
+    ++stats_.control_envelopes;
+  }
+  void note_graft_retry() noexcept { ++stats_.graft_retries; }
+  void note_graft_abort() noexcept { ++stats_.graft_aborts; }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }

@@ -11,6 +11,8 @@
 #include "geometry/random_points.hpp"
 #include "groups/group_manager.hpp"
 #include "groups/pubsub.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "multicast/flooding.hpp"
 #include "multicast/space_partition.hpp"
 #include "overlay/empty_rect.hpp"
@@ -298,6 +300,58 @@ void BM_RootCoalescingFlush(benchmark::State& state) {
                           static_cast<std::int64_t>(burst));
 }
 BENCHMARK(BM_RootCoalescingFlush)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------- observability ----
+
+// The zero-cost-disabled claim, priced: the identical pub/sub workload
+// with no trace sink (arg 0, the default every production run takes) vs a
+// sink attached (arg 1). Disabled tracing is one null-check per potential
+// emit point, so the two timings should be indistinguishable; a visible
+// delta means a hot path started paying for tracing it isn't using.
+void BM_TracerDisabledOverhead(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  const auto points = make_points(64, 3);
+  const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+  obs::TraceSink sink;
+  for (auto _ : state) {
+    groups::PubSubConfig config;
+    config.reliability.qos = multicast::QoS::kAcked;
+    groups::PubSubSystem system(graph, config);
+    if (traced) system.set_trace_sink(&sink);
+    for (overlay::PeerId p = 1; p < 33; ++p)
+      system.subscribe_at(0.001 * static_cast<double>(p), p, /*group=*/0);
+    for (int round = 0; round < 8; ++round)
+      system.publish_at(2.0 + 0.5 * round, 1, /*group=*/0);
+    benchmark::DoNotOptimize(system.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_TracerDisabledOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Histogram record (the per-delivery cost on the data plane: one frexp +
+// one array increment) and bucket-wise merge (the per-group cost when
+// total_stats() folds G group histograms together). Arg: values recorded
+// per iteration / histograms merged per iteration.
+void BM_HistogramRecordMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> values(n);
+  util::Rng rng(17);
+  for (auto& v : values) v = rng.uniform(1e-4, 10.0);
+  obs::Histogram base;
+  for (const double v : values) base.record(v);
+  for (auto _ : state) {
+    obs::Histogram recorded;
+    for (const double v : values) recorded.record(v);
+    obs::Histogram merged;
+    merged.merge(base);
+    merged.merge(recorded);
+    benchmark::DoNotOptimize(merged.count());
+    benchmark::DoNotOptimize(merged.p99());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HistogramRecordMerge)->Arg(64)->Arg(4096);
 
 }  // namespace
 

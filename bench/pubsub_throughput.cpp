@@ -31,7 +31,23 @@
 //        --departures=C --midwave=K --loss=p --qos=0|1|2 --retries=R
 //        --ack-timeout=T --retention=W --seed=S --csv --quick --sweep
 //        --batch-window=W --max-batch=B --pub-burst=K --json=FILE
-//        --batch-compare --graft-cost
+//        --batch-compare --graft-cost --latency
+//        --trace=FILE --snapshot=FILE --snapshot-interval=T
+//
+// Observability (ISSUE 6): --trace=FILE writes the single-scenario run's
+// wave-lifecycle trace as Chrome trace-event JSON (open in Perfetto /
+// chrome://tracing); --snapshot=FILE attaches the periodic obs::Sampler
+// and writes its time series (deliveries/sec, in-flight grafts, retained
+// seqs, event-queue depth, per-peer load). Every mode's --json now carries
+// the publish->delivery / gap-repair / graft latency histograms and the
+// full NetworkStats block (sent_by_kind named through the message-kind
+// registry, per-peer send/receive hot-peer summaries).
+//
+// Latency pinning (--latency): 3 pinned seeds x QoS {0,1,2} x loss
+// {0, 0.05} on per-seed overlays, churn off so the distribution is a pure
+// function of the (qos, loss) cell. Gates are structural — p50 <= p90 <=
+// p99 <= max, histogram count == deliveries, per-peer load max >= p99 —
+// and the full-size run is checked in as BENCH_latency.json.
 //
 // Graft cost (ISSUE 5): --graft-cost prices the distributed control plane
 // on a graft-heavy workload (half the members subscribe AFTER the warm
@@ -65,6 +81,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <tuple>
@@ -73,6 +90,8 @@
 #include "geometry/random_points.hpp"
 #include "groups/failure_injection.hpp"
 #include "groups/pubsub.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "overlay/empty_rect.hpp"
 #include "overlay/equilibrium.hpp"
 #include "util/flags.hpp"
@@ -134,7 +153,10 @@ struct ScenarioOutcome {
 ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
                              const ScenarioParams& params, multicast::QoS qos,
                              double loss,
-                             std::set<DeliveryKey>* delivered_out = nullptr) {
+                             std::set<DeliveryKey>* delivered_out = nullptr,
+                             obs::TraceSink* trace_sink = nullptr,
+                             std::string* snapshot_json = nullptr,
+                             double snapshot_interval = 0.5) {
   const std::size_t peers = graph.size();
   groups::PubSubConfig config;
   config.seed = params.seed;
@@ -146,6 +168,15 @@ ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
   config.batch_window = params.batch_window;
   config.max_batch = params.max_batch;
   groups::PubSubSystem system(graph, config);
+  if (trace_sink != nullptr) system.set_trace_sink(trace_sink);
+  // The sampler's ticks are simulator events, so a sampled run's
+  // sim_events count differs from an unsampled one — attach only on
+  // request; the stats themselves are unaffected.
+  std::optional<obs::Sampler> sampler;
+  if (snapshot_json != nullptr) {
+    sampler.emplace(system, snapshot_interval);
+    sampler->start();
+  }
   if (delivered_out != nullptr)
     system.set_delivery_probe([delivered_out](overlay::PeerId peer, groups::GroupId group,
                                               std::uint64_t seq, double) {
@@ -252,6 +283,7 @@ ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
   outcome.retained_peak = system.manager().retained_peak();
   outcome.retained_entries = system.manager().retained_entry_total();
   outcome.retained_buffers = system.manager().retained_buffer_count();
+  if (snapshot_json != nullptr) *snapshot_json = sampler->to_json();
   return outcome;
 }
 
@@ -375,7 +407,15 @@ std::string scenario_json(const ScenarioParams& params, multicast::QoS qos,
     << ",\"mean_batch_occupancy\":" << r.total.mean_batch_occupancy()
     << ",\"envelopes_saved\":" << r.total.envelopes_saved
     << ",\"sim_events\":" << r.events
-    << ",\"run_secs\":" << r.run_secs << "}";
+    << ",\"run_secs\":" << r.run_secs
+    // Observability columns (ISSUE 6): latency histograms populate
+    // unconditionally (no trace sink required), and the NetworkStats block
+    // carries the named sent_by_kind breakdown plus per-peer send/receive
+    // hot-peer summaries (max / p99 / mean).
+    << ",\"delivery_latency\":" << r.total.delivery_latency.to_json()
+    << ",\"gap_repair_latency\":" << r.total.gap_repair_latency.to_json()
+    << ",\"graft_latency\":" << r.total.graft_latency.to_json()
+    << ",\"net\":" << obs::to_json(r.net) << "}";
   return o.str();
 }
 
@@ -629,7 +669,10 @@ std::string graft_cell_json(const char* mode, double loss, std::size_t kills,
     << ",\"identical_to_local\":" << (identical_ok ? "true" : "false")
     << ",\"attached_ok\":" << (cell.attached_ok ? "true" : "false")
     << ",\"inflight_leaked\":" << cell.inflight
-    << ",\"run_secs\":" << cell.run_secs << "}";
+    << ",\"run_secs\":" << cell.run_secs
+    << ",\"graft_latency\":" << cell.total.graft_latency.to_json()
+    << ",\"delivery_latency\":" << cell.total.delivery_latency.to_json()
+    << ",\"net\":" << obs::to_json(cell.net) << "}";
   return o.str();
 }
 
@@ -751,6 +794,106 @@ int run_graft_cost(ScenarioParams params, std::size_t dims, bool csv,
   return all_ok ? 0 : 2;
 }
 
+// ---------------------------------------------------------- latency mode ----
+
+/// The ISSUE 6 latency-pinning harness: per pinned seed (three of them, each
+/// with its own overlay), the standard workload minus churn at every QoS
+/// rung and loss in {0, 0.05}. Churn is off so the publish->delivery
+/// distribution is a pure function of the (qos, loss) cell, not of which
+/// subscribers happened to die mid-wave. Gates are structural — the
+/// histogram quantiles must be ordered, the histogram must have counted
+/// every delivery, and the per-peer load summary must be internally
+/// consistent — so the pinned JSON (BENCH_latency.json) tracks drift
+/// without hard-coding absolute latencies into the binary.
+int run_latency(ScenarioParams params, std::size_t dims, bool csv,
+                const std::string& json_path) {
+  params.departures = 0;
+  params.midwave = 0;
+  const std::vector<double> loss_axis{0.0, 0.05};
+  util::Table table({"seed", "loss", "qos", "publishes", "deliveries",
+                     "delivery_ratio", "delivery_p50", "delivery_p90",
+                     "delivery_p99", "delivery_max", "gap_p50", "gap_p99",
+                     "send_load_max", "send_load_p99", "recv_load_max",
+                     "recv_load_p99", "run_secs"});
+  bool shape_ok = true, counts_ok = true, load_ok = true;
+  std::ostringstream cells;
+  for (std::uint64_t seed = params.seed; seed < params.seed + 3; ++seed) {
+    ScenarioParams cell_params = params;
+    cell_params.seed = seed;
+    util::Rng rng(seed);
+    const auto points = geometry::random_points(rng, params.peers, dims, 100.0);
+    const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+    for (const double loss : loss_axis) {
+      for (const auto qos : {multicast::QoS::kFireAndForget, multicast::QoS::kAcked,
+                             multicast::QoS::kEndToEnd}) {
+        const auto r = run_scenario(graph, cell_params, qos, loss);
+        const auto& h = r.total.delivery_latency;
+        shape_ok = shape_ok && h.p50() <= h.p90() && h.p90() <= h.p99() &&
+                   h.p99() <= h.max();
+        counts_ok = counts_ok && h.count() > 0 && h.p50() > 0.0 &&
+                    h.count() == r.total.deliveries;
+        const auto send = obs::summarize_load(r.net.sent_by_node);
+        const auto recv = obs::summarize_load(r.net.received_by_node);
+        load_ok = load_ok && send.max >= send.p99 && recv.max >= recv.p99 &&
+                  send.max > 0;
+        table.begin_row()
+            .add_number(static_cast<double>(seed), 0)
+            .add_number(loss, 2)
+            .add_number(static_cast<double>(qos), 0)
+            .add_number(static_cast<double>(r.total.publishes), 0)
+            .add_number(static_cast<double>(r.total.deliveries), 0)
+            .add_number(r.total.delivery_ratio(), 5)
+            .add_number(h.p50(), 4)
+            .add_number(h.p90(), 4)
+            .add_number(h.p99(), 4)
+            .add_number(h.max(), 4)
+            .add_number(r.total.gap_repair_latency.p50(), 4)
+            .add_number(r.total.gap_repair_latency.p99(), 4)
+            .add_number(static_cast<double>(send.max), 0)
+            .add_number(static_cast<double>(send.p99), 0)
+            .add_number(static_cast<double>(recv.max), 0)
+            .add_number(static_cast<double>(recv.p99), 0)
+            .add_number(r.run_secs, 3);
+        if (cells.tellp() > 0) cells << ",";
+        cells << "\n    {\"seed\":" << seed << ","
+              << scenario_json(cell_params, qos, loss, r).substr(1);
+      }
+    }
+  }
+  const bool all_ok = shape_ok && counts_ok && load_ok;
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"pubsub_throughput\",\n  \"mode\": \"latency\",\n"
+         << "  \"params\": " << params_json(params) << ",\n  \"cells\": ["
+         << cells.str() << "\n  ],\n  \"gate_quantiles_ordered\": "
+         << (shape_ok ? "true" : "false")
+         << ",\n  \"gate_histogram_counts_deliveries\": "
+         << (counts_ok ? "true" : "false")
+         << ",\n  \"gate_load_summary_consistent\": " << (load_ok ? "true" : "false")
+         << "\n}";
+    write_json_file(json_path, json.str());
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+    if (!all_ok)
+      std::cerr << "pubsub_throughput: latency gate failed (shape=" << shape_ok
+                << ", counts=" << counts_ok << ", load=" << load_ok << ")\n";
+  } else {
+    std::cout << "=== publish->delivery latency: " << params.group_count
+              << " groups x " << params.subscribers << " subscribers on "
+              << params.peers << " peers, QoS {0,1,2} x loss {0, 0.05}, seeds "
+              << params.seed << ".." << params.seed + 2 << " (churn off) ===\n\n";
+    table.print(std::cout);
+    std::cout << "\nacceptance: p50 <= p90 <= p99 <= max in every cell: "
+              << (shape_ok ? "PASS" : "FAIL")
+              << "\nacceptance: histogram count == deliveries, p50 > 0: "
+              << (counts_ok ? "PASS" : "FAIL")
+              << "\nacceptance: per-peer load summaries consistent (max >= p99 > 0): "
+              << (load_ok ? "PASS" : "FAIL") << "\n";
+  }
+  return all_ok ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -779,7 +922,11 @@ int main(int argc, char** argv) {
     const bool sweep = flags.get_bool("sweep", false);
     const bool batch_compare = flags.get_bool("batch-compare", false);
     const bool graft_cost = flags.get_bool("graft-cost", false);
+    const bool latency = flags.get_bool("latency", false);
     const std::string json_path = flags.get_string("json", "");
+    const std::string trace_path = flags.get_string("trace", "");
+    const std::string snapshot_path = flags.get_string("snapshot", "");
+    const double snapshot_interval = flags.get_double("snapshot-interval", 0.5);
     // Sweep mode gates on subtree repair, so its departures are mid-wave
     // forwarder kills; random churn (which removes subscribers outright)
     // stays a non-sweep knob.
@@ -796,9 +943,10 @@ int main(int argc, char** argv) {
       if (sweep && !flags.has("midwave")) params.midwave = 1;
     }
 
-    // Graft-cost builds one overlay per pinned seed itself; dispatch before
-    // paying for the shared overlay below.
+    // Graft-cost and latency build one overlay per pinned seed themselves;
+    // dispatch before paying for the shared overlay below.
     if (graft_cost) return run_graft_cost(params, dims, csv, json_path);
+    if (latency) return run_latency(params, dims, csv, json_path);
 
     util::Rng rng(params.seed);
     const auto points = geometry::random_points(rng, params.peers, dims, 100.0);
@@ -810,7 +958,20 @@ int main(int argc, char** argv) {
     if (batch_compare) return run_batch_compare(graph, params, csv, json_path, overlay_secs);
     if (sweep) return run_sweep(graph, params, csv, overlay_secs);
 
-    const auto outcome = run_scenario(graph, params, qos, loss);
+    obs::TraceSink sink(1u << 20);  // ~1M events: covers a full-size run
+    std::string snapshot_json;
+    const auto outcome = run_scenario(
+        graph, params, qos, loss, /*delivered_out=*/nullptr,
+        trace_path.empty() ? nullptr : &sink,
+        snapshot_path.empty() ? nullptr : &snapshot_json, snapshot_interval);
+    if (!trace_path.empty()) {
+      std::ofstream trace_out(trace_path);
+      if (!trace_out) throw std::runtime_error("cannot write --trace file: " + trace_path);
+      obs::write_chrome_trace(trace_out, sink.events());
+      std::cerr << "pubsub_throughput: wrote " << sink.size() << " trace events ("
+                << sink.dropped() << " dropped) to " << trace_path << "\n";
+    }
+    if (!snapshot_path.empty()) write_json_file(snapshot_path, snapshot_json);
     if (!json_path.empty())
       write_json_file(json_path,
                       "{\n  \"bench\": \"pubsub_throughput\",\n  \"params\": " +
@@ -882,6 +1043,20 @@ int main(int argc, char** argv) {
     row("network_dropped", static_cast<double>(outcome.net.dropped), 0);
     row("network_retransmitted", static_cast<double>(outcome.net.retransmitted), 0);
     row("network_abandoned_hops", static_cast<double>(outcome.net.abandoned_hops), 0);
+    row("delivery_latency_p50", total.delivery_latency.p50(), 4);
+    row("delivery_latency_p90", total.delivery_latency.p90(), 4);
+    row("delivery_latency_p99", total.delivery_latency.p99(), 4);
+    row("delivery_latency_max", total.delivery_latency.max(), 4);
+    row("gap_repair_latency_p50", total.gap_repair_latency.p50(), 4);
+    row("gap_repair_latency_p99", total.gap_repair_latency.p99(), 4);
+    row("graft_latency_p50", total.graft_latency.p50(), 4);
+    row("graft_latency_p99", total.graft_latency.p99(), 4);
+    const auto send_load = obs::summarize_load(outcome.net.sent_by_node);
+    const auto recv_load = obs::summarize_load(outcome.net.received_by_node);
+    row("send_load_max", static_cast<double>(send_load.max), 0);
+    row("send_load_p99", static_cast<double>(send_load.p99), 0);
+    row("recv_load_max", static_cast<double>(recv_load.max), 0);
+    row("recv_load_p99", static_cast<double>(recv_load.p99), 0);
 
     const bool ratio_ok = loss > 0.0 || total.delivery_ratio() >= 0.99;
     const bool pruned_ok = outcome.payload_per_publish() < full_dissemination;

@@ -172,7 +172,10 @@ std::uint64_t GroupManager::graft_begin(GroupId group, PeerId subscriber, PeerId
   if (!grafting_.insert({group, subscriber}).second) return 0;  // one at a time
   const std::uint64_t id = next_graft_id_++;
   grafts_.emplace(id, InFlightGraft{group, subscriber, root,
-                                    graft_cursor(*gs.cached, subscriber)});
+                                    graft_cursor(*gs.cached, subscriber), clock_now()});
+  if (tracer_.enabled())
+    tracer_.emit({clock_now(), obs::TraceEventType::kGraftBegin, group, id, 0, 0,
+                  root, subscriber});
   return id;
 }
 
@@ -216,6 +219,13 @@ bool GroupManager::graft_finish(std::uint64_t graft_id) {
   GroupState& gs = groups_.at(it->second.group);
   const PeerId subscriber = it->second.subscriber;
   ++gs.stats.grafts;
+  // Request -> attach latency; meaningful only when a clock is wired (the
+  // message-driven pipeline always wires one, so the sample set does not
+  // depend on whether tracing is attached).
+  if (clock_) gs.stats.graft_latency.record(clock_() - it->second.started_at);
+  if (tracer_.enabled())
+    tracer_.emit({clock_now(), obs::TraceEventType::kGraftFinish, it->second.group,
+                  graft_id, 0, 0, it->second.root, subscriber});
   // Revalidate before retiring: membership can churn while the accept is
   // in flight. An unsubscribe prunes the attached subscriber out of the
   // still-clean tree, and a re-subscribe landing before this finish is
@@ -241,6 +251,9 @@ std::optional<GroupManager::AbortedGraft> GroupManager::graft_abort(
   // survived — instead of publishing down dangling edges forever.
   gs.dirty = true;
   ++gs.stats.graft_aborts;
+  if (tracer_.enabled())
+    tracer_.emit({clock_now(), obs::TraceEventType::kGraftAbort, aborted.group,
+                  graft_id, 0, 0, it->second.root, aborted.subscriber});
   grafting_.erase({aborted.group, aborted.subscriber});
   grafts_.erase(it);
   return aborted;
@@ -263,7 +276,7 @@ GroupTree& GroupManager::writable_tree(GroupState& gs) {
   return *gs.cached;
 }
 
-void GroupManager::refresh_tree(GroupState& gs) {
+void GroupManager::refresh_tree(GroupId group, GroupState& gs) {
   const bool drifted =
       gs.repairs_since_build >
       config_.rebuild_threshold * static_cast<double>(std::max<std::size_t>(gs.count, 1));
@@ -277,6 +290,11 @@ void GroupManager::refresh_tree(GroupState& gs) {
   gs.repairs_since_build = 0;
   ++gs.stats.tree_builds;
   gs.stats.build_messages += gs.cached->build_messages;
+  // seq fields double as build cost / span here (kTreeBuild is not
+  // seq-scoped, so the wave query never misreads them).
+  if (tracer_.enabled())
+    tracer_.emit({clock_now(), obs::TraceEventType::kTreeBuild, group, obs::kNoWave,
+                  gs.cached->build_messages, gs.cached->reached_subscribers, gs.root});
   // A fresh recursion under churn can strand subscribers a repaired tree
   // kept (a dead delegate walls off their slices); splice them back via
   // greedy routes so a rebuild is never WORSE than the repair it replaced.
@@ -292,14 +310,14 @@ void GroupManager::refresh_tree(GroupState& gs) {
 const GroupTree* GroupManager::tree(GroupId group) {
   GroupState& gs = state_of(group);
   if (gs.count == 0) return nullptr;
-  refresh_tree(gs);
+  refresh_tree(group, gs);
   return gs.cached.get();
 }
 
 std::shared_ptr<const GroupTree> GroupManager::tree_snapshot(GroupId group) {
   GroupState& gs = state_of(group);
   if (gs.count == 0) return nullptr;
-  refresh_tree(gs);
+  refresh_tree(group, gs);
   return gs.cached;
 }
 
@@ -347,7 +365,7 @@ GroupManager::PublishReceipt GroupManager::publish(GroupId group) {
   ++gs.stats.publishes;
   PublishReceipt receipt;
   if (gs.count == 0) return receipt;
-  refresh_tree(gs);
+  refresh_tree(group, gs);
   const GroupTree& gt = *gs.cached;
   receipt.payload_messages = gt.tree.edge_count();
   receipt.delivered = gt.reached_subscribers;
@@ -378,6 +396,9 @@ std::vector<GroupManager::AbortedGraft> GroupManager::handle_departure(PeerId pe
       gs.cached.reset();
       gs.dirty = true;
       ++gs.stats.root_migrations;
+      if (tracer_.enabled())
+        tracer_.emit({clock_now(), obs::TraceEventType::kRootMigration, group,
+                      obs::kNoWave, 0, 0, gs.root, peer});
       continue;
     }
     if (!gs.cached || gs.dirty) continue;

@@ -18,6 +18,7 @@
 
 #include <any>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -27,6 +28,7 @@
 
 #include "groups/group_stats.hpp"
 #include "groups/group_tree.hpp"
+#include "obs/trace.hpp"
 #include "overlay/graph.hpp"
 
 namespace geomcast::groups {
@@ -237,6 +239,17 @@ class GroupManager {
   std::vector<AbortedGraft> handle_departure(PeerId peer);
   [[nodiscard]] bool alive(PeerId peer) const { return alive_[peer]; }
 
+  // -- observability -------------------------------------------------------
+  /// Clock for latency accounting (graft begin -> attach lands in
+  /// GroupStats::graft_latency). The message-driven pipeline always wires
+  /// the simulator's now(), tracing or not, so stats stay identical either
+  /// way; without a clock (synchronous oracle usage) no latency samples.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+  /// Attaches (nullptr: detaches) a trace sink for tree-maintenance and
+  /// graft-lifecycle events. Purely passive; requires a clock for
+  /// meaningful timestamps.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.attach(sink); }
+
   /// Mutable access materializes state for a first-seen group (the
   /// protocol layer writes counters through it); the const overload is a
   /// pure lookup that leaves unknown groups unknown.
@@ -258,7 +271,7 @@ class GroupManager {
 
   GroupState& state_of(GroupId group);
   [[nodiscard]] PeerId rendezvous_root(GroupId group) const;
-  void refresh_tree(GroupState& gs);
+  void refresh_tree(GroupId group, GroupState& gs);
   /// COW gate: clones the cached tree iff publish-wave snapshots still
   /// reference it, then returns it for mutation.
   [[nodiscard]] GroupTree& writable_tree(GroupState& gs);
@@ -268,6 +281,7 @@ class GroupManager {
     PeerId subscriber = kInvalidPeer;
     PeerId root = kInvalidPeer;  // initiating root (invalidates on migration)
     GraftCursor cursor;
+    double started_at = 0.0;  // clock_ at graft_begin (graft_latency sample)
   };
 
   const overlay::OverlayGraph& graph_;
@@ -285,6 +299,12 @@ class GroupManager {
   /// peer's history in one erase.
   std::map<PeerId, std::map<GroupId, RetainedBuffer>> retained_;
   std::size_t retained_peak_ = 0;
+  /// Observability (see set_clock/set_trace_sink): both optional, both
+  /// passive — no protocol decision reads them.
+  std::function<double()> clock_;
+  obs::Tracer tracer_;
+
+  [[nodiscard]] double clock_now() const { return clock_ ? clock_() : 0.0; }
 };
 
 }  // namespace geomcast::groups

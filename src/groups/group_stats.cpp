@@ -77,6 +77,9 @@ GroupStats& GroupStats::operator+=(const GroupStats& other) noexcept {
   graft_aborts += other.graft_aborts;
   graft_resubscribes += other.graft_resubscribes;
   stranded_subscribers += other.stranded_subscribers;
+  delivery_latency.merge(other.delivery_latency);
+  gap_repair_latency.merge(other.gap_repair_latency);
+  graft_latency.merge(other.graft_latency);
   return *this;
 }
 
@@ -93,6 +96,9 @@ std::string GroupStats::summary() const {
       << repairs << " (msgs " << repair_messages << ", failures " << repair_failures
       << ") root_migrations=" << root_migrations
       << " stranded_subscribers=" << stranded_subscribers;
+  if (!delivery_latency.empty())
+    out << " delivery_latency_p50=" << util::format_number(delivery_latency.p50(), 4)
+        << " p99=" << util::format_number(delivery_latency.p99(), 4);
   if (graft_hops > 0 || graft_aborts > 0)
     out << " graft_hops=" << graft_hops << " (retries " << graft_retries
         << ", aborts " << graft_aborts << ", resubscribes " << graft_resubscribes

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.hpp"
+
 namespace geomcast::groups {
 
 /// Application-level group identifier (opaque; hashed to a rendezvous
@@ -113,6 +115,21 @@ struct GroupStats {
   /// either. Nonzero means delivery_ratio() is measured against a smaller
   /// set than the membership.
   std::uint64_t stranded_subscribers = 0;
+
+  // Latency distributions (simulated seconds; log-bucketed, mergeable —
+  // see obs/histogram.hpp). Recorded unconditionally like every counter
+  // above, so they are identical whether tracing is attached or not.
+  /// Publish accepted at the root -> application-level delivery at a
+  /// subscriber, one sample per delivery (QoS 2 samples are release time,
+  /// matching the deliveries counter). The p99 here is the latency-aware-
+  /// trees roadmap gate.
+  obs::Histogram delivery_latency;
+  /// Gap detected -> gap repaired (QoS 2 only); the distribution behind
+  /// mean_gap_latency()'s single mean.
+  obs::Histogram gap_repair_latency;
+  /// Routed graft registered at the root -> subscriber attached
+  /// (graft_begin to graft_finish; aborted grafts never sample).
+  obs::Histogram graft_latency;
 
   /// Fraction of expected deliveries that arrived; 1 when nothing was
   /// published yet.

@@ -65,23 +65,48 @@ inline constexpr sim::MessageKind kGraftAckKind = 31;      // per-hop graft ack
 namespace detail {
 /// The full registry this simulation family dispatches on: the multicast
 /// build/data/ack band (protocol.hpp / dissemination.hpp pin 10–12) plus
-/// every groups kind above. Compile-time-checked pairwise distinct so a
-/// future kind cannot silently shadow an existing dispatch arm.
-inline constexpr sim::MessageKind kRegistry[] = {
-    10, 11, 12,  // multicast: kBuildRequestKind, kDataKind, kAckKind
-    kSubscribeKind, kUnsubscribeKind, kPublishKind,
-    kDeliverKind, kDeliverAckKind,
-    kNackKind, kRepairKind, kRepairMissKind,
-    kGraftRequestKind, kGraftAcceptKind, kGraftRejectKind, kGraftAckKind,
+/// every groups kind above, each with its canonical snake_case name (the
+/// key observability exports — bench --json sent_by_kind, snapshot JSON —
+/// report per-kind traffic under). Compile-time-checked pairwise distinct
+/// so a future kind cannot silently shadow an existing dispatch arm.
+struct KindEntry {
+  sim::MessageKind kind;
+  const char* name;
+};
+inline constexpr KindEntry kRegistry[] = {
+    // multicast construction band (protocol.hpp / dissemination.hpp)
+    {10, "build_request"},
+    {11, "data"},
+    {12, "ack"},
+    {kSubscribeKind, "subscribe"},
+    {kUnsubscribeKind, "unsubscribe"},
+    {kPublishKind, "publish"},
+    {kDeliverKind, "deliver"},
+    {kDeliverAckKind, "deliver_ack"},
+    {kNackKind, "nack"},
+    {kRepairKind, "repair"},
+    {kRepairMissKind, "repair_miss"},
+    {kGraftRequestKind, "graft_request"},
+    {kGraftAcceptKind, "graft_accept"},
+    {kGraftRejectKind, "graft_reject"},
+    {kGraftAckKind, "graft_ack"},
 };
 
 constexpr bool registry_unique() {
   for (std::size_t i = 0; i < std::size(kRegistry); ++i)
     for (std::size_t j = i + 1; j < std::size(kRegistry); ++j)
-      if (kRegistry[i] == kRegistry[j]) return false;
+      if (kRegistry[i].kind == kRegistry[j].kind) return false;
   return true;
 }
 static_assert(registry_unique(), "message-kind registry has a duplicate value");
 }  // namespace detail
+
+/// The registry name of `kind`, or nullptr for a kind outside this
+/// simulation family (callers fall back to the numeric value).
+[[nodiscard]] constexpr const char* kind_name(sim::MessageKind kind) noexcept {
+  for (const auto& entry : detail::kRegistry)
+    if (entry.kind == kind) return entry.name;
+  return nullptr;
+}
 
 }  // namespace geomcast::groups

@@ -1,5 +1,6 @@
 #include "groups/pubsub.hpp"
 
+#include <algorithm>
 #include <any>
 #include <stdexcept>
 
@@ -183,6 +184,10 @@ PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig conf
       config_(std::move(config)),
       sim_(std::make_unique<sim::Simulator>(config_.seed)),
       manager_(std::make_unique<GroupManager>(graph, config_.groups)) {
+  // The manager needs the simulated clock for graft latency accounting
+  // (begin -> attach). Wired unconditionally — latency histograms are
+  // stats, not tracing, so they must be identical with or without a sink.
+  manager_->set_clock([this]() { return sim_->now(); });
   sim_->network().set_latency(config_.latency);
   // Departed peers silently drop everything addressed to them, on top of
   // whatever stochastic loss the caller injected.
@@ -253,6 +258,36 @@ PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig conf
 
 PubSubSystem::~PubSubSystem() = default;
 
+void PubSubSystem::set_trace_sink(obs::TraceSink* sink) {
+  tracer_.attach(sink);
+  manager_->set_trace_sink(sink);
+  // The hop layer's trace taps are installed only while a sink is attached:
+  // with tracing off the hooks are empty std::functions and the fast path
+  // pays a single bool test per transmit.
+  multicast::ReliableHopLayer::TraceHooks taps;
+  if (sink != nullptr) {
+    taps.on_transmit = [this](sim::NodeId from, sim::NodeId to, std::uint64_t,
+                              std::size_t attempt, const std::any& payload) {
+      const auto& delivery = std::any_cast<const GroupDelivery&>(payload);
+      tracer_.emit({sim_->now(),
+                    attempt > 0 ? obs::TraceEventType::kHopRetransmit
+                                : obs::TraceEventType::kHopSend,
+                    delivery.group, delivery.wave, delivery.seq, delivery.seq_hi,
+                    static_cast<std::uint32_t>(from), static_cast<std::uint32_t>(to)});
+    };
+    taps.on_ack_sent = [this](sim::NodeId self, sim::NodeId sender,
+                              std::uint64_t wave) {
+      // Acks carry only the wave id; wave_groups_ (maintained
+      // unconditionally at wave creation) recovers the group.
+      const GroupId group = wave < wave_groups_.size() ? wave_groups_[wave] : 0;
+      tracer_.emit({sim_->now(), obs::TraceEventType::kHopAck, group, wave, 0, 0,
+                    static_cast<std::uint32_t>(self),
+                    static_cast<std::uint32_t>(sender)});
+    };
+  }
+  hop_->set_trace_hooks(std::move(taps));
+}
+
 void PubSubSystem::forward_control(PeerId self, sim::MessageKind kind,
                                    const GroupRequest& request) {
   GroupStats& stats = manager_->stats(request.group);
@@ -297,8 +332,19 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
         if (snapshot == nullptr) return;  // nobody subscribed
         stats.expected_deliveries += snapshot->reached_subscribers;
         const std::uint64_t seq = next_seq_[request.group]++;
+        const std::uint64_t wave = next_wave_++;
+        // Accept-time and wave->group bookkeeping is unconditional: the
+        // latency histograms must be identical with or without a sink.
+        accept_times_[request.group].push_back(sim_->now());
+        wave_groups_.push_back(request.group);
+        if (tracer_.enabled()) {
+          tracer_.emit({sim_->now(), obs::TraceEventType::kPublishAccepted,
+                        request.group, wave, seq, seq, self, request.origin});
+          tracer_.emit({sim_->now(), obs::TraceEventType::kRootFlush,
+                        request.group, wave, seq, seq, self});
+        }
         disseminate(self, kInvalidPeer,
-                    GroupDelivery{request.group, seq, seq, next_wave_++, snapshot});
+                    GroupDelivery{request.group, seq, seq, wave, snapshot});
         return;
       }
       PendingBatch& batch = pending_batch_[request.group];
@@ -309,10 +355,19 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
         // root's window timer must not flush it early.
         stats.batch_publishes_lost += batch.count;
         batch.count = 0;
+        batch.accepted.clear();
         sim_->cancel(batch.timer);
       }
       ++batch.count;
       ++stats.batched_publishes;
+      batch.accepted.push_back(sim_->now());
+      if (tracer_.enabled()) {
+        tracer_.emit({sim_->now(), obs::TraceEventType::kPublishAccepted,
+                      request.group, obs::kNoWave, 0, 0, self, request.origin});
+        // seq_lo doubles as buffer occupancy after this accept.
+        tracer_.emit({sim_->now(), obs::TraceEventType::kRootBuffer, request.group,
+                      obs::kNoWave, batch.count, batch.count, self});
+      }
       if (batch.count == 1) {
         batch.root = self;
         batch.timer = sim_->schedule_after(
@@ -346,6 +401,9 @@ void PubSubSystem::advance_graft(PeerId self, const GraftEnvelope& graft) {
     case GroupManager::GraftAdvance::Status::kDescend:
       ++stats.graft_hops;
       sim_->network().note_graft_hop();
+      if (tracer_.enabled())
+        tracer_.emit({sim_->now(), obs::TraceEventType::kGraftStep, graft.group,
+                      graft.graft_id, 0, 0, self, advance.next});
       graft_hop_->send(self, advance.next, graft.graft_id, graft, kGraftRequestKind);
       return;
     case GroupManager::GraftAdvance::Status::kAttached:
@@ -420,7 +478,12 @@ void PubSubSystem::flush_batch(GroupId group, bool window_expired) {
   if (it == pending_batch_.end() || it->second.count == 0) return;
   const std::size_t count = it->second.count;
   const PeerId root = it->second.root;
+  // Accept times travel with the buffer: lost or subscriber-less batches
+  // drop them alongside the publishes (no seqs are assigned, so the
+  // accept_times_ <-> seq correspondence stays exact).
+  std::vector<double> accepted = std::move(it->second.accepted);
   it->second.count = 0;
+  it->second.accepted.clear();
   GroupStats& stats = manager_->stats(group);
   if (!manager_->alive(root)) {
     // Nothing migrates a pending buffer: it was state of the dead root.
@@ -443,8 +506,15 @@ void PubSubSystem::flush_batch(GroupId group, bool window_expired) {
   std::uint64_t& next = next_seq_[group];
   const std::uint64_t seq_lo = next;
   next += count;
+  const std::uint64_t wave = next_wave_++;
+  auto& times = accept_times_[group];
+  times.insert(times.end(), accepted.begin(), accepted.end());
+  wave_groups_.push_back(group);
+  if (tracer_.enabled())
+    tracer_.emit({sim_->now(), obs::TraceEventType::kRootFlush, group, wave,
+                  seq_lo, seq_lo + count - 1, root});
   disseminate(root, kInvalidPeer,
-              GroupDelivery{group, seq_lo, seq_lo + count - 1, next_wave_++, snapshot});
+              GroupDelivery{group, seq_lo, seq_lo + count - 1, wave, snapshot});
 }
 
 void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& delivery) {
@@ -468,6 +538,10 @@ void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& de
       // never re-delivered or re-forwarded.
       ++stats.duplicate_deliveries;
       sim_->network().note_duplicate();
+      if (tracer_.enabled())
+        tracer_.emit({sim_->now(), obs::TraceEventType::kDuplicateSuppressed,
+                      delivery.group, delivery.wave, delivery.seq, delivery.seq_hi,
+                      self, from});
       return;
     }
   } else {
@@ -519,7 +593,16 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> PubSubSystem::fresh_runs(
 }
 
 void PubSubSystem::deliver_local(PeerId self, GroupId group, std::uint64_t seq) {
-  ++manager_->stats(group).deliveries;
+  GroupStats& stats = manager_->stats(group);
+  ++stats.deliveries;
+  // Publish -> delivery latency, recorded unconditionally (seq indexes the
+  // accept-time vector because seqs are assigned densely at the root).
+  const auto it = accept_times_.find(group);
+  if (it != accept_times_.end() && seq < it->second.size())
+    stats.delivery_latency.record(sim_->now() - it->second[seq]);
+  if (tracer_.enabled())
+    tracer_.emit({sim_->now(), obs::TraceEventType::kDelivery, group, obs::kNoWave,
+                  seq, seq, self});
   if (probe_) probe_(self, group, seq, sim_->now());
 }
 
@@ -549,10 +632,16 @@ void PubSubSystem::window_observe(PeerId self, const GroupDelivery& delivery,
   for (const std::uint64_t m : arrival.new_gaps) {
     ws.gaps.emplace(m, GapState{sim_->now(), 0, 0});
     ++stats.gap_seqs_detected;
+    if (tracer_.enabled())
+      tracer_.emit({sim_->now(), obs::TraceEventType::kGapDetected, delivery.group,
+                    obs::kNoWave, m, m, self});
   }
   for (const std::uint64_t m : arrival.forced_abandoned) {
     ws.gaps.erase(m);
     ++stats.gap_seqs_abandoned;
+    if (tracer_.enabled())
+      tracer_.emit({sim_->now(), obs::TraceEventType::kGapAbandoned, delivery.group,
+                    obs::kNoWave, m, m, self});
   }
   for (const std::uint64_t m : arrival.released) deliver_local(self, delivery.group, m);
   if (!ws.gaps.empty()) arm_gap_timer(self, delivery.group, ws);
@@ -583,10 +672,18 @@ void PubSubSystem::finish_gap(PeerId self, GroupId group, WindowState& ws,
   const auto it = ws.gaps.find(seq);
   if (it == ws.gaps.end()) return;
   if (repaired) {
-    stats.gap_latency_total += sim_->now() - it->second.detected_at;
+    const double latency = sim_->now() - it->second.detected_at;
+    stats.gap_latency_total += latency;
+    stats.gap_repair_latency.record(latency);
     ++stats.gap_seqs_repaired;
+    if (tracer_.enabled())
+      tracer_.emit({sim_->now(), obs::TraceEventType::kGapRepaired, group,
+                    obs::kNoWave, seq, seq, self});
   } else {
     ++stats.gap_seqs_abandoned;
+    if (tracer_.enabled())
+      tracer_.emit({sim_->now(), obs::TraceEventType::kGapAbandoned, group,
+                    obs::kNoWave, seq, seq, self});
   }
   ws.gaps.erase(it);
   if (!repaired)
@@ -626,6 +723,11 @@ void PubSubSystem::send_nacks(PeerId self, GroupId group, WindowState& ws,
     ++stats.nacks_sent;
     stats.nacked_seqs += missing.size();
     sim_->network().note_nack();
+    if (tracer_.enabled()) {
+      const auto [lo, hi] = std::minmax_element(missing.begin(), missing.end());
+      tracer_.emit({sim_->now(), obs::TraceEventType::kNackSent, group,
+                    obs::kNoWave, *lo, *hi, self, target});
+    }
     sim_->send(self, target, kNackKind, GapNack{group, self, std::move(missing)});
   }
   if (!ws.gaps.empty()) arm_gap_timer(self, group, ws);
@@ -665,6 +767,9 @@ void PubSubSystem::on_nack(PeerId self, const GapNack& nack) {
       if (!served_ranges.insert(wave.seq).second) continue;
       ++stats.repairs_served;
       sim_->network().note_repair_served();
+      if (tracer_.enabled())
+        tracer_.emit({sim_->now(), obs::TraceEventType::kRepairServed, nack.group,
+                      wave.wave, wave.seq, wave.seq_hi, self, nack.origin});
       sim_->send(self, nack.origin, kRepairKind, wave);
     } else {
       missing.push_back(seq);
@@ -672,6 +777,11 @@ void PubSubSystem::on_nack(PeerId self, const GapNack& nack) {
   }
   if (!missing.empty()) {
     ++stats.repair_misses;
+    if (tracer_.enabled()) {
+      const auto [lo, hi] = std::minmax_element(missing.begin(), missing.end());
+      tracer_.emit({sim_->now(), obs::TraceEventType::kRepairMiss, nack.group,
+                    obs::kNoWave, *lo, *hi, self, nack.origin});
+    }
     sim_->send(self, nack.origin, kRepairMissKind,
                GapRepairMiss{nack.group, std::move(missing)});
   }

@@ -132,6 +132,7 @@
 #include "groups/group_manager.hpp"
 #include "groups/message_kinds.hpp"
 #include "multicast/reliable_hop.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace geomcast::groups {
@@ -361,12 +362,27 @@ class PubSubSystem {
       std::function<void(PeerId peer, GroupId group, std::uint64_t seq, double time)>;
   void set_delivery_probe(DeliveryProbe probe) { probe_ = std::move(probe); }
 
+  /// Attaches a trace sink (nullptr detaches): every wave-lifecycle point —
+  /// publish accept, root buffer/flush, per-hop send/retransmit/ack,
+  /// delivery, gap detect/NACK/repair, graft step, tree maintenance — emits
+  /// a structured obs::TraceEvent into it. Strictly passive: delivered
+  /// sets, all stats, and the event schedule are bit-identical with and
+  /// without a sink on the same seed (tests/obs_trace_test.cpp pins this);
+  /// with no sink attached every emit site is one null-check.
+  void set_trace_sink(obs::TraceSink* sink);
+
   [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
   [[nodiscard]] GroupManager& manager() noexcept { return *manager_; }
   [[nodiscard]] GroupStats total_stats() const { return manager_->total_stats(); }
   [[nodiscard]] const GroupStats& stats(GroupId group) const {
     return std::as_const(*manager_).stats(group);
   }
+  /// Data-plane per-hop reliability counters (the obs snapshot exports
+  /// them alongside GroupStats/NetworkStats).
+  [[nodiscard]] const multicast::HopStats& hop_stats() const noexcept {
+    return hop_->stats();
+  }
+  [[nodiscard]] const PubSubConfig& config() const noexcept { return config_; }
 
  private:
   class PubSubNode;
@@ -401,6 +417,10 @@ class PubSubSystem {
     std::size_t count = 0;
     PeerId root = kInvalidPeer;  // the peer buffering (dies with it)
     sim::EventId timer = 0;      // window-flush timer, cancelled on early flush
+    /// Root-accept time of each buffered publish, in join order — they map
+    /// onto the flush's dense seq range for publish->delivery latency.
+    /// Dropped with the batch when the buffering root dies.
+    std::vector<double> accepted;
   };
 
   void schedule_control(double time, PeerId peer, GroupId group, sim::MessageKind kind);
@@ -521,6 +541,16 @@ class PubSubSystem {
   /// is the key). Sized only when routed_graft is on.
   std::vector<std::set<std::uint64_t>> graft_seen_;
   DeliveryProbe probe_;
+  // -- observability (all passive; maintained identically with tracing on
+  // or off so attaching a sink cannot perturb a seeded run) ---------------
+  obs::Tracer tracer_;
+  /// Per-group root-accept time of every seq assigned so far (seqs are
+  /// dense from 0, so the vector index IS the seq) — the publish side of
+  /// the publish->delivery latency histogram.
+  std::map<GroupId, std::vector<double>> accept_times_;
+  /// Wave id -> group (wave ids are dense from 0): lets the hop-ack trace
+  /// tap attribute an ack — which carries only the wave id — to its group.
+  std::vector<GroupId> wave_groups_;
 };
 
 }  // namespace geomcast::groups

@@ -18,6 +18,7 @@ void ReliableHopLayer::send(sim::NodeId from, sim::NodeId to, std::uint64_t seq,
                             std::any payload, sim::MessageKind kind) {
   const sim::MessageKind wire_kind = kind == kInvalidKind ? data_kind_ : kind;
   if (config_.qos == QoS::kFireAndForget) {
+    if (trace_.on_transmit) trace_.on_transmit(from, to, seq, /*attempt=*/0, payload);
     sim_.send(from, to, wire_kind, std::move(payload));
     ++stats_.data_messages;
     return;
@@ -49,6 +50,7 @@ void ReliableHopLayer::transmit(const Key& key, std::size_t attempt) {
     sim_.network().note_retransmission();
     if (hooks_.on_retransmit) hooks_.on_retransmit(from, to, seq, entry.payload);
   }
+  if (trace_.on_transmit) trace_.on_transmit(from, to, seq, attempt, entry.payload);
   entry.attempt = attempt;
   // Arm the retransmission timer; on_ack cancels it.
   entry.timer =
@@ -78,6 +80,7 @@ void ReliableHopLayer::acknowledge(sim::NodeId self, sim::NodeId sender,
   if (config_.qos == QoS::kFireAndForget) return;
   sim_.send(self, sender, ack_kind_, HopAck{seq});
   ++stats_.ack_messages;
+  if (trace_.on_ack_sent) trace_.on_ack_sent(self, sender, seq);
 }
 
 std::size_t ReliableHopLayer::pending_to(sim::NodeId to) const noexcept {

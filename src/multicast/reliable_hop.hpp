@@ -96,6 +96,19 @@ class ReliableHopLayer {
     std::function<bool(sim::NodeId)> sender_alive;
   };
 
+  /// Observability taps, installable after construction (tracing attaches
+  /// to a running system) and strictly passive: they fire after the
+  /// transmission/ack they describe, mutate nothing, and cost one empty-
+  /// std::function test when absent. `attempt` > 0 marks a retransmission.
+  struct TraceHooks {
+    std::function<void(sim::NodeId from, sim::NodeId to, std::uint64_t seq,
+                       std::size_t attempt, const std::any& payload)>
+        on_transmit;
+    std::function<void(sim::NodeId self, sim::NodeId sender, std::uint64_t seq)>
+        on_ack_sent;
+  };
+  void set_trace_hooks(TraceHooks hooks) { trace_ = std::move(hooks); }
+
   /// The layer sends data as `data_kind` and expects acks as `ack_kind`
   /// carrying a HopAck payload. `sim` must outlive the layer.
   ReliableHopLayer(sim::Simulator& sim, sim::MessageKind data_kind,
@@ -156,6 +169,7 @@ class ReliableHopLayer {
   sim::MessageKind ack_kind_;
   ReliabilityConfig config_;
   Hooks hooks_;
+  TraceHooks trace_;
   HopStats stats_;
   std::map<Key, Pending> pending_;
   /// Per-receiver pending-hop counts, maintained alongside pending_ so

@@ -53,6 +53,15 @@ class Simulator {
 
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
 
+  /// Live (non-cancelled) events awaiting dispatch.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.pending(); }
+  /// Heap slots occupied, cancelled corpses included — the memory-pressure
+  /// gauge the observability sampler exports (compaction keeps it within a
+  /// constant factor of pending_events()).
+  [[nodiscard]] std::size_t queue_heap_size() const noexcept {
+    return queue_.heap_size();
+  }
+
  private:
   void deliver(const Envelope& envelope);
 

@@ -1,12 +1,27 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace geomcast::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("GEOMCAST_LOG"))
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  return LogLevel::kWarn;
+}
+
+/// Function-local static: the environment is consulted exactly once, at
+/// the first logging call, and never again — later set_log_level() calls
+/// simply overwrite the store.
+std::atomic<LogLevel>& level_store() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,14 +33,25 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+std::optional<LogLevel> parse_log_level(std::string name) noexcept {
+  for (char& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
-LogLevel log_level() noexcept { return g_level.load(); }
+void set_log_level(LogLevel level) noexcept { level_store().store(level); }
+
+LogLevel log_level() noexcept { return level_store().load(); }
 
 void log_message(LogLevel level, const std::string& text) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::cerr << "[geomcast " << level_name(level) << "] " << text << '\n';
 }
 

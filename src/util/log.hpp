@@ -2,6 +2,7 @@
 // logs exist for humans debugging runs, not for correctness; keep it simple.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -10,9 +11,17 @@ namespace geomcast::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Global threshold; messages below it are dropped. Default: kWarn so tests
-/// and benches stay quiet unless something is wrong.
+/// and benches stay quiet unless something is wrong. The GEOMCAST_LOG
+/// environment variable (debug|info|warn|error|off, case-insensitive)
+/// overrides the default once, at the first logging call — so a bench run
+/// can be made chatty (or silent) without recompiling; an explicit
+/// set_log_level() always wins over the environment.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses a GEOMCAST_LOG-style level name; nullopt when unrecognised
+/// (callers keep their current threshold). Exposed for tests.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string name) noexcept;
 
 void log_message(LogLevel level, const std::string& text);
 

@@ -31,7 +31,7 @@
 //        --departures=C --midwave=K --loss=p --qos=0|1|2 --retries=R
 //        --ack-timeout=T --retention=W --seed=S --csv --quick --sweep
 //        --batch-window=W --max-batch=B --pub-burst=K --json=FILE
-//        --batch-compare --graft-cost --latency
+//        --batch-compare --graft-cost --latency --root-kill
 //        --trace=FILE --snapshot=FILE --snapshot-interval=T
 //
 // Observability (ISSUE 6): --trace=FILE writes the single-scenario run's
@@ -60,6 +60,20 @@
 // plus rebuild+rescue). The table reports control_envelopes, graft hops,
 // mean hops per graft, retries, and aborts; --json pins it machine-
 // readable (BENCH_graft_cost.json is the checked-in full-size run).
+//
+// Root failover (warm failover PR): --root-kill prices root death at
+// QoS 2 with batching on. Per pinned seed (three of them, each with its
+// own overlay) it runs the root-kill workload — warm-up waves, a killed
+// wave whose best relay is severed mid-flight and whose root dies right
+// after the flush holding a pending batch, then post-kill traffic that
+// reveals the severed subtree's gap — once with cold rebuild and once
+// with warm failover, plus a no-kill control pair. Gates: the cold cell
+// shows the dip (abandoned gap seqs, delivery_ratio < 1, pending batch
+// lost), the warm cell erases it (ratio == 1.0, zero abandons, pending
+// batch inherited, migration envelopes > 0 pricing the handoff), warm
+// resumes deliveries strictly faster after the kill, and the no-kill
+// pair delivers bit-identical sets (the knob is passive without deaths).
+// BENCH_failover.json is the checked-in full-size run.
 //
 // --sweep ignores --loss/--qos and instead runs the same scenario for
 // QoS 0, 1 and 2 at each loss in {0, 0.05, 0.15}, printing one row per
@@ -894,6 +908,321 @@ int run_latency(ScenarioParams params, std::size_t dims, bool csv,
   return all_ok ? 0 : 2;
 }
 
+// ------------------------------------------------------------- root kill ----
+
+/// One cell of the failover compare: the root-kill workload with warm
+/// failover on or off, or its no-kill control.
+struct FailoverCell {
+  groups::GroupStats total;
+  sim::NetworkStats net;
+  std::size_t kills = 0;    // groups whose kill found a relay to sever
+  std::size_t severed = 0;  // subscriber descendants cut off by relays
+  std::set<DeliveryKey> delivered;
+  /// Mean secs from a group's root death to its first delivery of a seq
+  /// NEWER than the killed wave (in-flight tail deliveries of the killed
+  /// wave and repairs of it don't count as "resumed service").
+  double first_post_kill = -1.0;
+  double run_secs = 0.0;
+};
+
+/// The failover workload, shared by all four cells of a seed. Per group:
+/// two warm-up waves (build the tree, initialize the subscriber windows),
+/// a killed wave at a staggered kill time, one publish landing INSIDE the
+/// successor batch window (so the root dies holding a pending batch —
+/// lost cold, inherited warm), and two post-kill publishes from a
+/// surviving member whose waves reveal the severed subtree's gap. With
+/// `kill_on`, schedule_root_kill severs the wave's best relay mid-flight
+/// and departs the root right after the flush; victim selection excludes
+/// roots, subscribers, and every group's replica candidate, so the cold
+/// and warm cells kill identical peers and the successor survives.
+FailoverCell run_failover_cell(const overlay::OverlayGraph& graph,
+                               const ScenarioParams& params, bool warm_on,
+                               bool kill_on) {
+  groups::PubSubConfig config;
+  config.seed = params.seed;
+  config.reliability.qos = multicast::QoS::kEndToEnd;
+  config.reliability.ack_timeout = params.ack_timeout;
+  config.reliability.max_retries = params.max_retries;
+  config.groups.retention_window = params.retention_window;
+  config.batch_window = params.batch_window;
+  config.max_batch = params.max_batch;
+  config.warm_failover = warm_on;
+  groups::PubSubSystem system(graph, config);
+  FailoverCell cell;
+
+  const std::size_t peers = graph.size();
+  std::vector<bool> protected_peers(peers, false);
+  for (std::size_t g = 0; g < params.group_count; ++g) {
+    protected_peers[system.manager().root_of(g)] = true;
+    const overlay::PeerId r = system.manager().replica_candidate(g);
+    if (r != overlay::kInvalidPeer) protected_peers[r] = true;
+  }
+
+  // The killed wave is always seq 2 (two single-publish warm-up batches
+  // precede it); deliveries of seq > 2 after the death mark resumed
+  // service — warm via the inherited pending batch, cold only once the
+  // post-kill publishes flow.
+  constexpr std::uint64_t kKilledSeq = 2;
+  std::vector<double> death_at(params.group_count, -1.0);
+  std::vector<double> first_after(params.group_count, -1.0);
+  system.set_delivery_probe(
+      [&cell, &death_at, &first_after](overlay::PeerId p, groups::GroupId g,
+                                       std::uint64_t seq, double t) {
+        cell.delivered.emplace(p, g, seq);
+        if (g < death_at.size() && death_at[g] >= 0.0 && seq > kKilledSeq &&
+            t > death_at[g] && first_after[g] < 0.0)
+          first_after[g] = t - death_at[g];
+      });
+
+  // Membership: M distinct unprotected subscribers per group, waves in
+  // (0, 1). Replica candidates stay out of membership so a promotion
+  // never turns a subscriber into its own group's root.
+  util::Rng rng(params.seed ^ 0x6661696c6f766572ULL);  // failover stream
+  std::vector<std::vector<overlay::PeerId>> members(params.group_count);
+  for (std::size_t g = 0; g < params.group_count; ++g) {
+    std::vector<bool> chosen(peers, false);
+    while (members[g].size() < params.subscribers) {
+      const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
+      if (chosen[p] || protected_peers[p]) continue;
+      chosen[p] = true;
+      members[g].push_back(p);
+      system.subscribe_at(rng.uniform(0.0, 1.0), p, g);
+    }
+  }
+  // Members join the protected set only after selection (cross-group
+  // membership overlap stays allowed); the injector reads the vector at
+  // kill-selection time, so all groups' members are excluded everywhere.
+  for (const auto& group_members : members)
+    for (const overlay::PeerId p : group_members) protected_peers[p] = true;
+
+  // Batching is forced on in this mode: the wave leaves the root one
+  // batch window after the publish lands, and the root death trails the
+  // flush far enough for the pending publish's replica sync (one publish
+  // delay + one network latency) to land first.
+  const double wave_start_delay = params.batch_window;
+  const double kRootKillDelay = 0.04;
+  for (std::size_t g = 0; g < params.group_count; ++g) {
+    const overlay::PeerId root = system.manager().root_of(g);
+    const auto group = static_cast<groups::GroupId>(g);
+    const double kill_time = 10.0 + 2.0 * static_cast<double>(g);
+    system.publish_at(2.0, root, group);
+    system.publish_at(2.3, root, group);
+    system.publish_at(kill_time, root, group);  // the killed wave
+    // Lands after the killed wave's flush, before the root death: dies
+    // pending in the root's fresh batch.
+    system.publish_at(kill_time + wave_start_delay + 0.01, root, group);
+    if (kill_on) {
+      groups::schedule_root_kill(
+          system, group, kill_time, protected_peers,
+          [&cell, &death_at, g, kill_time, wave_start_delay, kRootKillDelay](
+              overlay::PeerId, overlay::PeerId, std::size_t severed) {
+            ++cell.kills;
+            cell.severed += severed;
+            death_at[g] = kill_time + wave_start_delay + kRootKillDelay;
+          },
+          wave_start_delay, kRootKillDelay);
+    }
+    system.publish_at(kill_time + 1.0, members[g][0], group);
+    system.publish_at(kill_time + 1.3, members[g][0], group);
+  }
+
+  const auto t_run = std::chrono::steady_clock::now();
+  system.run();
+  cell.run_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_run).count();
+  cell.total = system.total_stats();
+  cell.net = system.simulator().stats();
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t g = 0; g < params.group_count; ++g)
+    if (death_at[g] >= 0.0 && first_after[g] >= 0.0) {
+      sum += first_after[g];
+      ++counted;
+    }
+  if (counted > 0) cell.first_post_kill = sum / static_cast<double>(counted);
+  return cell;
+}
+
+std::string failover_cell_json(const char* name, bool warm_on, bool kill_on,
+                               const FailoverCell& r) {
+  std::ostringstream o;
+  o.precision(10);
+  o << "{\"cell\":\"" << name << "\",\"warm_failover\":" << (warm_on ? "true" : "false")
+    << ",\"kill\":" << (kill_on ? "true" : "false") << ",\"kills\":" << r.kills
+    << ",\"severed_subscribers\":" << r.severed
+    << ",\"publishes\":" << r.total.publishes
+    << ",\"deliveries\":" << r.total.deliveries
+    << ",\"expected_deliveries\":" << r.total.expected_deliveries
+    << ",\"delivery_ratio\":" << r.total.delivery_ratio()
+    << ",\"gap_seqs_detected\":" << r.total.gap_seqs_detected
+    << ",\"gap_seqs_repaired\":" << r.total.gap_seqs_repaired
+    << ",\"gap_seqs_abandoned\":" << r.total.gap_seqs_abandoned
+    << ",\"batch_publishes_lost\":" << r.total.batch_publishes_lost
+    << ",\"pending_publishes_inherited\":" << r.total.pending_publishes_inherited
+    << ",\"warm_promotions\":" << r.total.warm_promotions
+    << ",\"root_migrations\":" << r.total.root_migrations
+    << ",\"replica_sync_envelopes\":" << r.total.replica_sync_envelopes
+    << ",\"replica_sync_retries\":" << r.total.replica_sync_retries
+    << ",\"migration_envelopes\":" << r.total.migration_envelopes
+    << ",\"heartbeats_sent\":" << r.total.heartbeats_sent
+    << ",\"time_to_first_post_kill_delivery\":" << r.first_post_kill
+    << ",\"run_secs\":" << r.run_secs << ",\"net\":" << obs::to_json(r.net) << "}";
+  return o.str();
+}
+
+/// The failover acceptance harness: per pinned seed, the root-kill
+/// workload cold vs warm plus a no-kill control pair, gating on the cold
+/// dip, the warm zero-dip with a priced handoff, warm's strictly faster
+/// post-kill first delivery, and no-kill bit-identity.
+int run_root_kill(ScenarioParams params, std::size_t dims, bool csv,
+                  const std::string& json_path) {
+  params.departures = 0;
+  params.midwave = 0;
+  if (params.batch_window <= 0.0) params.batch_window = 0.05;
+  if (params.max_batch <= 1) params.max_batch = 16;
+  util::Table table({"seed", "cell", "kills", "severed", "publishes",
+                     "delivery_ratio", "gaps_abandoned", "batch_lost", "inherited",
+                     "promotions", "repl_sync", "migr_env", "first_delivery",
+                     "run_secs"});
+  bool kills_ok = true, cold_ok = true, warm_ok = true, ttf_ok = true,
+       identity_ok = true;
+  std::ostringstream seeds_json;
+  for (std::uint64_t seed = params.seed; seed < params.seed + 3; ++seed) {
+    ScenarioParams cell_params = params;
+    cell_params.seed = seed;
+    util::Rng rng(seed);
+    const auto points = geometry::random_points(rng, params.peers, dims, 100.0);
+    const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+
+    const auto cold = run_failover_cell(graph, cell_params, /*warm_on=*/false,
+                                        /*kill_on=*/true);
+    const auto warm = run_failover_cell(graph, cell_params, /*warm_on=*/true,
+                                        /*kill_on=*/true);
+    const auto base_cold = run_failover_cell(graph, cell_params, /*warm_on=*/false,
+                                             /*kill_on=*/false);
+    const auto base_warm = run_failover_cell(graph, cell_params, /*warm_on=*/true,
+                                             /*kill_on=*/false);
+
+    // Identical victims (and the same skipped-publisher schedule) across
+    // the cells, and the same migrations.
+    kills_ok = kills_ok && cold.kills > 0 && cold.kills == warm.kills &&
+               cold.severed == warm.severed &&
+               cold.total.publishes == warm.total.publishes &&
+               warm.total.root_migrations == cold.total.root_migrations;
+    // Cold rebuild: the migrated-to root's empty RetainedBuffer abandons
+    // the severed subtree's repairs, and pending batches die with their
+    // roots — a measurable dip, with zero replication traffic.
+    cold_ok = cold_ok && cold.total.gap_seqs_abandoned > 0 &&
+              cold.total.deliveries < cold.total.expected_deliveries &&
+              cold.total.batch_publishes_lost > 0 &&
+              cold.total.pending_publishes_inherited == 0 &&
+              cold.total.replica_sync_envelopes == 0 &&
+              cold.total.migration_envelopes == 0;
+    // Warm failover: zero dip, pending batches inherited instead of lost,
+    // at least one promotion per kill (two groups can rendezvous to the
+    // SAME root peer, so one death may promote several groups — and a kill
+    // staged against an already-migrated group decapitates the successor,
+    // promoting the group twice), and the handoff priced in migration
+    // envelopes.
+    warm_ok = warm_ok && warm.total.deliveries == warm.total.expected_deliveries &&
+              warm.total.gap_seqs_abandoned == 0 &&
+              warm.total.batch_publishes_lost == 0 &&
+              warm.total.pending_publishes_inherited > 0 &&
+              warm.total.warm_promotions >= warm.kills &&
+              warm.total.replica_sync_envelopes > 0 &&
+              warm.total.migration_envelopes > 0;
+    ttf_ok = ttf_ok && warm.first_post_kill >= 0.0 && cold.first_post_kill >= 0.0 &&
+             warm.first_post_kill < cold.first_post_kill;
+    // The knob-oracle guarantee at bench scale: with nobody dying, warm
+    // replication is pure extra traffic — delivered sets bit-identical.
+    identity_ok = identity_ok && base_cold.delivered == base_warm.delivered &&
+                  base_cold.total.deliveries == base_cold.delivered.size() &&
+                  base_warm.total.deliveries == base_warm.delivered.size() &&
+                  base_warm.total.replica_sync_envelopes > 0 &&
+                  base_cold.total.replica_sync_envelopes == 0;
+
+    const struct {
+      const char* name;
+      const FailoverCell* cell;
+      bool warm;
+      bool kill;
+    } rows[] = {{"cold+kill", &cold, false, true},
+                {"warm+kill", &warm, true, true},
+                {"cold", &base_cold, false, false},
+                {"warm", &base_warm, true, false}};
+    for (const auto& row : rows) {
+      table.begin_row()
+          .add_number(static_cast<double>(seed), 0)
+          .add_cell(row.name)
+          .add_number(static_cast<double>(row.cell->kills), 0)
+          .add_number(static_cast<double>(row.cell->severed), 0)
+          .add_number(static_cast<double>(row.cell->total.publishes), 0)
+          .add_number(row.cell->total.delivery_ratio(), 5)
+          .add_number(static_cast<double>(row.cell->total.gap_seqs_abandoned), 0)
+          .add_number(static_cast<double>(row.cell->total.batch_publishes_lost), 0)
+          .add_number(static_cast<double>(row.cell->total.pending_publishes_inherited),
+                      0)
+          .add_number(static_cast<double>(row.cell->total.warm_promotions), 0)
+          .add_number(static_cast<double>(row.cell->total.replica_sync_envelopes), 0)
+          .add_number(static_cast<double>(row.cell->total.migration_envelopes), 0)
+          .add_number(row.cell->first_post_kill, 4)
+          .add_number(row.cell->run_secs, 3);
+    }
+    if (seeds_json.tellp() > 0) seeds_json << ",";
+    seeds_json << "\n    {\"seed\":" << seed << ",\"cells\":[";
+    bool first = true;
+    for (const auto& row : rows) {
+      if (!first) seeds_json << ",";
+      first = false;
+      seeds_json << "\n      "
+                 << failover_cell_json(row.name, row.warm, row.kill, *row.cell);
+    }
+    seeds_json << "\n    ]}";
+  }
+  const bool all_ok = kills_ok && cold_ok && warm_ok && ttf_ok && identity_ok;
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"pubsub_throughput\",\n  \"mode\": \"root_kill\",\n"
+         << "  \"params\": " << params_json(params) << ",\n  \"seeds\": ["
+         << seeds_json.str() << "\n  ],\n  \"gate_kills_consistent\": "
+         << (kills_ok ? "true" : "false")
+         << ",\n  \"gate_cold_dip\": " << (cold_ok ? "true" : "false")
+         << ",\n  \"gate_warm_zero_dip\": " << (warm_ok ? "true" : "false")
+         << ",\n  \"gate_warm_faster_first_delivery\": " << (ttf_ok ? "true" : "false")
+         << ",\n  \"gate_no_kill_identical\": " << (identity_ok ? "true" : "false")
+         << "\n}";
+    write_json_file(json_path, json.str());
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+    if (!all_ok)
+      std::cerr << "pubsub_throughput: root-kill gate failed (kills=" << kills_ok
+                << ", cold_dip=" << cold_ok << ", warm_zero_dip=" << warm_ok
+                << ", first_delivery=" << ttf_ok << ", identical=" << identity_ok
+                << ")\n";
+  } else {
+    std::cout << "=== root-kill failover: cold rebuild vs warm failover, "
+              << params.group_count << " groups x " << params.subscribers
+              << " subscribers on " << params.peers << " peers, QoS 2, batch_window="
+              << params.batch_window << ", seeds " << params.seed << ".."
+              << params.seed + 2 << " ===\n\n";
+    table.print(std::cout);
+    std::cout << "\nacceptance: cold and warm cells kill identical victims: "
+              << (kills_ok ? "PASS" : "FAIL")
+              << "\nacceptance: cold rebuild shows the dip (abandons, ratio < 1,"
+                 " pending batch lost): "
+              << (cold_ok ? "PASS" : "FAIL")
+              << "\nacceptance: warm failover erases it (ratio == 1, zero abandons,"
+                 " batch inherited, handoff priced): "
+              << (warm_ok ? "PASS" : "FAIL")
+              << "\nacceptance: warm resumes deliveries faster after the kill: "
+              << (ttf_ok ? "PASS" : "FAIL")
+              << "\nacceptance: no-kill delivered sets bit-identical warm vs cold: "
+              << (identity_ok ? "PASS" : "FAIL") << "\n";
+  }
+  return all_ok ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -923,6 +1252,7 @@ int main(int argc, char** argv) {
     const bool batch_compare = flags.get_bool("batch-compare", false);
     const bool graft_cost = flags.get_bool("graft-cost", false);
     const bool latency = flags.get_bool("latency", false);
+    const bool root_kill = flags.get_bool("root-kill", false);
     const std::string json_path = flags.get_string("json", "");
     const std::string trace_path = flags.get_string("trace", "");
     const std::string snapshot_path = flags.get_string("snapshot", "");
@@ -941,12 +1271,18 @@ int main(int argc, char** argv) {
       // the traffic that two would push QoS 1 below the >= 0.99 per-hop
       // gate for reasons that have nothing to do with link loss.
       if (sweep && !flags.has("midwave")) params.midwave = 1;
+      // Root-kill selection needs an unsubscribed non-leaf child of every
+      // root; at 200 peers the default 32-per-group membership blankets
+      // the roots' neighborhoods and starves the victim pool.
+      if (root_kill && !flags.has("subscribers"))
+        params.subscribers = std::min<std::size_t>(params.subscribers, 12);
     }
 
-    // Graft-cost and latency build one overlay per pinned seed themselves;
-    // dispatch before paying for the shared overlay below.
+    // Graft-cost, latency, and root-kill build one overlay per pinned seed
+    // themselves; dispatch before paying for the shared overlay below.
     if (graft_cost) return run_graft_cost(params, dims, csv, json_path);
     if (latency) return run_latency(params, dims, csv, json_path);
+    if (root_kill) return run_root_kill(params, dims, csv, json_path);
 
     util::Rng rng(params.seed);
     const auto points = geometry::random_points(rng, params.peers, dims, 100.0);

@@ -43,4 +43,29 @@ void schedule_midwave_kill(
     std::function<void(PeerId relay, std::size_t severed_subscribers)> on_kill,
     double wave_start_delay = 0.0);
 
+/// The failover battery's scenario: a mid-wave relay kill AND a root kill
+/// on the same wave. The relay is chosen among the root's DIRECT children
+/// (non-root, alive, subscribed nowhere, with subscriber descendants) so
+/// the severed subscribers' ancestor chain contains nothing between the
+/// dead relay and the dead root — their repair MUST come from the
+/// migrated-to root, which is exactly where cold rebuild (empty
+/// RetainedBuffer -> abandon) and warm failover (replicated history ->
+/// repair) diverge. The group's replica candidate is excluded from relay
+/// selection, so the same victim is picked whether warm_failover is on or
+/// off (the cells of a cold/warm comparison kill identically) and the
+/// replica survives to be promoted.
+///
+/// The relay departs just before the wave reaches it (as in
+/// schedule_midwave_kill); the root departs at
+/// `wave_time + wave_start_delay + root_kill_delay` — after the flush (and,
+/// warm, after the flush's replica sync has landed one latency later), but
+/// before the severed subscribers' first gap timeout fires.
+/// `on_kill(root, relay, severed_subscribers)` fires at selection time.
+void schedule_root_kill(
+    PubSubSystem& system, GroupId group, double wave_time,
+    const std::vector<bool>& member_anywhere,
+    std::function<void(PeerId root, PeerId relay, std::size_t severed_subscribers)>
+        on_kill,
+    double wave_start_delay = 0.0, double root_kill_delay = 0.02);
+
 }  // namespace geomcast::groups

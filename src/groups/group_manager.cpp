@@ -30,6 +30,13 @@ std::size_t RetainedBuffer::retain(std::uint64_t lo, std::uint64_t hi,
   return evicted;
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>> RetainedBuffer::ranges() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(entries_.size());
+  for (const auto& [lo, entry] : entries_) out.emplace_back(lo, entry.seq_hi);
+  return out;
+}
+
 const std::any* RetainedBuffer::find(std::uint64_t seq) const {
   // The covering range, if any: the last entry starting at or below seq.
   auto it = entries_.upper_bound(seq);
@@ -54,10 +61,12 @@ GroupManager::GroupManager(const overlay::OverlayGraph& graph, GroupConfig confi
     }
 }
 
-PeerId GroupManager::rendezvous_root(GroupId group) const {
+PeerId GroupManager::rendezvous_nearest(GroupId group, PeerId exclude) const {
   // Hash the group id to a point inside the peers' bounding box, then pick
   // the nearest alive peer — any peer can recompute this locally from the
-  // group id, so the rendezvous needs no directory.
+  // group id, so the rendezvous needs no directory. With `exclude` set to
+  // the current root, the same scan yields the group's replica: the
+  // deterministic successor a root death would promote.
   const std::size_t dims = graph_.dims();
   std::uint64_t sm = config_.rendezvous_seed ^ (group * 0x9e3779b97f4a7c15ULL);
   geometry::Point target(dims);
@@ -69,13 +78,18 @@ PeerId GroupManager::rendezvous_root(GroupId group) const {
   PeerId best = kInvalidPeer;
   double best_dist = 0.0;
   for (PeerId p = 0; p < graph_.size(); ++p) {
-    if (!alive_[p]) continue;
+    if (!alive_[p] || p == exclude) continue;
     const double dist = geometry::l1_distance(graph_.point(p), target);
     if (best == kInvalidPeer || dist < best_dist) {
       best = p;
       best_dist = dist;
     }
   }
+  return best;
+}
+
+PeerId GroupManager::rendezvous_root(GroupId group) const {
+  const PeerId best = rendezvous_nearest(group, kInvalidPeer);
   if (best == kInvalidPeer)
     throw std::runtime_error("GroupManager: no alive peer can host the group");
   return best;
@@ -360,6 +374,64 @@ std::size_t GroupManager::retained_buffer_count() const noexcept {
   return count;
 }
 
+PeerId GroupManager::replica_candidate(GroupId group) {
+  return rendezvous_nearest(group, state_of(group).root);
+}
+
+PeerId GroupManager::ensure_replica(GroupId group) {
+  GroupState& gs = state_of(group);
+  if (gs.replica != kInvalidPeer && alive_[gs.replica]) return gs.replica;
+  gs.replica = rendezvous_nearest(group, gs.root);
+  // A fresh assignment knows nothing yet; the protocol layer streams the
+  // full bootstrap before any delta relies on this copy.
+  gs.replica_members.clear();
+  gs.replica_count = 0;
+  return gs.replica;
+}
+
+PeerId GroupManager::replica_of(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? kInvalidPeer : it->second.replica;
+}
+
+void GroupManager::replica_apply_membership(GroupId group, PeerId member,
+                                            bool subscribed) {
+  GroupState& gs = state_of(group);
+  if (gs.replica_members.empty()) gs.replica_members.assign(graph_.size(), false);
+  if (member >= gs.replica_members.size() ||
+      gs.replica_members[member] == subscribed)
+    return;
+  gs.replica_members[member] = subscribed;
+  if (subscribed)
+    ++gs.replica_count;
+  else
+    --gs.replica_count;
+}
+
+std::size_t GroupManager::replica_member_count(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.replica_count;
+}
+
+std::vector<PeerId> GroupManager::subscribers_of(GroupId group) const {
+  std::vector<PeerId> members;
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return members;
+  members.reserve(it->second.count);
+  for (PeerId p = 0; p < it->second.subscribers.size(); ++p)
+    if (it->second.subscribers[p]) members.push_back(p);
+  return members;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> GroupManager::retained_ranges(
+    PeerId peer, GroupId group) const {
+  const auto pit = retained_.find(peer);
+  if (pit == retained_.end()) return {};
+  const auto git = pit->second.find(group);
+  if (git == pit->second.end()) return {};
+  return git->second.ranges();
+}
+
 GroupManager::PublishReceipt GroupManager::publish(GroupId group) {
   GroupState& gs = state_of(group);
   ++gs.stats.publishes;
@@ -375,11 +447,11 @@ GroupManager::PublishReceipt GroupManager::publish(GroupId group) {
   return receipt;
 }
 
-std::vector<GroupManager::AbortedGraft> GroupManager::handle_departure(PeerId peer) {
+GroupManager::DepartureOutcome GroupManager::handle_departure(PeerId peer) {
   if (peer >= graph_.size())
     throw std::invalid_argument("GroupManager::handle_departure: peer out of range");
-  std::vector<AbortedGraft> aborted;
-  if (!alive_[peer]) return aborted;
+  DepartureOutcome outcome;
+  if (!alive_[peer]) return outcome;
   alive_[peer] = false;
   // The dead serve no repairs: drop the peer's retained history (NACKs
   // that would have landed here escalate to the next ancestor instead).
@@ -388,14 +460,53 @@ std::vector<GroupManager::AbortedGraft> GroupManager::handle_departure(PeerId pe
     if (gs.subscribers[peer]) {
       gs.subscribers[peer] = false;
       --gs.count;
+      // The surviving root owes its replica an unmember delta; a dying
+      // root cannot send one (the promotion bootstrap covers it instead).
+      if (gs.root != peer) outcome.member_losses.push_back(group);
+    }
+    if (gs.replica == peer) {
+      // The replica died out from under the root: clear the assignment and
+      // its copy; the protocol layer re-bootstraps a fresh successor.
+      outcome.replica_losses.push_back({group, peer});
+      gs.replica = kInvalidPeer;
+      gs.replica_members.clear();
+      gs.replica_count = 0;
     }
     if (gs.root == peer) {
       // Rendezvous migrates to the next-nearest alive peer; the old root's
-      // tree is useless there.
+      // tree is useless there. When that successor is the established
+      // replica (it always is while one is assigned — departures only
+      // shrink the alive set), the promotion is warm: the successor keeps
+      // the synced subscriber set and its own RetainedBuffer.
+      const PeerId old_root = gs.root;
       gs.root = rendezvous_root(group);
+      const bool warm = gs.replica != kInvalidPeer && gs.replica == gs.root;
+      bool consistent = false;
+      if (warm) {
+        // Compare the replica's synced copy against the authoritative set,
+        // masking dead peers in the copy: a promoted root purges the dead
+        // locally (the failure detector is global), so only raced
+        // subscribe/unsubscribe deltas of alive peers count as divergence.
+        consistent = true;
+        for (PeerId p = 0; p < gs.subscribers.size(); ++p) {
+          const bool copy = p < gs.replica_members.size() &&
+                            gs.replica_members[p] && alive_[p];
+          if (copy != static_cast<bool>(gs.subscribers[p])) {
+            consistent = false;
+            break;
+          }
+        }
+        ++gs.stats.warm_promotions;
+      }
       gs.cached.reset();
       gs.dirty = true;
       ++gs.stats.root_migrations;
+      // The promoted root owes the group a fresh replica of its own; the
+      // old copy's job is done.
+      gs.replica = kInvalidPeer;
+      gs.replica_members.clear();
+      gs.replica_count = 0;
+      outcome.promotions.push_back({group, old_root, gs.root, warm, consistent});
       if (tracer_.enabled())
         tracer_.emit({clock_now(), obs::TraceEventType::kRootMigration, group,
                       obs::kNoWave, 0, 0, gs.root, peer});
@@ -449,9 +560,9 @@ std::vector<GroupManager::AbortedGraft> GroupManager::handle_departure(PeerId pe
     const std::uint64_t id = it->first;
     ++it;  // graft_abort erases `id`; advance first
     if (!valid)
-      if (const auto a = graft_abort(id)) aborted.push_back(*a);
+      if (const auto a = graft_abort(id)) outcome.aborted_grafts.push_back(*a);
   }
-  return aborted;
+  return outcome;
 }
 
 GroupStats& GroupManager::stats(GroupId group) { return state_of(group).stats; }

@@ -65,6 +65,9 @@ class RetainedBuffer {
   /// bound is expressed in (a range wave costs its width, so batching
   /// cannot inflate the retention memory bound).
   [[nodiscard]] std::size_t size() const noexcept { return covered_; }
+  /// The retained [lo, hi] ranges, lowest first — the warm-failover
+  /// bootstrap enumerates these to re-stream a root's history.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges() const;
   /// Retained range entries (<= size(); one per wave).
   [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -232,11 +235,68 @@ class GroupManager {
   };
   PublishReceipt publish(GroupId group);
 
+  // -- warm root failover (PubSubConfig::warm_failover drives this) --------
+  // The replica is the group's deterministic successor: the next-nearest
+  // alive peer to the rendezvous point after the root. Because departures
+  // only shrink the alive set, the recomputed rendezvous root after a root
+  // death IS the established replica — promotion needs no election. The
+  // manager keeps the replica's bookkeeping copy (membership bits) inside
+  // the same façade; the protocol layer drives it purely through real
+  // kReplicaSyncKind envelopes, so the copy is exactly as fresh as the
+  // sync stream, never an oracle shortcut.
+
+  /// The peer that WOULD be the group's replica right now (pure compute,
+  /// no state change): next-nearest alive peer to the rendezvous point
+  /// excluding the current root; kInvalidPeer when no second peer exists.
+  [[nodiscard]] PeerId replica_candidate(GroupId group);
+  /// The established replica, (re)assigning it when unset or dead. A fresh
+  /// assignment starts with an empty bookkeeping copy — the caller owes it
+  /// a full bootstrap stream.
+  PeerId ensure_replica(GroupId group);
+  /// The established replica without assignment; kInvalidPeer when none.
+  [[nodiscard]] PeerId replica_of(GroupId group) const;
+  /// Applies one membership delta to the replica's copy (idempotent).
+  void replica_apply_membership(GroupId group, PeerId member, bool subscribed);
+  [[nodiscard]] std::size_t replica_member_count(GroupId group) const;
+
+  /// Alive subscribers of the group, ascending — the bootstrap stream and
+  /// the promotion consistency check enumerate these.
+  [[nodiscard]] std::vector<PeerId> subscribers_of(GroupId group) const;
+  /// The [lo, hi] ranges `peer` retains for `group`, lowest first.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> retained_ranges(
+      PeerId peer, GroupId group) const;
+
+  /// One root migration, as seen by handle_departure: `warm` when the
+  /// successor was the group's established replica (it inherits the
+  /// synced subscriber set and its RetainedBuffer);
+  /// `membership_consistent` (warm only) when the replica's synced copy
+  /// matched the root's authoritative set at the instant of promotion.
+  struct RootPromotion {
+    GroupId group = 0;
+    PeerId old_root = kInvalidPeer;
+    PeerId new_root = kInvalidPeer;
+    bool warm = false;
+    bool membership_consistent = false;
+  };
+  struct ReplicaLoss {
+    GroupId group = 0;
+    PeerId old_replica = kInvalidPeer;
+  };
+  /// Everything one departure obliges the protocol layer to do.
+  struct DepartureOutcome {
+    std::vector<AbortedGraft> aborted_grafts;  ///< re-issue these subscribes
+    std::vector<RootPromotion> promotions;     ///< roots that migrated
+    std::vector<ReplicaLoss> replica_losses;   ///< replicas owed a re-bootstrap
+    std::vector<GroupId> member_losses;  ///< groups that lost `peer` (root alive)
+  };
+
   /// Marks `peer` departed everywhere: membership, cached trees (repaired
-  /// in place where possible), rendezvous roots (migrated), and in-flight
-  /// grafts whose descent the departure invalidated — those are aborted
-  /// and returned so the protocol layer can re-issue the subscribes.
-  std::vector<AbortedGraft> handle_departure(PeerId peer);
+  /// in place where possible), rendezvous roots (migrated, with warm
+  /// promotion when the successor was the established replica), replica
+  /// assignments, and in-flight grafts whose descent the departure
+  /// invalidated — aborted grafts are returned so the protocol layer can
+  /// re-issue the subscribes.
+  DepartureOutcome handle_departure(PeerId peer);
   [[nodiscard]] bool alive(PeerId peer) const { return alive_[peer]; }
 
   // -- observability -------------------------------------------------------
@@ -266,11 +326,19 @@ class GroupManager {
     std::shared_ptr<GroupTree> cached;
     bool dirty = true;  // cached tree (if any) no longer trusted
     std::size_t repairs_since_build = 0;
+    // Warm failover: the established replica and its sync-driven copy of
+    // the subscriber set (empty vector until the first delta lands).
+    PeerId replica = kInvalidPeer;
+    std::vector<bool> replica_members;
+    std::size_t replica_count = 0;
     GroupStats stats;
   };
 
   GroupState& state_of(GroupId group);
   [[nodiscard]] PeerId rendezvous_root(GroupId group) const;
+  /// Shared rendezvous scan: nearest alive peer to the group's hash point,
+  /// skipping `exclude`; kInvalidPeer when no candidate remains.
+  [[nodiscard]] PeerId rendezvous_nearest(GroupId group, PeerId exclude) const;
   void refresh_tree(GroupId group, GroupState& gs);
   /// COW gate: clones the cached tree iff publish-wave snapshots still
   /// reference it, then returns it for mutation.

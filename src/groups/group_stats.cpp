@@ -71,6 +71,13 @@ GroupStats& GroupStats::operator+=(const GroupStats& other) noexcept {
   repair_messages += other.repair_messages;
   repair_failures += other.repair_failures;
   root_migrations += other.root_migrations;
+  replica_sync_envelopes += other.replica_sync_envelopes;
+  replica_sync_retries += other.replica_sync_retries;
+  migration_envelopes += other.migration_envelopes;
+  warm_promotions += other.warm_promotions;
+  pending_publishes_inherited += other.pending_publishes_inherited;
+  heartbeats_sent += other.heartbeats_sent;
+  heartbeat_gap_detections += other.heartbeat_gap_detections;
   stranded_rescues += other.stranded_rescues;
   graft_hops += other.graft_hops;
   graft_retries += other.graft_retries;
@@ -111,6 +118,14 @@ std::string GroupStats::summary() const {
         << ") repairs_served=" << repairs_served << " (misses " << repair_misses
         << ", escalations " << repair_escalations << ") retained_evictions="
         << retained_evictions;
+  if (replica_sync_envelopes > 0 || warm_promotions > 0)
+    out << " replica_syncs=" << replica_sync_envelopes << " (retries "
+        << replica_sync_retries << ", migration " << migration_envelopes
+        << ") warm_promotions=" << warm_promotions
+        << " pending_inherited=" << pending_publishes_inherited;
+  if (heartbeats_sent > 0)
+    out << " heartbeats=" << heartbeats_sent << " (gap_detections "
+        << heartbeat_gap_detections << ")";
   if (batch_flushes_window + batch_flushes_full > 0)
     out << " batches=" << (batch_flushes_window + batch_flushes_full) << " (window "
         << batch_flushes_window << ", full " << batch_flushes_full << ", occupancy "

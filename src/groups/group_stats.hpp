@@ -96,6 +96,27 @@ struct GroupStats {
   std::uint64_t repair_messages = 0; // reattach/splice repair traffic only
   std::uint64_t repair_failures = 0; // orphans no rule could reattach
   std::uint64_t root_migrations = 0; // rendezvous root departed, successor picked
+  // Warm root failover (PubSubConfig::warm_failover): the root streams its
+  // bookkeeping to the group's replica so migration is a handoff, not a
+  // rebuild. root_migrations still counts every migration; these make the
+  // replication and handoff COST visible (the ROADMAP "migration cost
+  // measured in envelopes" gate).
+  std::uint64_t replica_sync_envelopes = 0;  // kReplicaSyncKind deltas sent
+  std::uint64_t replica_sync_retries = 0;    // sync envelopes retransmitted
+  /// Sync envelopes spent re-establishing replication after a promotion or
+  /// replica death (full-state bootstrap to a fresh replica) — the
+  /// per-migration handoff price, a subset of replica_sync_envelopes.
+  std::uint64_t migration_envelopes = 0;
+  std::uint64_t warm_promotions = 0;  // migrations inheriting replicated state
+  /// Pending-batch publishes the promoted root adopted from the replica's
+  /// copy instead of dropping as batch_publishes_lost.
+  std::uint64_t pending_publishes_inherited = 0;
+  // Root-driven session heartbeats (PubSubConfig::heartbeat_interval): idle
+  // beacons carrying the highest flushed seq down the current tree.
+  std::uint64_t heartbeats_sent = 0;  // beacon waves issued by group roots
+  /// Gap seqs first revealed by a heartbeat horizon rather than later wave
+  /// traffic — each one is the final-wave blind spot closing.
+  std::uint64_t heartbeat_gap_detections = 0;
   // Routed graft control plane (PubSubConfig::routed_graft): the zone
   // descent above driven by real kGraftRequestKind envelopes, one per
   // hop, at QoS 1. graft_messages still counts the descent decisions

@@ -24,6 +24,9 @@
 // | kGraftAcceptKind  | 29 | graft   | GraftEnvelope | QoS 1 (acked)      |
 // | kGraftRejectKind  | 30 | graft   | GraftEnvelope | QoS 1 (acked)      |
 // | kGraftAckKind     | 31 | graft   | HopAck        | (ack of 28–30)     |
+// | kReplicaSyncKind  | 32 | failover| ReplicaSync   | QoS 1 (acked)      |
+// | kReplicaAckKind   | 33 | failover| HopAck        | (ack of 32)        |
+// | kHeartbeatKind    | 34 | failover| GroupHeartbeat| best-effort tree   |
 //
 // README.md carries the same table for readers who never open headers.
 #pragma once
@@ -62,6 +65,19 @@ inline constexpr sim::MessageKind kGraftAcceptKind = 29;   // subscriber -> root
 inline constexpr sim::MessageKind kGraftRejectKind = 30;   // failing peer -> root
 inline constexpr sim::MessageKind kGraftAckKind = 31;      // per-hop graft ack
 
+// -- warm root failover plane (PubSubConfig::warm_failover). Each group's
+// rendezvous root streams its bookkeeping — membership deltas, retained
+// range inserts, pending-batch joins — to the group's replica (the
+// next-nearest alive peer to the rendezvous point) as kReplicaSyncKind
+// unicasts on a dedicated ReliableHopLayer at QoS 1, so root death promotes
+// a warm successor instead of rebuilding from nothing. kHeartbeatKind is
+// the root-driven idle beacon (highest flushed seq, forwarded down the
+// current tree, fire-and-forget — repeated rounds are its redundancy) that
+// closes the QoS 2 final-wave blind spot.
+inline constexpr sim::MessageKind kReplicaSyncKind = 32;  // root -> replica delta
+inline constexpr sim::MessageKind kReplicaAckKind = 33;   // per-hop replica ack
+inline constexpr sim::MessageKind kHeartbeatKind = 34;    // idle seq beacon
+
 namespace detail {
 /// The full registry this simulation family dispatches on: the multicast
 /// build/data/ack band (protocol.hpp / dissemination.hpp pin 10–12) plus
@@ -90,6 +106,9 @@ inline constexpr KindEntry kRegistry[] = {
     {kGraftAcceptKind, "graft_accept"},
     {kGraftRejectKind, "graft_reject"},
     {kGraftAckKind, "graft_ack"},
+    {kReplicaSyncKind, "replica_sync"},
+    {kReplicaAckKind, "replica_ack"},
+    {kHeartbeatKind, "heartbeat"},
 };
 
 constexpr bool registry_unique() {

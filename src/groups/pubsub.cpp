@@ -105,6 +105,19 @@ std::vector<std::uint64_t> SubscriberWindow::abandon(std::uint64_t seq) {
   return released;
 }
 
+std::vector<std::uint64_t> SubscriberWindow::mark_through(std::uint64_t hi) {
+  std::vector<std::uint64_t> fresh;
+  if (!initialized_) return fresh;  // a beacon owes a late joiner nothing
+  // Everything below the frontier is already held, a gap, or skipped —
+  // only [frontier_, hi] can be newly missing, exactly as in observe_range.
+  for (std::uint64_t m = std::max(next_expected_, frontier_); m <= hi; ++m) {
+    gaps_.insert(gaps_.end(), m);
+    fresh.push_back(m);
+  }
+  if (hi + 1 > frontier_) frontier_ = hi + 1;
+  return fresh;
+}
+
 /// One simulated peer: dispatches the pub/sub kinds to the system's
 /// handlers. All protocol state lives in the system/manager (the per-root
 /// state each envelope addresses), keeping the node a thin actor shell
@@ -168,6 +181,20 @@ class PubSubSystem::PubSubNode final : public sim::Node {
       }
       case kGraftAckKind: {
         system_.graft_hop_->on_ack(envelope);
+        return;
+      }
+      case kReplicaSyncKind: {
+        system_.on_replica_sync(id(), envelope.from,
+                                std::any_cast<const ReplicaSync&>(envelope.payload));
+        return;
+      }
+      case kReplicaAckKind: {
+        system_.replica_hop_->on_ack(envelope);
+        return;
+      }
+      case kHeartbeatKind: {
+        system_.on_heartbeat(id(),
+                             std::any_cast<const GroupHeartbeat&>(envelope.payload));
         return;
       }
       default:
@@ -249,6 +276,28 @@ PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig conf
     graft_seen_.resize(graph.size());
   }
 
+  if (warm()) {
+    // The replication stream is ALWAYS acked (QoS 1) like the graft plane:
+    // the replica's copy is only as good as the stream, so a lost delta
+    // must retry. An abandoned sync (the replica died mid-stream) needs no
+    // hook — the departure sweep re-bootstraps a successor regardless.
+    multicast::ReliableHopLayer::Hooks replica_hooks;
+    replica_hooks.on_retransmit = [this](sim::NodeId, sim::NodeId, std::uint64_t,
+                                         const std::any& payload) {
+      const auto& sync = std::any_cast<const ReplicaSync&>(payload);
+      ++manager_->stats(sync.group).replica_sync_retries;
+    };
+    replica_hooks.sender_alive = [this](sim::NodeId p) { return manager_->alive(p); };
+    replica_hop_ = std::make_unique<multicast::ReliableHopLayer>(
+        *sim_, kReplicaSyncKind, kReplicaAckKind,
+        multicast::ReliabilityConfig{multicast::QoS::kAcked,
+                                     config_.reliability.ack_timeout,
+                                     config_.reliability.max_retries},
+        std::move(replica_hooks));
+    sync_seen_.resize(graph.size());
+  }
+  if (heartbeats_enabled()) hb_seen_.resize(graph.size());
+
   nodes_.reserve(graph.size());
   for (PeerId p = 0; p < graph.size(); ++p) {
     nodes_.push_back(std::make_unique<PubSubNode>(p, *this));
@@ -305,10 +354,14 @@ void PubSubSystem::forward_control(PeerId self, sim::MessageKind kind,
 void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
                                   const GroupRequest& request) {
   switch (kind) {
-    case kSubscribeKind:
+    case kSubscribeKind: {
       // The origin may have departed while its request was in flight; a
       // dead peer must not (re)enter the membership.
       if (!manager_->alive(request.origin)) return;
+      // Only a FRESH membership change owes the replica a delta — routed
+      // resubscribes and duplicate requests are no-ops there.
+      const bool fresh =
+          warm() && !manager_->is_subscribed(request.group, request.origin);
       if (config_.routed_graft) {
         // Membership is booked here; the tree splice — when one is owed —
         // becomes a routed descent instead of root-local work.
@@ -318,10 +371,16 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
       } else {
         manager_->subscribe(request.group, request.origin);
       }
+      if (fresh) replica_sync_membership(self, request.group, request.origin, true);
       return;
-    case kUnsubscribeKind:
+    }
+    case kUnsubscribeKind: {
+      const bool fresh =
+          warm() && manager_->is_subscribed(request.group, request.origin);
       manager_->unsubscribe(request.group, request.origin);
+      if (fresh) replica_sync_membership(self, request.group, request.origin, false);
       return;
+    }
     case kPublishKind: {
       GroupStats& stats = manager_->stats(request.group);
       ++stats.publishes;
@@ -345,6 +404,7 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
         }
         disseminate(self, kInvalidPeer,
                     GroupDelivery{request.group, seq, seq, wave, snapshot});
+        if (heartbeats_enabled()) schedule_heartbeat(request.group);
         return;
       }
       PendingBatch& batch = pending_batch_[request.group];
@@ -361,6 +421,16 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
       ++batch.count;
       ++stats.batched_publishes;
       batch.accepted.push_back(sim_->now());
+      if (warm() && acked()) {
+        // The replica shadows the pending buffer join by join, so a warm
+        // promotion can adopt the batch instead of dropping it. QoS 0
+        // keeps the historic loss — fire-and-forget publishes have no
+        // delivery promise a failover would be preserving.
+        ReplicaSync sync;
+        sync.what = ReplicaSync::What::kPendingJoin;
+        sync.accepted_at = sim_->now();
+        replica_send(self, request.group, std::move(sync), false);
+      }
       if (tracer_.enabled()) {
         tracer_.emit({sim_->now(), obs::TraceEventType::kPublishAccepted,
                       request.group, obs::kNoWave, 0, 0, self, request.origin});
@@ -486,9 +556,19 @@ void PubSubSystem::flush_batch(GroupId group, bool window_expired) {
   it->second.accepted.clear();
   GroupStats& stats = manager_->stats(group);
   if (!manager_->alive(root)) {
-    // Nothing migrates a pending buffer: it was state of the dead root.
+    // Nothing migrates a pending buffer here: it was state of the dead
+    // root. Under warm failover the promotion path adopted (or retired)
+    // the buffer at departure time, so this branch only fires cold.
     stats.batch_publishes_lost += count;
     return;
+  }
+  if (warm() && acked()) {
+    // The batch is consumed from here on, whether or not a wave goes out:
+    // the replica's copy must not outlive it (a stale copy would hand a
+    // later promotion phantom publishes).
+    ReplicaSync sync;
+    sync.what = ReplicaSync::What::kPendingFlush;
+    replica_send(root, group, std::move(sync), false);
   }
   const auto snapshot = manager_->tree_snapshot(group);
   if (snapshot == nullptr) return;  // nobody subscribed (publishes counted)
@@ -515,6 +595,7 @@ void PubSubSystem::flush_batch(GroupId group, bool window_expired) {
                   seq_lo, seq_lo + count - 1, root});
   disseminate(root, kInvalidPeer,
               GroupDelivery{group, seq_lo, seq_lo + count - 1, wave, snapshot});
+  if (heartbeats_enabled()) schedule_heartbeat(group);
 }
 
 void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& delivery) {
@@ -559,9 +640,18 @@ void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& de
   // from the nearest ancestor instead of the publisher. One slot covers
   // the whole range.
   if (end_to_end() &&
-      (gt->tree.root() == self || !gt->tree.children(self).empty()))
+      (gt->tree.root() == self || !gt->tree.children(self).empty())) {
     stats.retained_evictions += manager_->retain_payload(
         self, delivery.group, delivery.seq, delivery.seq_hi, delivery);
+    if (warm() && from == kInvalidPeer) {
+      // Root-side flush: mirror the retained range to the replica so a
+      // promoted successor can serve post-migration NACKs for it.
+      ReplicaSync sync;
+      sync.what = ReplicaSync::What::kRetain;
+      sync.wave = delivery;
+      replica_send(self, delivery.group, std::move(sync), false);
+    }
+  }
   if (gt->is_subscriber[self]) {
     for (const auto& [lo, hi] : fresh) {
       if (end_to_end()) {
@@ -654,7 +744,8 @@ void PubSubSystem::arm_gap_timer(PeerId self, GroupId group, WindowState& ws) {
                        [this, self, group]() { on_gap_timer(self, group); });
 }
 
-std::vector<PeerId> PubSubSystem::ancestor_chain(PeerId self, const WindowState& ws) const {
+std::vector<PeerId> PubSubSystem::ancestor_chain(PeerId self, GroupId group,
+                                                 const WindowState& ws) const {
   std::vector<PeerId> chain;
   const GroupTree* gt = ws.latest_tree.get();
   if (gt == nullptr || !gt->tree.reached(self)) return chain;
@@ -662,6 +753,15 @@ std::vector<PeerId> PubSubSystem::ancestor_chain(PeerId self, const WindowState&
     p = gt->tree.parent(p);
     if (p == kInvalidPeer) break;  // defensive: snapshot trees are rooted
     if (manager_->alive(p)) chain.push_back(p);
+  }
+  if (warm() && !manager_->alive(gt->tree.root())) {
+    // The snapshot's root died mid-repair, so the walk above dead-ends
+    // below it. The promoted successor holds the replicated history —
+    // append it as the final escalation target.
+    const PeerId current = manager_->root_of(group);
+    if (manager_->alive(current) && current != self &&
+        std::find(chain.begin(), chain.end(), current) == chain.end())
+      chain.push_back(current);
   }
   return chain;
 }
@@ -693,7 +793,7 @@ void PubSubSystem::finish_gap(PeerId self, GroupId group, WindowState& ws,
 void PubSubSystem::send_nacks(PeerId self, GroupId group, WindowState& ws,
                               const std::vector<std::uint64_t>& seqs, bool escalate) {
   GroupStats& stats = manager_->stats(group);
-  const auto chain = ancestor_chain(self, ws);
+  const auto chain = ancestor_chain(self, group, ws);
   // Batch by target: gaps at different escalation levels NACK different
   // ancestors, but each ancestor gets at most one envelope per round.
   std::map<PeerId, std::vector<std::uint64_t>> by_target;
@@ -821,7 +921,7 @@ void PubSubSystem::on_repair_miss(PeerId self, PeerId from, const GapRepairMiss&
   // miss only means "escalate" when it comes from the gap's frontier —
   // stale misses from levels already passed must not push the target past
   // ancestors that were never asked.
-  const auto chain = ancestor_chain(self, ws);
+  const auto chain = ancestor_chain(self, miss.group, ws);
   std::size_t from_level = chain.size();
   for (std::size_t i = 0; i < chain.size(); ++i)
     if (chain[i] == from) {
@@ -846,6 +946,234 @@ void PubSubSystem::on_repair_miss(PeerId self, PeerId from, const GapRepairMiss&
     still_missing.push_back(seq);
   }
   send_nacks(self, miss.group, ws, still_missing, /*escalate=*/false);
+}
+
+void PubSubSystem::replica_send(PeerId root, GroupId group, ReplicaSync sync,
+                                bool migration) {
+  const PeerId replica = manager_->ensure_replica(group);
+  if (replica == kInvalidPeer || !manager_->alive(root)) return;
+  sync.group = group;
+  sync.sync_id = next_sync_id_++;
+  GroupStats& stats = manager_->stats(group);
+  ++stats.replica_sync_envelopes;
+  sim_->network().note_replica_sync();
+  if (migration) {
+    ++stats.migration_envelopes;
+    sim_->network().note_migration_envelope();
+  }
+  if (tracer_.enabled())
+    tracer_.emit({sim_->now(), obs::TraceEventType::kReplicaSync, group,
+                  sync.sync_id, static_cast<std::uint64_t>(sync.what),
+                  static_cast<std::uint64_t>(sync.what), root, replica});
+  replica_hop_->send(root, replica, sync.sync_id, std::move(sync));
+}
+
+void PubSubSystem::replica_sync_membership(PeerId root, GroupId group, PeerId member,
+                                           bool subscribed) {
+  ReplicaSync sync;
+  sync.what = subscribed ? ReplicaSync::What::kMember : ReplicaSync::What::kUnmember;
+  sync.member = member;
+  replica_send(root, group, std::move(sync), false);
+}
+
+void PubSubSystem::on_replica_sync(PeerId self, PeerId from, const ReplicaSync& sync) {
+  // Ack first, dedup second, exactly like the graft plane: the duplicate's
+  // arrival means our previous ack may have been the lost envelope, but a
+  // non-idempotent delta (kPendingJoin) must apply exactly once.
+  replica_hop_->acknowledge(self, from, sync.sync_id);
+  if (!sync_seen_[self].insert(sync.sync_id).second) return;
+  // Stale stream: the delta was addressed to this peer as the group's
+  // replica. If it no longer is (promoted, or replaced while the envelope
+  // flew), applying it would corrupt state now owed to someone else.
+  if (manager_->replica_of(sync.group) != self) return;
+  switch (sync.what) {
+    case ReplicaSync::What::kMember:
+      manager_->replica_apply_membership(sync.group, sync.member, true);
+      return;
+    case ReplicaSync::What::kUnmember:
+      manager_->replica_apply_membership(sync.group, sync.member, false);
+      return;
+    case ReplicaSync::What::kRetain:
+      // Mirrored into the replica's OWN RetainedBuffer (per-peer state that
+      // survives promotion) — this line is what turns post-migration NACKs
+      // from guaranteed misses into served repairs.
+      manager_->stats(sync.group).retained_evictions += manager_->retain_payload(
+          self, sync.group, sync.wave.seq, sync.wave.seq_hi, sync.wave);
+      return;
+    case ReplicaSync::What::kPendingJoin: {
+      ReplicaPending& pending = replica_pending_[sync.group];
+      ++pending.count;
+      pending.accepted.push_back(sync.accepted_at);
+      return;
+    }
+    case ReplicaSync::What::kPendingFlush:
+      replica_pending_.erase(sync.group);
+      return;
+  }
+}
+
+void PubSubSystem::bootstrap_replica(GroupId group, bool migration) {
+  const PeerId root = manager_->root_of(group);
+  if (!manager_->alive(root)) return;
+  if (manager_->ensure_replica(group) == kInvalidPeer) return;
+  // One envelope per member, retained range, and pending join: the handoff
+  // costs real messages on real links, not a pointer swap.
+  for (const PeerId member : manager_->subscribers_of(group)) {
+    ReplicaSync sync;
+    sync.what = ReplicaSync::What::kMember;
+    sync.member = member;
+    replica_send(root, group, std::move(sync), migration);
+  }
+  for (const auto& [lo, hi] : manager_->retained_ranges(root, group)) {
+    (void)hi;  // the retained wave carries its own [seq, seq_hi]
+    const std::any* payload = manager_->retained_payload(root, group, lo);
+    if (payload == nullptr) continue;
+    ReplicaSync sync;
+    sync.what = ReplicaSync::What::kRetain;
+    sync.wave = std::any_cast<const GroupDelivery&>(*payload);
+    replica_send(root, group, std::move(sync), migration);
+  }
+  if (acked() && batching()) {
+    const auto it = pending_batch_.find(group);
+    if (it != pending_batch_.end() && it->second.count > 0 &&
+        it->second.root == root) {
+      for (const double accepted_at : it->second.accepted) {
+        ReplicaSync sync;
+        sync.what = ReplicaSync::What::kPendingJoin;
+        sync.accepted_at = accepted_at;
+        replica_send(root, group, std::move(sync), migration);
+      }
+    }
+  }
+}
+
+void PubSubSystem::handle_promotion(const GroupManager::RootPromotion& promotion) {
+  GroupStats& stats = manager_->stats(promotion.group);
+  if (tracer_.enabled())
+    tracer_.emit({sim_->now(), obs::TraceEventType::kPromotion, promotion.group,
+                  obs::kNoWave, promotion.warm ? 1u : 0u,
+                  promotion.membership_consistent ? 1u : 0u, promotion.new_root,
+                  promotion.old_root});
+  if (acked() && batching()) {
+    // Adopt (or retire) the dead root's pending batch. The façade's buffer
+    // count is ground truth for how many publishes were pending; the
+    // replica's copy bounds how many the successor may claim — min() keeps
+    // a racing flush/join from inventing phantom publishes.
+    const auto bit = pending_batch_.find(promotion.group);
+    const std::size_t at_root =
+        (bit != pending_batch_.end() && bit->second.root == promotion.old_root)
+            ? bit->second.count
+            : 0;
+    if (at_root > 0) {
+      sim_->cancel(bit->second.timer);
+      std::size_t inherited = 0;
+      if (promotion.warm) {
+        const auto rp = replica_pending_.find(promotion.group);
+        if (rp != replica_pending_.end())
+          inherited = std::min(rp->second.count, at_root);
+      }
+      if (at_root > inherited) stats.batch_publishes_lost += at_root - inherited;
+      bit->second.count = inherited;
+      bit->second.accepted.resize(inherited);
+      if (inherited > 0) {
+        const auto& copy = replica_pending_.at(promotion.group).accepted;
+        std::copy_n(copy.begin(), inherited, bit->second.accepted.begin());
+        bit->second.root = promotion.new_root;
+        stats.pending_publishes_inherited += inherited;
+        // A fresh window from the adoption instant: the inherited batch
+        // flushes from the successor like any other.
+        bit->second.timer = sim_->schedule_after(
+            config_.batch_window,
+            [this, group = promotion.group]() { flush_batch(group, true); });
+      }
+    }
+  }
+  replica_pending_.erase(promotion.group);
+  // The successor owes its own replica a full bootstrap — the measured
+  // migration cost — and, under heartbeats, a beacon round so subscribers
+  // severed by the same failure learn the horizon from the NEW root.
+  bootstrap_replica(promotion.group, /*migration=*/true);
+  if (heartbeats_enabled()) {
+    const auto seq_it = next_seq_.find(promotion.group);
+    if (seq_it != next_seq_.end() && seq_it->second > 0)
+      schedule_heartbeat(promotion.group);
+  }
+}
+
+void PubSubSystem::schedule_heartbeat(GroupId group) {
+  HeartbeatState& hb = heartbeat_[group];
+  hb.rounds_left = config_.heartbeat_rounds;
+  // A new epoch orphans any pending tick of the previous burst — timers
+  // never need cancelling, stale ones just fall through.
+  const std::uint64_t epoch = ++hb.epoch;
+  sim_->schedule_after(config_.heartbeat_interval,
+                       [this, group, epoch]() { heartbeat_tick(group, epoch); });
+}
+
+void PubSubSystem::heartbeat_tick(GroupId group, std::uint64_t epoch) {
+  const auto it = heartbeat_.find(group);
+  if (it == heartbeat_.end() || it->second.epoch != epoch ||
+      it->second.rounds_left == 0)
+    return;  // superseded by a newer flush's burst, or the burst is done
+  --it->second.rounds_left;
+  send_heartbeat(group);
+  if (it->second.rounds_left > 0)
+    sim_->schedule_after(config_.heartbeat_interval,
+                         [this, group, epoch]() { heartbeat_tick(group, epoch); });
+}
+
+void PubSubSystem::send_heartbeat(GroupId group) {
+  const auto seq_it = next_seq_.find(group);
+  if (seq_it == next_seq_.end() || seq_it->second == 0) return;  // nothing flushed
+  const PeerId root = manager_->root_of(group);
+  if (!manager_->alive(root)) return;  // the promotion re-arms its own burst
+  const auto snapshot = manager_->tree_snapshot(group);
+  if (snapshot == nullptr) return;  // nobody subscribed
+  // Beacons live in the same dense wave-id space as data waves, so the
+  // per-peer dedup and latest-tree ordering work unchanged.
+  const std::uint64_t wave = next_wave_++;
+  wave_groups_.push_back(group);
+  const GroupHeartbeat hb{group, seq_it->second - 1, wave, snapshot};
+  ++manager_->stats(group).heartbeats_sent;
+  if (tracer_.enabled())
+    tracer_.emit({sim_->now(), obs::TraceEventType::kHeartbeat, group, wave,
+                  hb.highest_seq, hb.highest_seq, root});
+  on_heartbeat(root, hb);  // the root's own copy; forwarding starts here
+}
+
+void PubSubSystem::on_heartbeat(PeerId self, const GroupHeartbeat& hb) {
+  if (!hb_seen_[self].insert(hb.wave).second) return;
+  const GroupTree* gt = hb.tree.get();
+  if (gt == nullptr || !gt->tree.reached(self)) return;
+  if (gt->is_subscriber[self]) {
+    auto& windows = windows_[self];
+    const auto wit = windows.find(hb.group);
+    // No window state means this subscriber never consumed a wave — the
+    // beacon owes a late joiner nothing (mark_through's no-op rule).
+    if (wit != windows.end()) {
+      WindowState& ws = wit->second;
+      // The beacon is the newest traffic: its snapshot feeds the ancestor
+      // chain exactly as a data wave's would.
+      if (ws.latest_tree == nullptr || hb.wave >= ws.latest_wave) {
+        ws.latest_tree = hb.tree;
+        ws.latest_wave = hb.wave;
+      }
+      GroupStats& stats = manager_->stats(hb.group);
+      for (const std::uint64_t m : ws.window.mark_through(hb.highest_seq)) {
+        ws.gaps.emplace(m, GapState{sim_->now(), 0, 0});
+        ++stats.gap_seqs_detected;
+        ++stats.heartbeat_gap_detections;
+        if (tracer_.enabled())
+          tracer_.emit({sim_->now(), obs::TraceEventType::kGapDetected, hb.group,
+                        obs::kNoWave, m, m, self});
+      }
+      if (!ws.gaps.empty()) arm_gap_timer(self, hb.group, ws);
+    }
+  }
+  for (const PeerId child : gt->tree.children(self)) {
+    sim_->network().note_heartbeat();
+    sim_->send(self, child, kHeartbeatKind, hb);
+  }
 }
 
 void PubSubSystem::schedule_control(double time, PeerId peer, GroupId group,
@@ -873,12 +1201,25 @@ void PubSubSystem::publish_at(double time, PeerId peer, GroupId group) {
 }
 
 void PubSubSystem::depart_now(PeerId peer) {
+  const auto outcome = manager_->handle_departure(peer);
   // The departure sweep aborts every in-flight graft it invalidated; the
   // surviving subscribers re-enter through resubscribe so churn mid-graft
   // converges (the churn battery pins this).
-  for (const auto& aborted : manager_->handle_departure(peer)) {
+  for (const auto& aborted : outcome.aborted_grafts) {
     sim_->network().note_graft_abort();
     resubscribe(aborted.group, aborted.subscriber);
+  }
+  if (!warm()) return;
+  // Promotions first: a promoted root re-establishes its own replication
+  // before any same-instant membership delta relies on it.
+  for (const auto& promotion : outcome.promotions) handle_promotion(promotion);
+  for (const auto& loss : outcome.replica_losses) {
+    if (manager_->alive(manager_->root_of(loss.group)))
+      bootstrap_replica(loss.group, /*migration=*/true);
+  }
+  for (const GroupId group : outcome.member_losses) {
+    const PeerId root = manager_->root_of(group);
+    if (manager_->alive(root)) replica_sync_membership(root, group, peer, false);
   }
 }
 

@@ -105,12 +105,33 @@
 //    than silently dropped. Gaps the repair plane gives up on are skipped
 //    (gap_seqs_abandoned), bounding how long ordering can stall delivery.
 //
-// Known limitation (the classic NACK-scheme tail): a gap is only
-// detectable from later traffic, so a subtree severed during a group's
-// final wave has nothing to trigger its NACKs — per-hop QoS 1 recovery
-// still covers plain link loss there, but a forwarder death on the last
-// wave loses that subtree silently. Root-driven session heartbeats would
-// close it and are deliberately out of scope here.
+// Session heartbeats (PubSubConfig::heartbeat_interval, QoS 2 only): the
+// classic NACK-scheme tail is that a gap is only detectable from later
+// traffic, so a subtree severed during a group's final wave would have
+// nothing to trigger its NACKs. Root-driven idle beacons close it: after
+// each flush the root re-arms a bounded round of kHeartbeatKind beacons
+// carrying the group's highest flushed seq down the current tree; a
+// subscriber whose window is behind that horizon opens gaps and NACKs as
+// if a later wave had revealed them. Beacons are fire-and-forget — the
+// repeated rounds are their redundancy. Residual blind spot: a subscriber
+// severed on the group's ONLY wave has an uninitialized window, and a
+// beacon must not owe a late joiner the whole history, so it stays silent.
+//
+// Warm root failover (PubSubConfig::warm_failover): each group's root
+// streams its bookkeeping — membership deltas, retained-range inserts,
+// pending-batch joins — to the group's replica (the next-nearest alive
+// peer to the rendezvous point, recomputable by anyone) as
+// kReplicaSyncKind envelopes on a dedicated QoS 1 ReliableHopLayer. On
+// root death the recomputed rendezvous root IS that replica, so the
+// migration path promotes a warm successor: it keeps the synced
+// subscriber set, serves post-migration NACKs from its own RetainedBuffer
+// (the replica retains every synced range), and adopts the dead root's
+// pending batch from its copy instead of dropping it. Every sync envelope
+// is counted (replica_sync_envelopes; the re-bootstrap after a promotion
+// or replica death additionally as migration_envelopes), so the handoff
+// has a measured price, not a free pointer swap. Off (the default), the
+// historic cold rebuild runs bit-identically — the oracle the warm path
+// is compared against.
 //
 // Departures take effect immediately: the network drops envelopes
 // addressed to departed peers, greedy forwarding routes around them, and
@@ -204,6 +225,37 @@ struct GraftEnvelope {
   std::uint64_t graft_id = 0;
 };
 
+/// One root->replica replication delta (kReplicaSyncKind, QoS 1 on the
+/// dedicated replica hop layer). `sync_id` is globally unique: the
+/// reliability token and the replica-side dedup key (a retransmitted
+/// kPendingJoin must not book a second publish).
+struct ReplicaSync {
+  enum class What : std::uint8_t {
+    kMember,        ///< `member` subscribed (also the bootstrap stream's unit)
+    kUnmember,      ///< `member` unsubscribed or departed
+    kRetain,        ///< root retained `wave` — replica mirrors it
+    kPendingJoin,   ///< one publish joined the root's pending batch
+    kPendingFlush,  ///< the pending batch flushed — replica drops its copy
+  };
+  GroupId group = 0;
+  What what = What::kMember;
+  PeerId member = kInvalidPeer;  // kMember / kUnmember
+  GroupDelivery wave;            // kRetain: the retained range wave
+  double accepted_at = 0.0;      // kPendingJoin: root-accept time
+  std::uint64_t sync_id = 0;
+};
+
+/// Root-driven idle beacon (kHeartbeatKind, fire-and-forget): the group's
+/// highest flushed seq, forwarded down the carried tree snapshot like a
+/// wave. `wave` is a real wave id (same dense space) so per-peer dedup and
+/// latest-tree ordering work unchanged.
+struct GroupHeartbeat {
+  GroupId group = 0;
+  std::uint64_t highest_seq = 0;
+  std::uint64_t wave = 0;
+  std::shared_ptr<const GroupTree> tree;
+};
+
 /// Knobs of the QoS 2 end-to-end repair plane (ignored below QoS 2).
 struct RepairConfig {
   /// Quiet time between detecting a gap and NACKing it — and between
@@ -252,6 +304,22 @@ struct PubSubConfig {
   /// NetworkStats; false runs GroupManager::subscribe's synchronous local
   /// descent (the golden oracle, bit-identical on lossless seeds).
   bool routed_graft = true;
+  /// Warm root failover: every group root streams membership deltas,
+  /// retained-range inserts, and pending-batch joins to the group's
+  /// replica (kReplicaSyncKind, QoS 1), so root death promotes a warm
+  /// successor that inherits the subscriber set, serves post-migration
+  /// NACKs from replicated history, and adopts the pending batch. False
+  /// (the default) keeps the historic cold rebuild — the oracle, and
+  /// bit-identical to it on no-kill seeds.
+  bool warm_failover = false;
+  /// Root-driven session heartbeats (QoS 2 only): seconds between idle
+  /// beacons after a flush; 0 (the default) disables them. Closes the
+  /// final-wave blind spot — see the header comment.
+  double heartbeat_interval = 0.0;
+  /// Beacon rounds re-armed after each flush (their only redundancy —
+  /// beacons are fire-and-forget); bounded so an idle group goes silent
+  /// and run() terminates.
+  std::size_t heartbeat_rounds = 2;
   std::uint64_t seed = 1;
 };
 
@@ -304,6 +372,13 @@ class SubscriberWindow {
   /// released by the skip (empty when an earlier gap still blocks the
   /// head). No-op (empty) when `seq` is not a gap.
   [[nodiscard]] std::vector<std::uint64_t> abandon(std::uint64_t seq);
+
+  /// Horizon observation (the heartbeat path): every seq in [frontier, hi]
+  /// the window has never admitted becomes a gap, exactly as if a later
+  /// wave had revealed it; returns the fresh gaps for the caller to book
+  /// and NACK. No-op on an uninitialized window — a beacon must not owe a
+  /// late joiner the group's entire history.
+  [[nodiscard]] std::vector<std::uint64_t> mark_through(std::uint64_t hi);
 
   [[nodiscard]] bool initialized() const noexcept { return initialized_; }
   /// Lowest seq not yet released or skipped (the window head).
@@ -492,8 +567,53 @@ class PubSubSystem {
                   const std::vector<std::uint64_t>& seqs, bool escalate);
   /// `self`'s ancestors in its latest wave snapshot, nearest first, dead
   /// peers skipped (the façade's immediate-departure rule doubles as a
-  /// perfect failure detector, as everywhere else in this layer).
-  [[nodiscard]] std::vector<PeerId> ancestor_chain(PeerId self, const WindowState& ws) const;
+  /// perfect failure detector, as everywhere else in this layer). Under
+  /// warm failover the group's CURRENT root is appended when the
+  /// snapshot's root died mid-repair — the promoted successor holds the
+  /// replicated history the chain would otherwise dead-end short of.
+  [[nodiscard]] std::vector<PeerId> ancestor_chain(PeerId self, GroupId group,
+                                                   const WindowState& ws) const;
+
+  // -- warm root failover ---------------------------------------------------
+  [[nodiscard]] bool warm() const noexcept { return config_.warm_failover; }
+  /// One delta to the group's replica: assigns sync id, books the cost
+  /// (replica_sync_envelopes; plus migration_envelopes when `migration`),
+  /// and sends on the replica hop layer. No-op when no replica exists.
+  void replica_send(PeerId root, GroupId group, ReplicaSync sync, bool migration);
+  /// Membership delta convenience (subscribe/unsubscribe/departure).
+  void replica_sync_membership(PeerId root, GroupId group, PeerId member,
+                               bool subscribed);
+  /// Replica half: ack, dedup by sync id, apply — membership into the
+  /// manager's replica copy, retains into the replica's own
+  /// RetainedBuffer, pending joins into replica_pending_. Stale deliveries
+  /// (this peer is no longer the group's replica) are dropped.
+  void on_replica_sync(PeerId self, PeerId from, const ReplicaSync& sync);
+  /// Streams the group's full root state — membership, retained ranges,
+  /// pending batch — to a freshly assigned replica, one sync envelope per
+  /// item (the handoff costs real messages). `migration` attributes the
+  /// stream to migration_envelopes.
+  void bootstrap_replica(GroupId group, bool migration);
+  /// Post-migration half of depart_now: trace/count the promotion, adopt
+  /// the replica's pending-batch copy at the new root (QoS 1+), and
+  /// bootstrap the successor's own replica.
+  void handle_promotion(const GroupManager::RootPromotion& promotion);
+
+  // -- session heartbeats ---------------------------------------------------
+  [[nodiscard]] bool heartbeats_enabled() const noexcept {
+    return config_.heartbeat_interval > 0.0 && config_.heartbeat_rounds > 0 &&
+           end_to_end();
+  }
+  /// (Re)arms a fresh round of beacons for the group — called after every
+  /// flush; a newer flush's epoch invalidates older pending ticks.
+  void schedule_heartbeat(GroupId group);
+  void heartbeat_tick(GroupId group, std::uint64_t epoch);
+  /// Issues one beacon from the group's current root down a fresh tree
+  /// snapshot (post-promotion beacons therefore come from the successor).
+  void send_heartbeat(GroupId group);
+  /// Beacon processing at `self`: dedup by beacon wave id, mark the
+  /// window through the advertised horizon (new gaps NACK as usual),
+  /// forward to tree children.
+  void on_heartbeat(PeerId self, const GroupHeartbeat& hb);
   void arm_gap_timer(PeerId self, GroupId group, WindowState& ws);
   /// Books an application-level delivery (counter + probe).
   void deliver_local(PeerId self, GroupId group, std::uint64_t seq);
@@ -522,6 +642,11 @@ class PubSubSystem {
   /// must retry, not strand the subscriber. One layer carries all three
   /// graft kinds; graft ids keep the (from, to, seq) key space disjoint.
   std::unique_ptr<multicast::ReliableHopLayer> graft_hop_;
+  /// Warm-failover replication stream: always QoS 1 like the graft plane
+  /// (a lost delta must retry — the replica's copy is only as good as the
+  /// stream), sync ids keying the (from, to, seq) space. Built only when
+  /// warm_failover is on.
+  std::unique_ptr<multicast::ReliableHopLayer> replica_hop_;
   std::vector<std::unique_ptr<PubSubNode>> nodes_;
   std::map<GroupId, std::uint64_t> next_seq_;
   std::map<GroupId, PendingBatch> pending_batch_;
@@ -540,6 +665,31 @@ class PubSubSystem {
   /// decision (a descent visits each peer at most once, so the id alone
   /// is the key). Sized only when routed_graft is on.
   std::vector<std::set<std::uint64_t>> graft_seen_;
+  /// Per-peer sync ids already applied — the dedup that keeps a
+  /// retransmitted (non-idempotent) kPendingJoin from double-booking.
+  /// Sized only when warm_failover is on.
+  std::vector<std::set<std::uint64_t>> sync_seen_;
+  std::uint64_t next_sync_id_ = 1;
+  /// The replica's copy of its group's pending batch (count + accept
+  /// times), fed by kPendingJoin/kPendingFlush syncs and consumed at
+  /// promotion. Keyed by group: the manager guarantees one replica per
+  /// group, and stale syncs are dropped before reaching this map.
+  struct ReplicaPending {
+    std::size_t count = 0;
+    std::vector<double> accepted;
+  };
+  std::map<GroupId, ReplicaPending> replica_pending_;
+  /// Per-group beacon scheduling: rounds left in the current post-flush
+  /// burst, and an epoch counter that invalidates ticks a newer flush
+  /// superseded (so timers never need cancelling).
+  struct HeartbeatState {
+    std::uint64_t epoch = 0;
+    std::size_t rounds_left = 0;
+  };
+  std::map<GroupId, HeartbeatState> heartbeat_;
+  /// Per-peer beacon wave ids already processed (forwarding dedup). Sized
+  /// only when heartbeats are enabled.
+  std::vector<std::set<std::uint64_t>> hb_seen_;
   DeliveryProbe probe_;
   // -- observability (all passive; maintained identically with tracing on
   // or off so attaching a sink cannot perturb a seeded run) ---------------

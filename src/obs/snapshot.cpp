@@ -109,6 +109,14 @@ std::string to_json(const groups::GroupStats& stats) {
   field(out, first, "repair_messages", stats.repair_messages);
   field(out, first, "repair_failures", stats.repair_failures);
   field(out, first, "root_migrations", stats.root_migrations);
+  field(out, first, "replica_sync_envelopes", stats.replica_sync_envelopes);
+  field(out, first, "replica_sync_retries", stats.replica_sync_retries);
+  field(out, first, "migration_envelopes", stats.migration_envelopes);
+  field(out, first, "warm_promotions", stats.warm_promotions);
+  field(out, first, "pending_publishes_inherited",
+        stats.pending_publishes_inherited);
+  field(out, first, "heartbeats_sent", stats.heartbeats_sent);
+  field(out, first, "heartbeat_gap_detections", stats.heartbeat_gap_detections);
   field(out, first, "graft_hops", stats.graft_hops);
   field(out, first, "graft_retries", stats.graft_retries);
   field(out, first, "graft_aborts", stats.graft_aborts);
@@ -144,6 +152,9 @@ std::string to_json(const sim::NetworkStats& stats) {
   field(out, first, "graft_hops", stats.graft_hops);
   field(out, first, "graft_retries", stats.graft_retries);
   field(out, first, "graft_aborts", stats.graft_aborts);
+  field(out, first, "replica_sync_envelopes", stats.replica_sync_envelopes);
+  field(out, first, "migration_envelopes", stats.migration_envelopes);
+  field(out, first, "heartbeats", stats.heartbeats);
   {
     // Named through the message-kind registry; std::map iteration order
     // keeps the output deterministic.

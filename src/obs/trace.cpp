@@ -31,6 +31,9 @@ const char* trace_event_name(TraceEventType type) noexcept {
     case TraceEventType::kGraftAbort: return "graft_abort";
     case TraceEventType::kTreeBuild: return "tree_build";
     case TraceEventType::kRootMigration: return "root_migration";
+    case TraceEventType::kReplicaSync: return "replica_sync";
+    case TraceEventType::kPromotion: return "promotion";
+    case TraceEventType::kHeartbeat: return "heartbeat";
   }
   return "unknown";
 }

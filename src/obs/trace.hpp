@@ -59,6 +59,10 @@ enum class TraceEventType : std::uint8_t {
   // Tree maintenance (GroupManager).
   kTreeBuild,      ///< full construction wave rebuilt the cached tree
   kRootMigration,  ///< rendezvous root departed; successor (`peer`) took over
+  // Warm root failover + session heartbeats (groups replica plane).
+  kReplicaSync,  ///< root `peer` streamed one delta to replica `other` (`wave`=sync id)
+  kPromotion,    ///< successor `peer` took over from dead root `other` (warm in seq_lo)
+  kHeartbeat,    ///< root `peer` issued an idle beacon (highest seq in seq_lo/seq_hi)
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEventType type) noexcept;

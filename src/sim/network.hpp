@@ -92,6 +92,13 @@ struct NetworkStats {
   std::uint64_t graft_hops = 0;         ///< kGraftRequestKind descent hops sent
   std::uint64_t graft_retries = 0;      ///< graft control envelopes retransmitted
   std::uint64_t graft_aborts = 0;       ///< in-flight grafts given up (resubscribed)
+  // Warm-failover accounting (groups replica plane): root->replica state
+  // replication, the per-migration bootstrap subset of it, and the idle
+  // heartbeat beacons. All three are control traffic and also count into
+  // control_envelopes.
+  std::uint64_t replica_sync_envelopes = 0;  ///< kReplicaSyncKind deltas sent
+  std::uint64_t migration_envelopes = 0;     ///< syncs re-establishing a replica
+  std::uint64_t heartbeats = 0;              ///< kHeartbeatKind beacon hops sent
   std::map<MessageKind, std::uint64_t> sent_by_kind;
   std::vector<std::uint64_t> sent_by_node;
   std::vector<std::uint64_t> received_by_node;
@@ -129,6 +136,15 @@ class Network {
   }
   void note_graft_retry() noexcept { ++stats_.graft_retries; }
   void note_graft_abort() noexcept { ++stats_.graft_aborts; }
+  void note_replica_sync() noexcept {
+    ++stats_.replica_sync_envelopes;
+    ++stats_.control_envelopes;
+  }
+  void note_migration_envelope() noexcept { ++stats_.migration_envelopes; }
+  void note_heartbeat() noexcept {
+    ++stats_.heartbeats;
+    ++stats_.control_envelopes;
+  }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }

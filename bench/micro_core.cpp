@@ -142,6 +142,78 @@ void BM_EventQueueCancelChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueCancelChurn)->Arg(2)->Arg(8)->Arg(64);
 
+// ------------------------------------------------------- simulator core ----
+
+// Raw-callback dispatch through the two queue backends: the heap oracle
+// vs the hierarchical timer wheel, on the near-horizon schedule-then-pop
+// cycle the simulator hot loop runs per envelope. Arg 0 = kHeap,
+// 1 = kWheel. CI gates events/sec on these (BM_SimCore*): a wheel
+// regression that the bit-identical battery can't see shows up here.
+void BM_SimCoreQueueDispatch(benchmark::State& state) {
+  const auto backend =
+      state.range(0) == 0 ? sim::QueueBackend::kHeap : sim::QueueBackend::kWheel;
+  constexpr int kBatch = 1024;
+  for (auto _ : state) {
+    sim::EventQueue queue(backend);
+    std::uint64_t fired = 0;
+    // 64 rounds of 1024 events over a ~0.1s horizon each: dense
+    // occupancy, the regime the 1000-peer gate cell runs the wheel in.
+    for (int round = 0; round < 64; ++round) {
+      const double base = 0.1 * round;
+      for (int i = 0; i < kBatch; ++i)
+        queue.schedule(
+            base + 0.0001 * (i % 1000),
+            [](void* ctx, std::uint64_t arg) {
+              *static_cast<std::uint64_t*>(ctx) += arg;
+            },
+            &fired, 1);
+      while (queue.pending() > 0) queue.run_next();
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * kBatch);
+}
+BENCHMARK(BM_SimCoreQueueDispatch)->Arg(0)->Arg(1);
+
+// The end-to-end per-event cost of the pub/sub simulation core: one
+// PubSubSystem per iteration running a QoS 1 batched publish workload on a
+// prebuilt overlay, with the pool reset (release_pools) exercised between
+// iterations exactly as the bench driver resets between cells. Arg 0 =
+// heap/set oracle core, 1 = sim_core fast path; items = simulator events,
+// so items/sec IS the events/sec figure BENCH_simcore.json reports.
+void BM_SimCoreWaveDelivery(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  constexpr std::size_t kPeers = 300;
+  constexpr groups::GroupId kGroups = 4;
+  const auto points = make_points(kPeers, 2);
+  const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    groups::PubSubConfig config;
+    config.seed = 42;
+    config.reliability.qos = multicast::QoS::kAcked;
+    config.batch_window = 0.1;
+    config.sim_core = fast;
+    groups::PubSubSystem system(graph, config);
+    util::Rng rng(42);
+    for (groups::GroupId g = 0; g < kGroups; ++g) {
+      const overlay::PeerId root = system.manager().root_of(g);
+      for (std::size_t picked = 0; picked < 16;) {
+        const auto p = static_cast<overlay::PeerId>(rng.next_below(kPeers));
+        if (p == root) continue;
+        system.subscribe_at(rng.uniform(0.0, 1.0), p, g);
+        ++picked;
+      }
+      for (std::size_t i = 0; i < 24; ++i)
+        system.publish_at(rng.uniform(2.0, 5.0), root, g);
+    }
+    events += static_cast<std::int64_t>(system.run());
+    system.release_pools();
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_SimCoreWaveDelivery)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 // ------------------------------------------------- batched publish plane ----
 
 // Range admission through a SubscriberWindow: the batched data plane

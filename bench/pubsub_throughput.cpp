@@ -101,6 +101,7 @@
 #include <tuple>
 #include <vector>
 
+#include "geometry/distance.hpp"
 #include "geometry/random_points.hpp"
 #include "groups/failure_injection.hpp"
 #include "groups/pubsub.hpp"
@@ -108,6 +109,7 @@
 #include "obs/trace.hpp"
 #include "overlay/empty_rect.hpp"
 #include "overlay/equilibrium.hpp"
+#include "overlay/grid_knn.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -129,6 +131,16 @@ struct ScenarioParams {
   double batch_window = 0.0;   // root-side coalescing window (0 = off)
   std::size_t max_batch = 16;  // publishes per coalesced wave
   std::size_t pub_burst = 1;   // publishes per burst in the schedule
+  /// Simulator-core fast path (timer wheel + interval dedup); false runs
+  /// the historic heap/set oracle. Only --simcore mode flips this.
+  bool sim_core = true;
+  /// Membership drawn from each root's neighbourhood instead of uniformly.
+  /// Corridor-greedy control routing is only guaranteed on the
+  /// full-knowledge empty-rect equilibrium; on a grid-kNN local-knowledge
+  /// overlay a distant target strands, so the 100k sweep cell keeps its
+  /// control traffic inside each root's neighbourhood (tree dissemination
+  /// is direct sends and is unaffected).
+  bool local_members = false;
   std::uint64_t seed = 42;
 };
 
@@ -181,6 +193,7 @@ ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
   config.groups.retention_window = params.retention_window;
   config.batch_window = params.batch_window;
   config.max_batch = params.max_batch;
+  config.sim_core = params.sim_core;
   groups::PubSubSystem system(graph, config);
   if (trace_sink != nullptr) system.set_trace_sink(trace_sink);
   // The sampler's ticks are simulator events, so a sampled run's
@@ -217,14 +230,36 @@ ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
   // Membership: M distinct non-root subscribers per group, waves in (0, 1).
   util::Rng rng(params.seed ^ 0x736368656475ULL);  // schedule stream
   std::vector<std::vector<overlay::PeerId>> members(params.group_count);
-  for (std::size_t g = 0; g < params.group_count; ++g) {
-    std::vector<bool> chosen(peers, false);
-    while (members[g].size() < params.subscribers) {
-      const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
-      if (chosen[p] || is_root[p]) continue;
-      chosen[p] = true;
-      members[g].push_back(p);
-      system.subscribe_at(rng.uniform(0.0, 1.0), p, g);
+  if (params.local_members) {
+    // The M non-root peers nearest each group's rendezvous root, ties by
+    // id — deterministic, and every subscribe/publish request routes a
+    // handful of neighbourhood hops (see the knob comment above).
+    std::vector<std::pair<double, overlay::PeerId>> by_dist;
+    for (std::size_t g = 0; g < params.group_count; ++g) {
+      const overlay::PeerId root = system.manager().root_of(g);
+      by_dist.clear();
+      for (overlay::PeerId p = 0; p < peers; ++p)
+        if (!is_root[p])
+          by_dist.emplace_back(
+              geometry::l2_distance_sq(graph.point(p), graph.point(root)), p);
+      std::partial_sort(by_dist.begin(),
+                        by_dist.begin() + static_cast<std::ptrdiff_t>(params.subscribers),
+                        by_dist.end());
+      for (std::size_t i = 0; i < params.subscribers; ++i) {
+        members[g].push_back(by_dist[i].second);
+        system.subscribe_at(rng.uniform(0.0, 1.0), by_dist[i].second, g);
+      }
+    }
+  } else {
+    for (std::size_t g = 0; g < params.group_count; ++g) {
+      std::vector<bool> chosen(peers, false);
+      while (members[g].size() < params.subscribers) {
+        const auto p = static_cast<overlay::PeerId>(rng.next_below(peers));
+        if (chosen[p] || is_root[p]) continue;
+        chosen[p] = true;
+        members[g].push_back(p);
+        system.subscribe_at(rng.uniform(0.0, 1.0), p, g);
+      }
     }
   }
 
@@ -298,6 +333,10 @@ ScenarioOutcome run_scenario(const overlay::OverlayGraph& graph,
   outcome.retained_entries = system.manager().retained_entry_total();
   outcome.retained_buffers = system.manager().retained_buffer_count();
   if (snapshot_json != nullptr) *snapshot_json = sampler->to_json();
+  // Pool reset between cells: return the payload pool's cached blocks
+  // before the next cell's system constructs, so one cell's high-water
+  // mark never sits resident while another cell measures.
+  system.release_pools();
   return outcome;
 }
 
@@ -1223,6 +1262,170 @@ int run_root_kill(ScenarioParams params, std::size_t dims, bool csv,
   return all_ok ? 0 : 2;
 }
 
+// ------------------------------------------------------------- sim core ----
+
+/// Deterministic slice of a run — everything that must be bit-identical
+/// across the sim_core knob. run_secs and events/sec are measurement, not
+/// behaviour, so they live outside this string.
+std::string core_stats_json(const ScenarioOutcome& r) {
+  std::string json = obs::to_json(r.total);
+  json += '\n';
+  json += obs::to_json(r.net);
+  return json;
+}
+
+struct SimCoreCell {
+  std::string name;
+  std::size_t peers = 0;
+  double overlay_secs = 0.0;
+  ScenarioOutcome fast;
+  ScenarioOutcome oracle;
+  bool delivered_identical = false;
+  bool stats_identical = false;
+  bool events_identical = false;
+
+  [[nodiscard]] bool identical() const {
+    return delivered_identical && stats_identical && events_identical;
+  }
+  [[nodiscard]] static double events_per_sec(const ScenarioOutcome& r) {
+    return r.run_secs > 0.0 ? static_cast<double>(r.events) / r.run_secs : 0.0;
+  }
+};
+
+/// Runs one workload cell with sim_core on and off on the same overlay and
+/// checks the fast path is bit-passive: identical delivered
+/// (peer, group, seq) sets, byte-identical counter JSON, equal event count.
+SimCoreCell run_simcore_cell(const std::string& name,
+                             const overlay::OverlayGraph& graph,
+                             ScenarioParams params, multicast::QoS qos, double loss,
+                             double overlay_secs) {
+  SimCoreCell cell;
+  cell.name = name;
+  cell.peers = graph.size();
+  cell.overlay_secs = overlay_secs;
+  std::set<DeliveryKey> fast_set, oracle_set;
+  params.sim_core = true;
+  cell.fast = run_scenario(graph, params, qos, loss, &fast_set);
+  params.sim_core = false;
+  cell.oracle = run_scenario(graph, params, qos, loss, &oracle_set);
+  cell.delivered_identical = fast_set == oracle_set && !fast_set.empty();
+  cell.stats_identical = core_stats_json(cell.fast) == core_stats_json(cell.oracle);
+  cell.events_identical = cell.fast.events == cell.oracle.events;
+  return cell;
+}
+
+/// The ISSUE tentpole acceptance harness: the 1000-peer QoS 1 batched gate
+/// cell on the full-knowledge overlay, plus a 100k-peer sweep cell on a
+/// grid-kNN local-knowledge overlay (build_equilibrium is O(n^2) selector
+/// input — a 100k full-knowledge build alone would blow the CI budget; the
+/// fast-vs-oracle comparison runs both modes on the SAME overlay, so the
+/// equivalence gate is unaffected by how the overlay was built). Gates on
+/// bit-identical delivered sets, byte-identical stats JSON, and equal
+/// sim_events in every cell; reports events/sec per mode for the
+/// regression trajectory (BENCH_simcore.json).
+int run_simcore(ScenarioParams params, std::size_t dims, multicast::QoS qos,
+                double loss, bool csv, const std::string& json_path,
+                std::size_t sweep_peers, std::size_t knn_k) {
+  std::vector<SimCoreCell> cells;
+  {
+    util::Rng rng(params.seed);
+    const auto points = geometry::random_points(rng, params.peers, dims, 100.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto graph = overlay::build_equilibrium(points, overlay::EmptyRectSelector{});
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    cells.push_back(run_simcore_cell("gate1k", graph, params, qos, loss, secs));
+  }
+  if (sweep_peers > 0) {
+    ScenarioParams sweep = params;
+    sweep.peers = sweep_peers;
+    // Few publishes: the sweep cell exists to push peer-count-proportional
+    // state (window slots, dedup tables, wheel occupancy) to 100k within
+    // the CI budget, not to maximise wave traffic.
+    sweep.publishes = std::min<std::size_t>(sweep.publishes, 8);
+    sweep.local_members = true;
+    util::Rng rng(params.seed + 1);
+    const auto points = geometry::random_points(rng, sweep.peers, dims, 100.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto graph =
+        overlay::build_equilibrium_local(points, overlay::EmptyRectSelector{}, knn_k);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    cells.push_back(run_simcore_cell("sweep100k", graph, sweep, qos, loss, secs));
+  }
+
+  bool delivered_ok = true, stats_ok = true, events_ok = true;
+  util::Table table({"cell", "peers", "overlay_secs", "mode", "events", "run_secs",
+                     "events_per_sec", "delivery_ratio", "identical"});
+  std::ostringstream cells_json;
+  cells_json.precision(10);
+  for (const auto& cell : cells) {
+    delivered_ok = delivered_ok && cell.delivered_identical;
+    stats_ok = stats_ok && cell.stats_identical;
+    events_ok = events_ok && cell.events_identical;
+    const struct {
+      const char* mode;
+      const ScenarioOutcome* r;
+    } rows[] = {{"fast", &cell.fast}, {"oracle", &cell.oracle}};
+    for (const auto& row : rows) {
+      table.begin_row()
+          .add_cell(cell.name)
+          .add_number(static_cast<double>(cell.peers), 0)
+          .add_number(cell.overlay_secs, 3)
+          .add_cell(row.mode)
+          .add_number(static_cast<double>(row.r->events), 0)
+          .add_number(row.r->run_secs, 4)
+          .add_number(SimCoreCell::events_per_sec(*row.r), 0)
+          .add_number(row.r->total.delivery_ratio(), 5)
+          .add_cell(cell.identical() ? "yes" : "NO");
+    }
+    if (cells_json.tellp() > 0) cells_json << ",";
+    cells_json << "\n    {\"cell\":\"" << cell.name << "\",\"peers\":" << cell.peers
+               << ",\"overlay_secs\":" << cell.overlay_secs
+               << ",\"sim_events\":" << cell.fast.events
+               << ",\"events_per_sec_fast\":" << SimCoreCell::events_per_sec(cell.fast)
+               << ",\"events_per_sec_oracle\":"
+               << SimCoreCell::events_per_sec(cell.oracle)
+               << ",\"delivered_identical\":"
+               << (cell.delivered_identical ? "true" : "false")
+               << ",\"stats_identical\":" << (cell.stats_identical ? "true" : "false")
+               << ",\"events_identical\":" << (cell.events_identical ? "true" : "false")
+               << ",\n     \"fast\":" << scenario_json(params, qos, loss, cell.fast)
+               << ",\n     \"oracle\":" << scenario_json(params, qos, loss, cell.oracle)
+               << "}";
+  }
+  const bool all_ok = delivered_ok && stats_ok && events_ok;
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"pubsub_throughput\",\n  \"mode\": \"simcore\",\n"
+         << "  \"params\": " << params_json(params) << ",\n  \"cells\": ["
+         << cells_json.str() << "\n  ],\n  \"gate_delivered_identical\": "
+         << (delivered_ok ? "true" : "false")
+         << ",\n  \"gate_stats_identical\": " << (stats_ok ? "true" : "false")
+         << ",\n  \"gate_events_identical\": " << (events_ok ? "true" : "false")
+         << "\n}";
+    write_json_file(json_path, json.str());
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    std::cout << "=== pub/sub simulator-core equivalence: fast path vs heap/set"
+                 " oracle, qos=" << static_cast<int>(qos) << ", loss=" << loss
+              << ", seed " << params.seed << " ===\n\n";
+    table.print(std::cout);
+    std::cout << "\nacceptance: delivered (peer, group, seq) sets bit-identical: "
+              << (delivered_ok ? "PASS" : "FAIL")
+              << "\nacceptance: GroupStats+NetworkStats JSON byte-identical: "
+              << (stats_ok ? "PASS" : "FAIL")
+              << "\nacceptance: sim_events equal: " << (events_ok ? "PASS" : "FAIL")
+              << "\n";
+  }
+  if (!all_ok)
+    std::cerr << "pubsub_throughput: simcore gate failed (delivered=" << delivered_ok
+              << ", stats=" << stats_ok << ", events=" << events_ok << ")\n";
+  return all_ok ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1253,6 +1456,7 @@ int main(int argc, char** argv) {
     const bool graft_cost = flags.get_bool("graft-cost", false);
     const bool latency = flags.get_bool("latency", false);
     const bool root_kill = flags.get_bool("root-kill", false);
+    const bool simcore = flags.get_bool("simcore", false);
     const std::string json_path = flags.get_string("json", "");
     const std::string trace_path = flags.get_string("trace", "");
     const std::string snapshot_path = flags.get_string("snapshot", "");
@@ -1276,6 +1480,22 @@ int main(int argc, char** argv) {
       // the roots' neighborhoods and starves the victim pool.
       if (root_kill && !flags.has("subscribers"))
         params.subscribers = std::min<std::size_t>(params.subscribers, 12);
+    }
+
+    // Sim-core equivalence: defaults mirror the tentpole gate cell
+    // (1000 peers, QoS 1, 0.1s batching, bursts of 8) unless overridden;
+    // --simcore-peers sizes the grid-kNN sweep cell (0 skips it).
+    if (simcore) {
+      if (!flags.has("subscribers")) params.subscribers = 64;
+      if (!flags.has("publishes")) params.publishes = 64;
+      if (!flags.has("batch-window")) params.batch_window = 0.1;
+      if (!flags.has("pub-burst")) params.pub_burst = 8;
+      const auto simcore_qos = flags.has("qos") ? qos : multicast::QoS::kAcked;
+      const auto sweep_peers =
+          static_cast<std::size_t>(flags.get_int("simcore-peers", 100000));
+      const auto knn_k = static_cast<std::size_t>(flags.get_int("simcore-k", 16));
+      return run_simcore(params, dims, simcore_qos, loss, csv, json_path,
+                         sweep_peers, knn_k);
     }
 
     // Graft-cost, latency, and root-kill build one overlay per pinned seed

@@ -95,13 +95,15 @@ PeerId GroupManager::rendezvous_root(GroupId group) const {
   return best;
 }
 
-GroupManager::GroupState& GroupManager::state_of(GroupId group) {
+GroupManager::GroupState& GroupManager::state_of_slow(GroupId group) {
   auto [it, inserted] = groups_.try_emplace(group);
   GroupState& gs = it->second;
   if (inserted) {
     gs.subscribers.assign(graph_.size(), false);
     gs.root = rendezvous_root(group);
   }
+  state_cache_group_ = group;
+  state_cache_ = &gs;
   return gs;
 }
 
@@ -287,6 +289,26 @@ std::size_t GroupManager::subscriber_count(GroupId group) const {
 GroupTree& GroupManager::writable_tree(GroupState& gs) {
   if (gs.cached.use_count() > 1)
     gs.cached = std::make_shared<GroupTree>(*gs.cached);
+  return *gs.cached;
+}
+
+GroupTree& GroupManager::writable_tree_stale(GroupState& gs) {
+  if (gs.cached.use_count() > 1) {
+    const GroupTree& src = *gs.cached;
+    auto clone = std::make_shared<GroupTree>();
+    clone->tree = src.tree;
+    clone->is_subscriber = src.is_subscriber;
+    clone->subscriber_count = src.subscriber_count;
+    clone->reached_subscribers = src.reached_subscribers;
+    clone->build_messages = src.build_messages;
+    clone->zones_stale = true;
+    gs.cached = std::move(clone);
+  } else {
+    // Sole owner: no clone needed, but the zones are dead weight now.
+    gs.cached->zones.clear();
+    gs.cached->zones.shrink_to_fit();
+    gs.cached->zones_stale = true;
+  }
   return *gs.cached;
 }
 
@@ -526,7 +548,8 @@ GroupManager::DepartureOutcome GroupManager::handle_departure(PeerId peer) {
           break;
         }
       if (stranded_member || neighbours_tree) {
-        GroupTree& gt = writable_tree(gs);
+        GroupTree& gt =
+            neighbours_tree ? writable_tree_stale(gs) : writable_tree(gs);
         if (stranded_member) {  // membership only; never spanned
           gt.is_subscriber[peer] = false;
           --gt.subscriber_count;
@@ -535,7 +558,9 @@ GroupManager::DepartureOutcome GroupManager::handle_departure(PeerId peer) {
       }
       continue;
     }
-    const auto repair = repair_group_tree(graph_, writable_tree(gs), peer, alive_);
+    // repair_group_tree stales the zones unconditionally, so the COW clone
+    // skips copying them.
+    const auto repair = repair_group_tree(graph_, writable_tree_stale(gs), peer, alive_);
     ++gs.stats.repairs;
     gs.stats.repair_messages += repair.messages;
     if (repair.needs_rebuild) {
@@ -564,8 +589,6 @@ GroupManager::DepartureOutcome GroupManager::handle_departure(PeerId peer) {
   }
   return outcome;
 }
-
-GroupStats& GroupManager::stats(GroupId group) { return state_of(group).stats; }
 
 const GroupStats& GroupManager::stats(GroupId group) const {
   static const GroupStats kEmpty{};

@@ -334,7 +334,13 @@ class GroupManager {
     GroupStats stats;
   };
 
-  GroupState& state_of(GroupId group);
+  /// Inline memo hit (protocol code resolves the same group many times per
+  /// wave); the miss path materializes/looks up out of line.
+  GroupState& state_of(GroupId group) {
+    if (state_cache_ != nullptr && state_cache_group_ == group) return *state_cache_;
+    return state_of_slow(group);
+  }
+  GroupState& state_of_slow(GroupId group);
   [[nodiscard]] PeerId rendezvous_root(GroupId group) const;
   /// Shared rendezvous scan: nearest alive peer to the group's hash point,
   /// skipping `exclude`; kInvalidPeer when no candidate remains.
@@ -343,6 +349,11 @@ class GroupManager {
   /// COW gate: clones the cached tree iff publish-wave snapshots still
   /// reference it, then returns it for mutation.
   [[nodiscard]] GroupTree& writable_tree(GroupState& gs);
+  /// COW gate for callers about to stale the zones (departure repair,
+  /// neighbour-set shrink): the clone skips the zones vector — the tree's
+  /// largest member — because no reader may consult zones once zones_stale
+  /// is set, and nothing resets the flag short of a full rebuild.
+  [[nodiscard]] GroupTree& writable_tree_stale(GroupState& gs);
 
   struct InFlightGraft {
     GroupId group = 0;
@@ -357,6 +368,11 @@ class GroupManager {
   std::vector<bool> alive_;
   std::vector<double> bounds_lo_, bounds_hi_;  // peer bounding box (immutable)
   std::map<GroupId, GroupState> groups_;
+  /// One-entry memo over groups_: protocol traffic touches the same group
+  /// many times in a row (every hop of a wave), and groups_ nodes are never
+  /// erased, so the cached pointer stays valid for the manager's lifetime.
+  GroupId state_cache_group_ = 0;
+  GroupState* state_cache_ = nullptr;
   /// In-flight routed grafts by id, plus the (group, subscriber) guard
   /// that keeps duplicate subscribes from racing two descents for one
   /// subscriber.
@@ -374,5 +390,7 @@ class GroupManager {
 
   [[nodiscard]] double clock_now() const { return clock_ ? clock_() : 0.0; }
 };
+
+inline GroupStats& GroupManager::stats(GroupId group) { return state_of(group).stats; }
 
 }  // namespace geomcast::groups

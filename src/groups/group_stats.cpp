@@ -78,6 +78,7 @@ GroupStats& GroupStats::operator+=(const GroupStats& other) noexcept {
   pending_publishes_inherited += other.pending_publishes_inherited;
   heartbeats_sent += other.heartbeats_sent;
   heartbeat_gap_detections += other.heartbeat_gap_detections;
+  heartbeat_blind_windows += other.heartbeat_blind_windows;
   stranded_rescues += other.stranded_rescues;
   graft_hops += other.graft_hops;
   graft_retries += other.graft_retries;

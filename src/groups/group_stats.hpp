@@ -117,6 +117,11 @@ struct GroupStats {
   /// Gap seqs first revealed by a heartbeat horizon rather than later wave
   /// traffic — each one is the final-wave blind spot closing.
   std::uint64_t heartbeat_gap_detections = 0;
+  /// Beacons that reached a subscriber with NO window state — the residual
+  /// blind spot: a subscriber severed on the group's only wave never
+  /// initialized a window, so the beacon cannot owe it history and stays
+  /// silent. Nonzero here is the measurable trace of that silence.
+  std::uint64_t heartbeat_blind_windows = 0;
   // Routed graft control plane (PubSubConfig::routed_graft): the zone
   // descent above driven by real kGraftRequestKind envelopes, one per
   // hop, at QoS 1. graft_messages still counts the descent decisions

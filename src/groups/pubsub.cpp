@@ -144,7 +144,7 @@ class PubSubSystem::PubSubNode final : public sim::Node {
       }
       case kDeliverKind: {
         system_.disseminate(id(), envelope.from,
-                            std::any_cast<const GroupDelivery&>(envelope.payload));
+                            std::any_cast<const DeliveryPtr&>(envelope.payload));
         return;
       }
       case kDeliverAckKind: {
@@ -156,7 +156,7 @@ class PubSubSystem::PubSubNode final : public sim::Node {
         return;
       }
       case kRepairKind: {
-        system_.on_repair(id(), std::any_cast<const GroupDelivery&>(envelope.payload));
+        system_.on_repair(id(), std::any_cast<const DeliveryPtr&>(envelope.payload));
         return;
       }
       case kRepairMissKind: {
@@ -209,7 +209,10 @@ class PubSubSystem::PubSubNode final : public sim::Node {
 PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig config)
     : graph_(graph),
       config_(std::move(config)),
-      sim_(std::make_unique<sim::Simulator>(config_.seed)),
+      sim_(std::make_unique<sim::Simulator>(config_.seed,
+                                            config_.sim_core
+                                                ? sim::QueueBackend::kWheel
+                                                : sim::QueueBackend::kHeap)),
       manager_(std::make_unique<GroupManager>(graph, config_.groups)) {
   // The manager needs the simulated clock for graft latency accounting
   // (begin -> attach). Wired unconditionally — latency histograms are
@@ -234,18 +237,23 @@ PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig conf
   multicast::ReliableHopLayer::Hooks hooks;
   hooks.on_retransmit = [this](sim::NodeId, sim::NodeId, std::uint64_t,
                                const std::any& payload) {
-    const auto& delivery = std::any_cast<const GroupDelivery&>(payload);
-    ++manager_->stats(delivery.group).retransmissions;
+    const auto& delivery = std::any_cast<const DeliveryPtr&>(payload);
+    ++manager_->stats(delivery->group).retransmissions;
   };
   hooks.on_abandon = [this](sim::NodeId, sim::NodeId, std::uint64_t,
                             const std::any& payload) {
-    const auto& delivery = std::any_cast<const GroupDelivery&>(payload);
-    ++manager_->stats(delivery.group).abandoned_hops;
+    const auto& delivery = std::any_cast<const DeliveryPtr&>(payload);
+    ++manager_->stats(delivery->group).abandoned_hops;
   };
   hooks.sender_alive = [this](sim::NodeId p) { return manager_->alive(p); };
   hop_ = std::make_unique<multicast::ReliableHopLayer>(
       *sim_, kDeliverKind, kDeliverAckKind, config_.reliability, std::move(hooks));
-  if (acked()) seen_.resize(graph.size());
+  if (acked()) {
+    if (config_.sim_core)
+      seen_ranges_.resize(graph.size());
+    else
+      seen_.resize(graph.size());
+  }
   if (end_to_end()) windows_.resize(graph.size());
 
   if (config_.routed_graft) {
@@ -317,7 +325,7 @@ void PubSubSystem::set_trace_sink(obs::TraceSink* sink) {
   if (sink != nullptr) {
     taps.on_transmit = [this](sim::NodeId from, sim::NodeId to, std::uint64_t,
                               std::size_t attempt, const std::any& payload) {
-      const auto& delivery = std::any_cast<const GroupDelivery&>(payload);
+      const auto& delivery = *std::any_cast<const DeliveryPtr&>(payload);
       tracer_.emit({sim_->now(),
                     attempt > 0 ? obs::TraceEventType::kHopRetransmit
                                 : obs::TraceEventType::kHopSend,
@@ -340,8 +348,21 @@ void PubSubSystem::set_trace_sink(obs::TraceSink* sink) {
 void PubSubSystem::forward_control(PeerId self, sim::MessageKind kind,
                                    const GroupRequest& request) {
   GroupStats& stats = manager_->stats(request.group);
-  const PeerId next = overlay::greedy_next_hop(
-      graph_, self, request.target, [this](PeerId q) { return manager_->alive(q); });
+  // The greedy step is a pure function of (self, target, alive-set), and
+  // the alive-set only changes on departures — memoize it and flush the
+  // cache in depart_now(). Control traffic converges on a handful of
+  // rendezvous targets, so shared path prefixes hit constantly.
+  PeerId next;
+  const std::uint64_t route_key =
+      (static_cast<std::uint64_t>(self) << 32) | request.target;
+  const auto cached = route_cache_.find(route_key);
+  if (cached != route_cache_.end()) {
+    next = cached->second;
+  } else {
+    next = overlay::greedy_next_hop(
+        graph_, self, request.target, [this](PeerId q) { return manager_->alive(q); });
+    route_cache_.emplace(route_key, next);
+  }
   if (next == kInvalidPeer) {
     ++stats.stranded_messages;
     return;
@@ -403,7 +424,8 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
                         request.group, wave, seq, seq, self});
         }
         disseminate(self, kInvalidPeer,
-                    GroupDelivery{request.group, seq, seq, wave, snapshot});
+                    payload_pool_.make(
+                        GroupDelivery{request.group, seq, seq, wave, snapshot}));
         if (heartbeats_enabled()) schedule_heartbeat(request.group);
         return;
       }
@@ -594,11 +616,14 @@ void PubSubSystem::flush_batch(GroupId group, bool window_expired) {
     tracer_.emit({sim_->now(), obs::TraceEventType::kRootFlush, group, wave,
                   seq_lo, seq_lo + count - 1, root});
   disseminate(root, kInvalidPeer,
-              GroupDelivery{group, seq_lo, seq_lo + count - 1, wave, snapshot});
+              payload_pool_.make(
+                  GroupDelivery{group, seq_lo, seq_lo + count - 1, wave, snapshot}));
   if (heartbeats_enabled()) schedule_heartbeat(group);
 }
 
-void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& delivery) {
+void PubSubSystem::disseminate(PeerId self, PeerId from,
+                               const DeliveryPtr& delivery_ptr) {
+  const GroupDelivery& delivery = *delivery_ptr;
   GroupStats& stats = manager_->stats(delivery.group);
   if (acked() && from != kInvalidPeer) {
     // Ack before anything else — a dedup hit included. The duplicate's
@@ -611,10 +636,10 @@ void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& de
   // Per-seq dedup over the range: a retransmitted wave is usually stale
   // end to end, but a repair can have filled part of the range first —
   // then only the fresh remainder is delivered.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> fresh;
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>>* fresh;
   if (acked()) {
-    fresh = fresh_runs(self, delivery.group, delivery.seq, delivery.seq_hi);
-    if (fresh.empty()) {
+    fresh = &fresh_runs(self, delivery.group, delivery.seq, delivery.seq_hi);
+    if (fresh->empty()) {
       // Every seq already processed: a pure duplicate, re-acked above but
       // never re-delivered or re-forwarded.
       ++stats.duplicate_deliveries;
@@ -629,7 +654,9 @@ void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& de
     // Under QoS 0 the dedup is moot: the snapshot is a tree (one parent
     // per peer) and every wave has a unique (group, seq range), so without
     // retransmissions a peer can never receive the same wave twice.
-    fresh.emplace_back(delivery.seq, delivery.seq_hi);
+    fresh_scratch_.clear();
+    fresh_scratch_.emplace_back(delivery.seq, delivery.seq_hi);
+    fresh = &fresh_scratch_;
   }
   // Forwarding reads the wave's own snapshot, never the live cache — a
   // mid-wave graft/prune/rebuild affects later publishes only.
@@ -642,7 +669,7 @@ void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& de
   if (end_to_end() &&
       (gt->tree.root() == self || !gt->tree.children(self).empty())) {
     stats.retained_evictions += manager_->retain_payload(
-        self, delivery.group, delivery.seq, delivery.seq_hi, delivery);
+        self, delivery.group, delivery.seq, delivery.seq_hi, delivery_ptr);
     if (warm() && from == kInvalidPeer) {
       // Root-side flush: mirror the retained range to the replica so a
       // promoted successor can serve post-migration NACKs for it.
@@ -653,33 +680,113 @@ void PubSubSystem::disseminate(PeerId self, PeerId from, const GroupDelivery& de
     }
   }
   if (gt->is_subscriber[self]) {
-    for (const auto& [lo, hi] : fresh) {
-      if (end_to_end()) {
+    for (const auto& [lo, hi] : *fresh) {
+      if (end_to_end())
         window_observe(self, delivery, lo, hi);  // in-order release path
-      } else {
-        for (std::uint64_t s = lo; s <= hi; ++s)
-          deliver_local(self, delivery.group, s);
-      }
+      else
+        deliver_range(self, delivery.group, lo, hi);
     }
   }
   for (PeerId child : gt->tree.children(self)) {
     ++stats.payload_messages;
-    hop_->send(self, child, delivery.wave, delivery);
+    hop_->send(self, child, delivery.wave, delivery_ptr);
   }
 }
 
-std::vector<std::pair<std::uint64_t, std::uint64_t>> PubSubSystem::fresh_runs(
+const std::vector<std::pair<std::uint64_t, std::uint64_t>>& PubSubSystem::fresh_runs(
     PeerId self, GroupId group, std::uint64_t lo, std::uint64_t hi) {
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> fresh;
-  auto& seen = seen_[self];
-  for (std::uint64_t s = lo; s <= hi; ++s) {
-    if (!seen.emplace(group, s).second) continue;
-    if (!fresh.empty() && fresh.back().second + 1 == s)
-      fresh.back().second = s;
-    else
-      fresh.emplace_back(s, s);
+  auto& fresh = fresh_scratch_;
+  fresh.clear();
+  if (!config_.sim_core) {
+    // Oracle path: one set node per seq.
+    auto& seen = seen_[self];
+    for (std::uint64_t s = lo; s <= hi; ++s) {
+      if (!seen.emplace(group, s).second) continue;
+      if (!fresh.empty() && fresh.back().second + 1 == s)
+        fresh.back().second = s;
+      else
+        fresh.emplace_back(s, s);
+    }
+    return fresh;
   }
+  // Interval-set path: the map holds disjoint, non-adjacent inclusive
+  // ranges (start -> end), so consecutive covered ranges are always
+  // separated by a gap and the walk below never emits an empty run.
+  auto& ranges = seen_ranges_[self][group];
+  // Hot paths first. In-order traffic lands exactly one past the covered
+  // suffix (the map's last range holds both the greatest start and the
+  // greatest end), so the overwhelmingly common arrival is an O(1) extend
+  // in place — no erase, no node churn.
+  if (ranges.empty()) {
+    ranges.emplace(lo, hi);
+    fresh.emplace_back(lo, hi);
+    return fresh;
+  }
+  const auto last = std::prev(ranges.end());
+  if (lo == last->second + 1) {
+    last->second = hi;
+    fresh.emplace_back(lo, hi);
+    return fresh;
+  }
+  if (lo > last->second + 1) {  // ahead of everything, with a gap before it
+    ranges.emplace_hint(ranges.end(), lo, hi);
+    fresh.emplace_back(lo, hi);
+    return fresh;
+  }
+  // The fresh sub-ranges of [lo, hi] are its complement against the
+  // covered ranges overlapping it.
+  auto it = ranges.upper_bound(lo);
+  std::uint64_t cursor = lo;
+  if (it != ranges.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->second >= lo) cursor = prev->second + 1;
+  }
+  while (cursor <= hi) {
+    if (it == ranges.end() || it->first > hi) {
+      fresh.emplace_back(cursor, hi);
+      break;
+    }
+    if (it->first > cursor) fresh.emplace_back(cursor, it->first - 1);
+    if (it->second >= hi) break;
+    cursor = it->second + 1;
+    ++it;
+  }
+  // Splice [lo, hi] in, merging every overlapping or adjacent range.
+  std::uint64_t nlo = lo;
+  std::uint64_t nhi = hi;
+  auto mit = ranges.lower_bound(lo);
+  if (mit != ranges.begin()) {
+    const auto prev = std::prev(mit);
+    if (prev->second + 1 >= lo) {
+      nlo = prev->first;
+      nhi = std::max(nhi, prev->second);
+      mit = prev;
+    }
+  }
+  while (mit != ranges.end() && mit->first <= nhi + 1) {
+    nhi = std::max(nhi, mit->second);
+    mit = ranges.erase(mit);
+  }
+  ranges.emplace_hint(mit, nlo, nhi);
   return fresh;
+}
+
+void PubSubSystem::deliver_range(PeerId self, GroupId group, std::uint64_t lo,
+                                 std::uint64_t hi) {
+  GroupStats& stats = manager_->stats(group);
+  const auto it = accept_times_.find(group);
+  const std::vector<double>* times =
+      it == accept_times_.end() ? nullptr : &it->second;
+  const double now = sim_->now();
+  for (std::uint64_t seq = lo; seq <= hi; ++seq) {
+    ++stats.deliveries;
+    if (times != nullptr && seq < times->size())
+      stats.delivery_latency.record(now - (*times)[seq]);
+    if (tracer_.enabled())
+      tracer_.emit({now, obs::TraceEventType::kDelivery, group, obs::kNoWave, seq,
+                    seq, self});
+    if (probe_) probe_(self, group, seq, now);
+  }
 }
 
 void PubSubSystem::deliver_local(PeerId self, GroupId group, std::uint64_t seq) {
@@ -696,13 +803,22 @@ void PubSubSystem::deliver_local(PeerId self, GroupId group, std::uint64_t seq) 
   if (probe_) probe_(self, group, seq, sim_->now());
 }
 
+PubSubSystem::WindowState* PubSubSystem::find_window(PeerId self, GroupId group) {
+  auto& windows = windows_[self];
+  const auto it = windows.find(group);
+  return it == windows.end() ? nullptr : &it->second;
+}
+
+PubSubSystem::WindowState& PubSubSystem::ensure_window(PeerId self, GroupId group) {
+  return windows_[self]
+      .try_emplace(group, WindowState{SubscriberWindow{config_.repair.reorder_limit},
+                                      {}, nullptr, 0, false})
+      .first->second;
+}
+
 void PubSubSystem::window_observe(PeerId self, const GroupDelivery& delivery,
                                   std::uint64_t lo, std::uint64_t hi) {
-  WindowState& ws = windows_[self]
-                        .try_emplace(delivery.group,
-                                     WindowState{SubscriberWindow{config_.repair.reorder_limit},
-                                                 {}, nullptr, 0, false})
-                        .first->second;
+  WindowState& ws = ensure_window(self, delivery.group);
   // Newest wave's snapshot wins: a repair resends an OLD wave, and its
   // pre-failure tree must not regress the ancestor chain other gaps use.
   if (ws.latest_tree == nullptr || delivery.wave >= ws.latest_wave) {
@@ -834,10 +950,9 @@ void PubSubSystem::send_nacks(PeerId self, GroupId group, WindowState& ws,
 }
 
 void PubSubSystem::on_gap_timer(PeerId self, GroupId group) {
-  auto& windows = windows_[self];
-  const auto it = windows.find(group);
-  if (it == windows.end()) return;
-  WindowState& ws = it->second;
+  WindowState* wsp = find_window(self, group);
+  if (wsp == nullptr) return;
+  WindowState& ws = *wsp;
   ws.timer_armed = false;
   if (ws.gaps.empty()) return;
   if (!manager_->alive(self)) return;  // died while the timer was pending
@@ -863,14 +978,15 @@ void PubSubSystem::on_nack(PeerId self, const GapNack& nack) {
   std::set<std::uint64_t> served_ranges;  // keyed by the range's seq_lo
   for (const std::uint64_t seq : nack.seqs) {
     if (const std::any* payload = manager_->retained_payload(self, nack.group, seq)) {
-      const auto& wave = std::any_cast<const GroupDelivery&>(*payload);
+      const auto& wave_ptr = std::any_cast<const DeliveryPtr&>(*payload);
+      const GroupDelivery& wave = *wave_ptr;
       if (!served_ranges.insert(wave.seq).second) continue;
       ++stats.repairs_served;
       sim_->network().note_repair_served();
       if (tracer_.enabled())
         tracer_.emit({sim_->now(), obs::TraceEventType::kRepairServed, nack.group,
                       wave.wave, wave.seq, wave.seq_hi, self, nack.origin});
-      sim_->send(self, nack.origin, kRepairKind, wave);
+      sim_->send(self, nack.origin, kRepairKind, wave_ptr);
     } else {
       missing.push_back(seq);
     }
@@ -887,13 +1003,14 @@ void PubSubSystem::on_nack(PeerId self, const GapNack& nack) {
   }
 }
 
-void PubSubSystem::on_repair(PeerId self, const GroupDelivery& delivery) {
+void PubSubSystem::on_repair(PeerId self, const DeliveryPtr& delivery_ptr) {
+  const GroupDelivery& delivery = *delivery_ptr;
   GroupStats& stats = manager_->stats(delivery.group);
   // Escalation can recruit two responders for one seq (a slow repair plus
   // a retried ancestor): the shared dedup suppresses the second copy. A
   // range repair can also overlap seqs that arrived since the NACK went
   // out — only the fresh remainder runs through the window.
-  const auto fresh = fresh_runs(self, delivery.group, delivery.seq, delivery.seq_hi);
+  const auto& fresh = fresh_runs(self, delivery.group, delivery.seq, delivery.seq_hi);
   if (fresh.empty()) {
     ++stats.duplicate_deliveries;
     sim_->network().note_duplicate();
@@ -903,19 +1020,18 @@ void PubSubSystem::on_repair(PeerId self, const GroupDelivery& delivery) {
   // Retain by the CURRENT tree, not the repaired wave's old snapshot: a
   // peer that forwards for the rebuilt tree can serve its own subtree's
   // NACKs for this wave even if the failed tree had it as a leaf.
-  const WindowState& ws = windows_[self].at(delivery.group);
+  const WindowState& ws = *find_window(self, delivery.group);  // window_observe created it
   const GroupTree* latest = ws.latest_tree.get();
   if (latest != nullptr && latest->tree.reached(self) &&
       !latest->tree.children(self).empty())
     stats.retained_evictions += manager_->retain_payload(
-        self, delivery.group, delivery.seq, delivery.seq_hi, delivery);
+        self, delivery.group, delivery.seq, delivery.seq_hi, delivery_ptr);
 }
 
 void PubSubSystem::on_repair_miss(PeerId self, PeerId from, const GapRepairMiss& miss) {
-  auto& windows = windows_[self];
-  const auto it = windows.find(miss.group);
-  if (it == windows.end()) return;
-  WindowState& ws = it->second;
+  WindowState* wsp = find_window(self, miss.group);
+  if (wsp == nullptr) return;
+  WindowState& ws = *wsp;
   // Locate the responder in the current chain: several NACK rounds can be
   // in flight at once (the miss walk and the timer walk interleave), so a
   // miss only means "escalate" when it comes from the gap's frontier —
@@ -997,8 +1113,11 @@ void PubSubSystem::on_replica_sync(PeerId self, PeerId from, const ReplicaSync& 
       // Mirrored into the replica's OWN RetainedBuffer (per-peer state that
       // survives promotion) — this line is what turns post-migration NACKs
       // from guaranteed misses into served repairs.
+      // The mirrored wave is re-wrapped through the pool so every retained
+      // slot in the system holds the same DeliveryPtr shape.
       manager_->stats(sync.group).retained_evictions += manager_->retain_payload(
-          self, sync.group, sync.wave.seq, sync.wave.seq_hi, sync.wave);
+          self, sync.group, sync.wave.seq, sync.wave.seq_hi,
+          payload_pool_.make(sync.wave));
       return;
     case ReplicaSync::What::kPendingJoin: {
       ReplicaPending& pending = replica_pending_[sync.group];
@@ -1030,7 +1149,7 @@ void PubSubSystem::bootstrap_replica(GroupId group, bool migration) {
     if (payload == nullptr) continue;
     ReplicaSync sync;
     sync.what = ReplicaSync::What::kRetain;
-    sync.wave = std::any_cast<const GroupDelivery&>(*payload);
+    sync.wave = *std::any_cast<const DeliveryPtr&>(*payload);
     replica_send(root, group, std::move(sync), migration);
   }
   if (acked() && batching()) {
@@ -1146,12 +1265,17 @@ void PubSubSystem::on_heartbeat(PeerId self, const GroupHeartbeat& hb) {
   const GroupTree* gt = hb.tree.get();
   if (gt == nullptr || !gt->tree.reached(self)) return;
   if (gt->is_subscriber[self]) {
-    auto& windows = windows_[self];
-    const auto wit = windows.find(hb.group);
+    WindowState* wsp = find_window(self, hb.group);
     // No window state means this subscriber never consumed a wave — the
-    // beacon owes a late joiner nothing (mark_through's no-op rule).
-    if (wit != windows.end()) {
-      WindowState& ws = wit->second;
+    // beacon owes a late joiner nothing (mark_through's no-op rule), but
+    // it ALSO covers the residual blind spot: a subscriber severed on the
+    // group's only wave has no window and stays silent forever. Count
+    // those beacons so the blind spot is visible in GroupStats instead of
+    // indistinguishable from healthy late joiners.
+    if (wsp == nullptr) {
+      ++manager_->stats(hb.group).heartbeat_blind_windows;
+    } else {
+      WindowState& ws = *wsp;
       // The beacon is the newest traffic: its snapshot feeds the ancestor
       // chain exactly as a data wave's would.
       if (ws.latest_tree == nullptr || hb.wave >= ws.latest_wave) {
@@ -1201,6 +1325,9 @@ void PubSubSystem::publish_at(double time, PeerId peer, GroupId group) {
 }
 
 void PubSubSystem::depart_now(PeerId peer) {
+  // The alive-set is about to change: every memoized greedy step that
+  // routed through (or around) this peer is suspect. Flush wholesale.
+  route_cache_.clear();
   const auto outcome = manager_->handle_departure(peer);
   // The departure sweep aborts every in-flight graft it invalidated; the
   // surviving subscribers re-enter through resubscribe so churn mid-graft
@@ -1214,6 +1341,12 @@ void PubSubSystem::depart_now(PeerId peer) {
   // before any same-instant membership delta relies on it.
   for (const auto& promotion : outcome.promotions) handle_promotion(promotion);
   for (const auto& loss : outcome.replica_losses) {
+    // The dead replica's pending-batch copy dies with it. replica_pending_
+    // is keyed by group (one replica per group), so without this erase the
+    // stale count survives the loss and the re-bootstrap below STACKS its
+    // fresh kPendingJoin stream on top — a later promotion would then
+    // inherit phantom publishes the real buffer never held.
+    replica_pending_.erase(loss.group);
     if (manager_->alive(manager_->root_of(loss.group)))
       bootstrap_replica(loss.group, /*migration=*/true);
   }

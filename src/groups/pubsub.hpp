@@ -145,6 +145,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <memory>
 #include <set>
 #include <utility>
@@ -155,6 +156,7 @@
 #include "multicast/reliable_hop.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
+#include "util/pool.hpp"
 
 namespace geomcast::groups {
 
@@ -196,6 +198,14 @@ struct GroupDelivery {
 
   [[nodiscard]] std::uint64_t count() const noexcept { return seq_hi - seq + 1; }
 };
+
+/// How waves travel the simulated network: one immutable GroupDelivery per
+/// wave, shared by every envelope of the tree push (and by the retained-
+/// buffer slots that serve repairs later). The handle is one pointer wide,
+/// so it rides std::any's inline buffer and the per-edge fan-out copies
+/// are refcount bumps — no heap allocation, no payload copy per envelope.
+/// The pointees live in PubSubSystem's payload pool (util/pool.hpp).
+using DeliveryPtr = util::RcPtr<GroupDelivery>;
 
 /// Batched gap request: `origin` is missing `seqs` of `group` and asks the
 /// addressee (an ancestor from its latest wave snapshot) to resend them.
@@ -320,6 +330,14 @@ struct PubSubConfig {
   /// beacons are fire-and-forget); bounded so an idle group goes silent
   /// and run() terminates.
   std::size_t heartbeat_rounds = 2;
+  /// Simulation-core fast path (the 100k-peer tentpole): true (the
+  /// default) runs the hierarchical timer-wheel event queue, interval-set
+  /// (group, seq) dedup, and dense per-(peer, group) window-slot storage;
+  /// false keeps the historic binary-heap / per-seq-set / map core — the
+  /// oracle the fast path is pinned bit-identical against
+  /// (tests/groups_simcore_test.cpp): same delivered sets, byte-identical
+  /// stats JSON, on every seed.
+  bool sim_core = true;
   std::uint64_t seed = 1;
 };
 
@@ -459,6 +477,13 @@ class PubSubSystem {
   }
   [[nodiscard]] const PubSubConfig& config() const noexcept { return config_; }
 
+  /// Frees the payload pool's cached blocks. Safe only once the run is
+  /// idle (no live envelopes/retained handles still borrowing blocks is
+  /// NOT required — handles keep their block; only the free cache is
+  /// dropped). Bench drivers call this between cells so one cell's pool
+  /// high-water mark doesn't sit resident while the next cell measures.
+  void release_pools() { payload_pool_.release(); }
+
  private:
   class PubSubNode;
   friend class PubSubNode;
@@ -530,15 +555,24 @@ class PubSubSystem {
   /// (QoS 2: through the window), forward. Range-aware end to end — a
   /// partially-duplicate range (a repair filled part of it first) delivers
   /// only the fresh seqs but still forwards the whole envelope.
-  void disseminate(PeerId self, PeerId from, const GroupDelivery& delivery);
+  void disseminate(PeerId self, PeerId from, const DeliveryPtr& delivery_ptr);
   /// Marks [lo, hi] of `group` seen at `self` and returns the contiguous
   /// runs of first-sighted seqs — the dedup step shared by the data plane
   /// and the repair plane (whole range fresh on the common path; empty
   /// means a pure duplicate). Only meaningful under QoS 1+ (seen_ sized).
-  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> fresh_runs(
+  /// Returns a reference to a reusable scratch buffer (one live result at
+  /// a time — no caller holds it across another dedup).
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint64_t>>& fresh_runs(
       PeerId self, GroupId group, std::uint64_t lo, std::uint64_t hi);
 
   // -- QoS 2 repair plane -------------------------------------------------
+  /// The (self, group) window state, or nullptr when this subscriber never
+  /// consumed a wave of the group — the one shared lookup every repair-
+  /// plane entry point starts from.
+  [[nodiscard]] WindowState* find_window(PeerId self, GroupId group);
+  /// Same, but created (uninitialized window, no snapshot) on first use —
+  /// the data-plane admission path.
+  [[nodiscard]] WindowState& ensure_window(PeerId self, GroupId group);
   /// Runs the fresh (non-duplicate) sub-range [lo, hi] of `delivery`
   /// through `self`'s window: detects gaps, arms the gap timer, releases
   /// in-order runs.
@@ -552,7 +586,7 @@ class PubSubSystem {
   /// with kRepairMissKind.
   void on_nack(PeerId self, const GapNack& nack);
   /// A repaired wave arrived: dedup, then fill the gap through the window.
-  void on_repair(PeerId self, const GroupDelivery& delivery);
+  void on_repair(PeerId self, const DeliveryPtr& delivery_ptr);
   /// The responder (`from`) lacked some seqs: escalate them past it
   /// immediately (no extra gap timeout). Level-aware: a miss from below a
   /// gap's current target is stale (several NACK rounds can be in flight)
@@ -617,6 +651,10 @@ class PubSubSystem {
   void arm_gap_timer(PeerId self, GroupId group, WindowState& ws);
   /// Books an application-level delivery (counter + probe).
   void deliver_local(PeerId self, GroupId group, std::uint64_t seq);
+  /// Dense-range variant of deliver_local — identical bookkeeping in the
+  /// identical order, with the per-group lookups hoisted out of the loop
+  /// (the QoS 0/1 subscriber hot path delivers whole batched ranges).
+  void deliver_range(PeerId self, GroupId group, std::uint64_t lo, std::uint64_t hi);
   /// Removes a gap as repaired/abandoned, with latency accounting; for
   /// abandoned gaps also advances the window and releases what it frees.
   void finish_gap(PeerId self, GroupId group, WindowState& ws, std::uint64_t seq,
@@ -634,6 +672,12 @@ class PubSubSystem {
 
   const overlay::OverlayGraph& graph_;
   PubSubConfig config_;
+  /// Recycles the refcount+payload block behind every wave's DeliveryPtr.
+  /// Declared before every member that can hold a payload (simulator
+  /// envelopes, hop-layer pending tables, the manager's retained buffers):
+  /// members destroy in reverse order, so the pool outlives all of its
+  /// handles.
+  util::RcPool<GroupDelivery> payload_pool_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<GroupManager> manager_;
   std::unique_ptr<multicast::ReliableHopLayer> hop_;
@@ -658,6 +702,20 @@ class PubSubSystem {
   /// lifetime: an entry is only needed while the parent's retransmission
   /// window is open, but the receiver cannot observe that locally.
   std::vector<std::set<std::pair<GroupId, std::uint64_t>>> seen_;
+  /// sim_core replacement for seen_: disjoint inclusive seq ranges already
+  /// processed, per (peer, group) — O(log ranges) per wave instead of one
+  /// set node per seq, so a batched range wave dedups in one splice and
+  /// memory stays O(gaps), not O(delivered seqs). Exactly one of
+  /// seen_/seen_ranges_ is sized (by the sim_core knob); both produce the
+  /// identical fresh_runs output for the same arrival history.
+  std::vector<std::map<GroupId, std::map<std::uint64_t, std::uint64_t>>> seen_ranges_;
+  /// fresh_runs result buffer, reused across calls so the per-hop dedup
+  /// never allocates.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fresh_scratch_;
+  /// Memoized greedy control steps, keyed (self << 32 | target). A pure
+  /// function of the alive-set, so depart_now() flushes it; everything
+  /// else (subscribes, promotions, grafts) leaves liveness untouched.
+  std::unordered_map<std::uint64_t, PeerId> route_cache_;
   /// Per-peer QoS 2 windows, one per group the peer consumed from.
   std::vector<std::map<GroupId, WindowState>> windows_;
   /// Per-peer graft ids whose descent step already ran here — the dedup

@@ -27,21 +27,22 @@ void ReliableHopLayer::send(sim::NodeId from, sim::NodeId to, std::uint64_t seq,
   const auto [it, inserted] = pending_.try_emplace(key);
   if (!inserted)
     throw std::logic_error("ReliableHopLayer::send: seq already pending on this hop");
+  it->second.key = key;
   it->second.payload = std::move(payload);
   it->second.kind = kind;
+  if (pending_by_receiver_.size() <= to)
+    pending_by_receiver_.resize(static_cast<std::size_t>(to) + 1, 0);
   ++pending_by_receiver_[to];
-  transmit(key, /*attempt=*/0);
+  transmit(it->second, /*attempt=*/0);
 }
 
-void ReliableHopLayer::retire(std::map<Key, Pending>::iterator it) {
-  const auto receiver = pending_by_receiver_.find(std::get<1>(it->first));
-  if (--receiver->second == 0) pending_by_receiver_.erase(receiver);
-  pending_.erase(it);
+void ReliableHopLayer::retire(Key key) {
+  --pending_by_receiver_[key.to];
+  pending_.erase(key);
 }
 
-void ReliableHopLayer::transmit(const Key& key, std::size_t attempt) {
-  const auto& [from, to, seq] = key;
-  Pending& entry = pending_.at(key);
+void ReliableHopLayer::transmit(Pending& entry, std::size_t attempt) {
+  const auto [from, to, seq] = entry.key;
   sim_.send(from, to, entry.kind == kInvalidKind ? data_kind_ : entry.kind,
             entry.payload);
   ++stats_.data_messages;
@@ -52,27 +53,34 @@ void ReliableHopLayer::transmit(const Key& key, std::size_t attempt) {
   }
   if (trace_.on_transmit) trace_.on_transmit(from, to, seq, attempt, entry.payload);
   entry.attempt = attempt;
-  // Arm the retransmission timer; on_ack cancels it.
-  entry.timer =
-      sim_.schedule_after(config_.ack_timeout, [this, key]() { on_timeout(key); });
+  // Arm the retransmission timer; on_ack cancels it. The node pointer is
+  // stable and outlives any timer that can still fire (see Pending), so
+  // the event is a raw (thunk, this, node*) triple — the queue's
+  // allocation-free fast path.
+  entry.timer = sim_.schedule_after(
+      config_.ack_timeout, &ReliableHopLayer::timeout_thunk, this,
+      reinterpret_cast<std::uint64_t>(&entry));
 }
 
-void ReliableHopLayer::on_timeout(const Key& key) {
-  const auto it = pending_.find(key);
-  if (it == pending_.end()) return;
-  const auto& [from, to, seq] = key;
+void ReliableHopLayer::timeout_thunk(void* ctx, std::uint64_t arg) {
+  static_cast<ReliableHopLayer*>(ctx)->on_timeout(
+      *reinterpret_cast<Pending*>(arg));
+}
+
+void ReliableHopLayer::on_timeout(Pending& entry) {
+  const auto [from, to, seq] = entry.key;
   if (hooks_.sender_alive && !hooks_.sender_alive(from)) {
-    retire(it);
+    retire(entry.key);
     return;
   }
-  if (it->second.attempt < config_.max_retries) {
-    transmit(key, it->second.attempt + 1);
+  if (entry.attempt < config_.max_retries) {
+    transmit(entry, entry.attempt + 1);
     return;
   }
   ++stats_.abandoned_hops;
   sim_.network().note_abandoned();
-  if (hooks_.on_abandon) hooks_.on_abandon(from, to, seq, it->second.payload);
-  retire(it);
+  if (hooks_.on_abandon) hooks_.on_abandon(from, to, seq, entry.payload);
+  retire(entry.key);
 }
 
 void ReliableHopLayer::acknowledge(sim::NodeId self, sim::NodeId sender,
@@ -84,8 +92,7 @@ void ReliableHopLayer::acknowledge(sim::NodeId self, sim::NodeId sender,
 }
 
 std::size_t ReliableHopLayer::pending_to(sim::NodeId to) const noexcept {
-  const auto it = pending_by_receiver_.find(to);
-  return it == pending_by_receiver_.end() ? 0 : it->second;
+  return to < pending_by_receiver_.size() ? pending_by_receiver_[to] : 0;
 }
 
 void ReliableHopLayer::on_ack(const sim::Envelope& envelope) {
@@ -94,7 +101,7 @@ void ReliableHopLayer::on_ack(const sim::Envelope& envelope) {
   const auto it = pending_.find(Key{envelope.to, envelope.from, ack.seq});
   if (it == pending_.end()) return;  // late ack: hop already retired
   sim_.cancel(it->second.timer);
-  retire(it);
+  retire(it->first);
 }
 
 }  // namespace geomcast::multicast

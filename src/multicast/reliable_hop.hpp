@@ -33,10 +33,11 @@
 #include <any>
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <tuple>
+#include <unordered_map>
+#include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/pool.hpp"
 
 namespace geomcast::multicast {
 
@@ -152,17 +153,43 @@ class ReliableHopLayer {
   [[nodiscard]] std::size_t pending_to(sim::NodeId to) const noexcept;
 
  private:
-  using Key = std::tuple<sim::NodeId, sim::NodeId, std::uint64_t>;
+  /// Pending-table key. Never iterated in order, so the table is an
+  /// unordered_map — O(1) on the per-hop hot path instead of a red-black
+  /// walk per send/ack.
+  struct Key {
+    sim::NodeId from = sim::kInvalidNode;
+    sim::NodeId to = sim::kInvalidNode;
+    std::uint64_t seq = 0;
+    [[nodiscard]] bool operator==(const Key&) const noexcept = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = (static_cast<std::uint64_t>(k.from) << 32) | k.to;
+      h ^= k.seq * 0x9e3779b97f4a7c15ULL;
+      h ^= h >> 29;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+  /// The key lives inside the node so a timer closure only captures
+  /// {this, node*} — 16 trivially-copyable bytes, which libstdc++'s
+  /// std::function stores inline: arming a retransmit timer allocates
+  /// nothing. unordered_map nodes are pointer-stable, and a pending hop's
+  /// timer is always cancelled (on_ack) or already fired (on_timeout)
+  /// before its node is erased, so a firing timer's pointer is valid.
   struct Pending {
+    Key key;
     std::any payload;
     std::size_t attempt = 0;
     sim::EventId timer = 0;
     sim::MessageKind kind = kInvalidKind;  // per-transfer override
   };
 
-  void transmit(const Key& key, std::size_t attempt);
-  void on_timeout(const Key& key);
-  void retire(std::map<Key, Pending>::iterator it);
+  void transmit(Pending& entry, std::size_t attempt);
+  void on_timeout(Pending& entry);
+  static void timeout_thunk(void* ctx, std::uint64_t arg);
+  // By value: callers pass the key living inside the node being erased.
+  void retire(Key key);
 
   sim::Simulator& sim_;
   sim::MessageKind data_kind_;
@@ -171,10 +198,16 @@ class ReliableHopLayer {
   Hooks hooks_;
   TraceHooks trace_;
   HopStats stats_;
-  std::map<Key, Pending> pending_;
+  /// Free-list node allocator: a QoS 1 hop inserts and erases one node per
+  /// transfer, so steady-state ack churn recycles instead of hitting the
+  /// global heap.
+  std::unordered_map<Key, Pending, KeyHash, std::equal_to<Key>,
+                     util::FreeListAllocator<std::pair<const Key, Pending>>>
+      pending_;
   /// Per-receiver pending-hop counts, maintained alongside pending_ so
   /// pending_to() — polled by every QoS 2 gap timer — needs no scan.
-  std::map<sim::NodeId, std::size_t> pending_by_receiver_;
+  /// Node ids are dense, so this is a flat vector, not a map.
+  std::vector<std::size_t> pending_by_receiver_;
 };
 
 }  // namespace geomcast::multicast

@@ -117,6 +117,7 @@ std::string to_json(const groups::GroupStats& stats) {
         stats.pending_publishes_inherited);
   field(out, first, "heartbeats_sent", stats.heartbeats_sent);
   field(out, first, "heartbeat_gap_detections", stats.heartbeat_gap_detections);
+  field(out, first, "heartbeat_blind_windows", stats.heartbeat_blind_windows);
   field(out, first, "graft_hops", stats.graft_hops);
   field(out, first, "graft_retries", stats.graft_retries);
   field(out, first, "graft_aborts", stats.graft_aborts);

@@ -29,7 +29,10 @@ void Network::bump(std::vector<std::uint64_t>& counters, NodeId id) {
 
 std::optional<SimTime> Network::admit(const Envelope& envelope) {
   ++stats_.sent;
-  ++stats_.sent_by_kind[envelope.kind];
+  if (envelope.kind < kDenseKinds)
+    ++kind_counts_[envelope.kind];
+  else
+    ++high_kind_counts_[envelope.kind];
   bump(stats_.sent_by_node, envelope.from);
   const bool dropped = (loss_.drop_probability > 0.0 && rng_.chance(loss_.drop_probability)) ||
                        (loss_.drop_if && loss_.drop_if(envelope));
@@ -43,6 +46,13 @@ std::optional<SimTime> Network::admit(const Envelope& envelope) {
 void Network::note_delivered(const Envelope& envelope) {
   ++stats_.delivered;
   bump(stats_.received_by_node, envelope.to);
+}
+
+const NetworkStats& Network::stats() const {
+  stats_.sent_by_kind = high_kind_counts_;
+  for (MessageKind kind = 0; kind < kDenseKinds; ++kind)
+    if (kind_counts_[kind] != 0) stats_.sent_by_kind.emplace(kind, kind_counts_[kind]);
+  return stats_;
 }
 
 }  // namespace geomcast::sim

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <any>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -146,16 +147,29 @@ class Network {
     ++stats_.control_envelopes;
   }
 
-  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = NetworkStats{}; }
+  /// Materialises the per-kind map from the dense hot-path counters before
+  /// returning — callers see exactly the map they always did.
+  [[nodiscard]] const NetworkStats& stats() const;
+  void reset_stats() {
+    stats_ = NetworkStats{};
+    kind_counts_.fill(0);
+    high_kind_counts_.clear();
+  }
 
  private:
   void bump(std::vector<std::uint64_t>& counters, NodeId id);
 
+  /// Message kinds are small dense integers (see groups/message_kinds.hpp),
+  /// so the per-send kind accounting is an array increment, not a map
+  /// lookup; anything past the dense range falls back to the map.
+  static constexpr std::size_t kDenseKinds = 64;
+
   util::Rng rng_;
   LatencyModel latency_ = LatencyModel::constant(0.01);
   LossModel loss_;
-  NetworkStats stats_;
+  mutable NetworkStats stats_;
+  std::array<std::uint64_t, kDenseKinds> kind_counts_{};
+  std::map<MessageKind, std::uint64_t> high_kind_counts_;
 };
 
 }  // namespace geomcast::sim

@@ -5,7 +5,8 @@
 
 namespace geomcast::sim {
 
-Simulator::Simulator(std::uint64_t seed) : network_(util::Rng(seed)) {}
+Simulator::Simulator(std::uint64_t seed, QueueBackend backend)
+    : queue_(backend), network_(util::Rng(seed)) {}
 
 void Simulator::add_node(Node& node) {
   if (node.id() != nodes_.size())
@@ -20,8 +21,28 @@ void Simulator::send(NodeId from, NodeId to, MessageKind kind, std::any payload)
   Envelope envelope{from, to, kind, std::move(payload)};
   const auto delay = network_.admit(envelope);
   if (!delay) return;  // dropped by the loss model
-  schedule_at(now_ + *delay,
-              [this, envelope = std::move(envelope)]() { deliver(envelope); });
+  // Park the envelope in a recycled slot; the delivery event is a raw
+  // (thunk, this, slot) triple — no type erasure, no heap allocation
+  // per send once the pool is warm.
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(envelope_pool_.size());
+    envelope_pool_.push_back(std::move(envelope));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    envelope_pool_[slot] = std::move(envelope);
+  }
+  schedule_at(now_ + *delay, &Simulator::deliver_slot_thunk, this, slot);
+}
+
+void Simulator::deliver_slot(std::uint32_t slot) {
+  // Move out before delivering: the handler may send, which can grow the
+  // pool and reuse the slot.
+  Envelope envelope = std::move(envelope_pool_[slot]);
+  envelope_pool_[slot] = Envelope{};
+  free_slots_.push_back(slot);
+  deliver(envelope);
 }
 
 void Simulator::deliver(const Envelope& envelope) {
@@ -39,13 +60,19 @@ EventId Simulator::schedule_after(SimTime delay, std::function<void()> action) {
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
+EventId Simulator::schedule_at(SimTime when, RawFn fn, void* ctx, std::uint64_t arg) {
+  return queue_.schedule(when, fn, ctx, arg);
+}
+
+EventId Simulator::schedule_after(SimTime delay, RawFn fn, void* ctx,
+                                  std::uint64_t arg) {
+  if (delay < 0) throw std::invalid_argument("Simulator::schedule_after: negative delay");
+  return queue_.schedule(now_ + delay, fn, ctx, arg);
+}
+
 std::size_t Simulator::run_until_idle(std::size_t max_events) {
   std::size_t processed = 0;
-  while (processed < max_events && !queue_.empty()) {
-    now_ = queue_.next_time();
-    queue_.run_next();
-    ++processed;
-  }
+  while (processed < max_events && queue_.run_next(&now_)) ++processed;
   return processed;
 }
 

@@ -16,7 +16,10 @@ namespace geomcast::sim {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1);
+  /// `backend` selects the event-queue implementation; both produce
+  /// bit-identical schedules (see sim/event_queue.hpp). kWheel is the fast
+  /// path for timer-dominated workloads; kHeap is the oracle.
+  explicit Simulator(std::uint64_t seed = 1, QueueBackend backend = QueueBackend::kHeap);
 
   /// Registers a node. The simulator does NOT take ownership; the caller
   /// must keep the node alive for the simulator's lifetime. Node ids must
@@ -42,6 +45,10 @@ class Simulator {
   /// Schedules a callback at an absolute virtual time / after a delay.
   EventId schedule_at(SimTime when, std::function<void()> action);
   EventId schedule_after(SimTime delay, std::function<void()> action);
+  /// Raw-callback overloads (see EventQueue::RawFn): the allocation-free
+  /// path for per-hop timers and other high-frequency schedulers.
+  EventId schedule_at(SimTime when, RawFn fn, void* ctx, std::uint64_t arg);
+  EventId schedule_after(SimTime delay, RawFn fn, void* ctx, std::uint64_t arg);
   bool cancel(EventId id) { return queue_.cancel(id); }
 
   /// Runs until the event queue drains or `max_events` fire.
@@ -64,12 +71,22 @@ class Simulator {
 
  private:
   void deliver(const Envelope& envelope);
+  void deliver_slot(std::uint32_t slot);
+  static void deliver_slot_thunk(void* ctx, std::uint64_t arg) {
+    static_cast<Simulator*>(ctx)->deliver_slot(static_cast<std::uint32_t>(arg));
+  }
 
   SimTime now_ = kTimeZero;
   EventQueue queue_;
   Network network_;
   std::vector<Node*> nodes_;
   DeliveryObserver observer_;
+  // In-flight envelopes live in a recycled slot pool instead of inside
+  // each delivery closure: the closure then captures only (this, slot) —
+  // small and trivially copyable, so std::function stores it inline and a
+  // send costs zero allocations once the pool is warm.
+  std::vector<Envelope> envelope_pool_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace geomcast::sim

@@ -39,7 +39,7 @@ TEST(GroupsAncestorRepairTest, EscalationWalksTheAncestorChainParentFirstToRoot)
   config.groups.retention_window = 0;
   config.loss.drop_if = [victim](const sim::Envelope& e) {
     if (e.kind != kDeliverKind || e.to != victim) return false;
-    return std::any_cast<const GroupDelivery&>(e.payload).seq == 1;
+    return std::any_cast<const DeliveryPtr&>(e.payload)->seq == 1;
   };
   PubSubSystem system(graph, config);
   std::vector<PeerId> nack_targets;
@@ -97,7 +97,7 @@ TEST(GroupsAncestorRepairTest, NackForAnEvictedSeqEscalatesInsteadOfStalling) {
   config.groups.retention_window = 1;
   config.loss.drop_if = [victim](const sim::Envelope& e) {
     if (e.kind != kDeliverKind || e.to != victim) return false;
-    return std::any_cast<const GroupDelivery&>(e.payload).seq == 1;
+    return std::any_cast<const DeliveryPtr&>(e.payload)->seq == 1;
   };
   PubSubSystem system(graph, config);
   std::vector<std::uint64_t> victim_released;
@@ -141,7 +141,7 @@ GroupStats run_pinned(const overlay::OverlayGraph& graph, multicast::QoS qos) {
   auto victim = std::make_shared<PeerId>(kInvalidPeer);
   config.loss.drop_if = [victim](const sim::Envelope& e) {
     if (e.kind != kDeliverKind || e.to != *victim) return false;
-    return std::any_cast<const GroupDelivery&>(e.payload).seq == 2;
+    return std::any_cast<const DeliveryPtr&>(e.payload)->seq == 2;
   };
   PubSubSystem system(graph, config);
   const auto members = subscribe_members(system, graph, 0, 12, 61);

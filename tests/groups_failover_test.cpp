@@ -6,6 +6,7 @@
 // and the knob-oracle guarantee that warm_failover off-vs-on changes
 // nothing on no-kill seeds.
 #include "groups/failure_injection.hpp"
+#include "groups/message_kinds.hpp"
 #include "groups/pubsub.hpp"
 
 #include <gtest/gtest.h>
@@ -174,7 +175,7 @@ TEST(GroupsFailoverTest, SnapshotJsonCarriesTheFailoverCounters) {
        {"\"replica_sync_envelopes\":", "\"replica_sync_retries\":",
         "\"migration_envelopes\":", "\"warm_promotions\":",
         "\"pending_publishes_inherited\":", "\"heartbeats_sent\":",
-        "\"heartbeat_gap_detections\":"})
+        "\"heartbeat_gap_detections\":", "\"heartbeat_blind_windows\":"})
     EXPECT_NE(group_json.find(name), std::string::npos) << name;
   const std::string net_json = obs::to_json(system.simulator().network().stats());
   EXPECT_NE(net_json.find("\"replica_sync_envelopes\":"), std::string::npos);
@@ -281,6 +282,104 @@ TEST(GroupsFailoverTest, WarmPromotionAdoptsThePendingBatch) {
   const GroupStats qos0 = run_batch_kill(graph, true, multicast::QoS::kFireAndForget);
   EXPECT_EQ(qos0.batch_publishes_lost, 3u);
   EXPECT_EQ(qos0.pending_publishes_inherited, 0u);
+}
+
+/// Replica-loss regression: replica_pending_ is keyed by group, so a dead
+/// replica's pending-batch copy must be dropped at loss time. The stale
+/// state is manufactured by dropping every kPendingFlush sync (so batch
+/// A's copy is never cleared on the replica), killing that replica in
+/// quiet time, then killing the root while batch B's single join is still
+/// in flight to the NEW replica. At promotion the new replica has learned
+/// of nothing — the correct inheritance is zero and publish B dies like
+/// any unreplicated pending publish. Before the fix, batch A's stale
+/// count (held by the DEAD replica) survived into the promotion read and
+/// min(stale=3, at_root=1) invented an inherited publish with batch A's
+/// accept time.
+TEST(GroupsFailoverTest, ReplicaLossDropsTheDeadCopysPendingBatch) {
+  const auto graph = make_overlay(150, 2, 1406);
+  const GroupId g = 0;
+  PubSubConfig config;
+  config.seed = 97;
+  config.reliability.qos = multicast::QoS::kEndToEnd;
+  config.batch_window = 0.1;
+  config.warm_failover = true;
+  // Sever the flush-clear path: the first replica keeps batch A's copy.
+  config.loss.drop_if = [](const sim::Envelope& e) {
+    if (e.kind != kReplicaSyncKind) return false;
+    const auto* sync = std::any_cast<ReplicaSync>(&e.payload);
+    return sync != nullptr && sync->what == ReplicaSync::What::kPendingFlush;
+  };
+  PubSubSystem system(graph, config);
+  subscribe_members(system, graph, g, 12, 97);
+  const PeerId root = system.manager().root_of(g);
+  // Batch A: three joins replicate, the flush at 2.1 is never mirrored.
+  system.publish_at(2.0, root, g);
+  system.publish_at(2.001, root, g);
+  system.publish_at(2.002, root, g);
+  // Kill the replica in quiet time (wave A long drained). Its copy still
+  // says "3 pending" — state that must die with it.
+  auto first_replica = std::make_shared<PeerId>(kInvalidPeer);
+  system.simulator().schedule_at(3.0, [&system, g, first_replica]() {
+    *first_replica = system.manager().replica_of(g);
+    system.depart_now(*first_replica);
+  });
+  // Batch B: one join, synced at 5.0 toward the re-bootstrapped replica
+  // (arrives 5.01); the root dies at 5.005 with the sync still in flight.
+  system.publish_at(5.0, root, g);
+  system.depart_at(5.005, root);
+  system.run();
+
+  ASSERT_NE(*first_replica, kInvalidPeer);
+  EXPECT_NE(*first_replica, root);
+  const auto& stats = system.stats(g);
+  EXPECT_EQ(stats.warm_promotions, 1u);
+  // The promotion read the NEW replica's copy, which never learned of
+  // publish B: nothing is inheritable. The stale-copy bug inherited 1
+  // phantom record here (and lost nothing).
+  EXPECT_EQ(stats.pending_publishes_inherited, 0u);
+  EXPECT_EQ(stats.batch_publishes_lost, 1u);
+  // Batch A delivered in full before any failure; B never flushed, so it
+  // owes no deliveries.
+  EXPECT_GT(stats.expected_deliveries, 0u);
+  EXPECT_EQ(stats.deliveries, stats.expected_deliveries);
+}
+
+/// Residual QoS 2 blind spot, pinned: a subscriber severed on the group's
+/// ONLY wave never initializes its window, so beacons can open no gaps
+/// (mark_through's no-op rule) and the loss is invisible to the entire
+/// gap plane. The heartbeat_blind_windows counter is what makes it
+/// observable: every beacon that reaches a window-less subscriber counts.
+TEST(GroupsFailoverTest, SoleWaveSeveranceIsCountedAsBlindWindows) {
+  const auto graph = make_overlay(150, 2, 1407);
+  const GroupId g = 0;
+  PubSubConfig config;
+  config.seed = 101;
+  config.reliability.qos = multicast::QoS::kEndToEnd;
+  config.reliability.ack_timeout = 0.05;
+  config.reliability.max_retries = 5;
+  config.heartbeat_interval = 0.2;
+  config.heartbeat_rounds = 2;
+  PubSubSystem system(graph, config);
+  const auto members = subscribe_members(system, graph, g, 12, 101);
+  std::vector<bool> member_anywhere(graph.size(), false);
+  for (const PeerId m : members) member_anywhere[m] = true;
+  system.publish_at(5.0, system.manager().root_of(g), g);  // the only wave
+  auto severed = std::make_shared<std::size_t>(0);
+  schedule_midwave_kill(system, g, 5.0, member_anywhere,
+                        [severed](PeerId, std::size_t s) { *severed = s; });
+  system.run();
+
+  ASSERT_GT(*severed, 0u) << "seed severed nobody; the scenario is vacuous";
+  const auto& stats = system.stats(g);
+  // The loss is real and permanent: heartbeats ran, yet no gap was ever
+  // detected — there is no window frontier to advance past the hole.
+  EXPECT_EQ(stats.deliveries, stats.expected_deliveries - *severed);
+  EXPECT_GT(stats.heartbeats_sent, 0u);
+  EXPECT_EQ(stats.heartbeat_gap_detections, 0u);
+  EXPECT_EQ(stats.gap_seqs_detected, 0u);
+  // ...but it is no longer silent: each beacon round found every severed
+  // subscriber still window-less.
+  EXPECT_EQ(stats.heartbeat_blind_windows, *severed * stats.heartbeats_sent);
 }
 
 TEST(GroupsFailoverTest, WarmKnobIsPassiveOnNoKillSeeds) {

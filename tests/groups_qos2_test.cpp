@@ -175,7 +175,7 @@ TEST(GroupsQoS2Test, NacksAreBatchedAndDeferToInflightPerHopRecovery) {
   config.reliability.max_retries = 5;
   config.loss.drop_if = [victim](const sim::Envelope& e) {
     if (e.kind != kDeliverKind || e.to != victim) return false;
-    const auto& d = std::any_cast<const GroupDelivery&>(e.payload);
+    const GroupDelivery& d = *std::any_cast<const DeliveryPtr&>(e.payload);
     return d.seq == 1 || d.seq == 2;
   };
   PubSubSystem system(graph, config);
@@ -214,6 +214,59 @@ TEST(GroupsQoS2Test, NacksAreBatchedAndDeferToInflightPerHopRecovery) {
   for (const auto& [p, seq] : order)
     if (p == victim) victim_order.push_back(seq);
   EXPECT_EQ(victim_order, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+/// RetainedBuffer range service, pinned: one NACK whose gap run straddles
+/// TWO retained wave ranges must be served from both entries. Batching
+/// (two publishes per window) makes each wave a 2-seq range; severing the
+/// middle two waves toward a leaf leaves the gap run [2..5] covering the
+/// retained ranges [2,3] and [4,5]. on_nack's per-request dedup serves
+/// each covering range exactly once — two repair envelopes, no misses.
+TEST(GroupsQoS2Test, NackRunStraddlingTwoRetainedWavesIsServedFromBoth) {
+  const auto graph = make_overlay(120, 2, 1203);
+  const GroupId g = 0;
+  const std::uint64_t seed = 41;
+  const PeerId victim = find_leaf_subscriber(graph, g, 10, seed, 4);
+  ASSERT_NE(victim, kInvalidPeer);
+
+  PubSubConfig config;
+  config.seed = seed;
+  config.reliability.qos = multicast::QoS::kEndToEnd;
+  config.reliability.ack_timeout = 0.05;
+  config.reliability.max_retries = 5;
+  config.batch_window = 0.1;
+  // Sever the two middle waves toward the victim: a coalesced wave rides
+  // one envelope keyed by its range low, so dropping seq-low 2 and 4
+  // removes the ranges [2,3] and [4,5] entirely on that last hop.
+  config.loss.drop_if = [victim](const sim::Envelope& e) {
+    if (e.kind != kDeliverKind || e.to != victim) return false;
+    const GroupDelivery& d = *std::any_cast<const DeliveryPtr&>(e.payload);
+    return d.seq == 2 || d.seq == 4;
+  };
+  PubSubSystem system(graph, config);
+  const auto members = subscribe_members(system, graph, g, 10, seed);
+  const PeerId root = system.manager().root_of(g);
+  // Four waves of two seqs each: [0,1] [2,3] [4,5] [6,7], flushed at
+  // 2.1/3.1/4.1/5.1 (root-published, so the windows are exact).
+  for (const double base : {2.0, 3.0, 4.0, 5.0}) {
+    system.publish_at(base, root, g);
+    system.publish_at(base + 0.01, root, g);
+  }
+  system.run();
+  (void)members;
+
+  const auto& stats = system.stats(g);
+  // Wave [6,7] revealed the straddling run: four seqs, one batched NACK.
+  EXPECT_EQ(stats.gap_seqs_detected, 4u);
+  EXPECT_EQ(stats.nacks_sent, 1u);
+  EXPECT_EQ(stats.nacked_seqs, 4u);
+  // The pin: both covering retained ranges answered — one repair envelope
+  // per retained wave, neither a miss, and the run healed in full.
+  EXPECT_EQ(stats.repairs_served, 2u);
+  EXPECT_EQ(stats.repair_misses, 0u);
+  EXPECT_EQ(stats.gap_seqs_repaired, 4u);
+  EXPECT_EQ(stats.gap_seqs_abandoned, 0u);
+  EXPECT_EQ(stats.deliveries, stats.expected_deliveries);
 }
 
 struct KillSweepResult {

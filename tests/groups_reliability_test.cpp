@@ -214,7 +214,7 @@ OrderingOutcome run_ordering_scenario(const overlay::OverlayGraph& graph,
   auto dropped = std::make_shared<bool>(false);
   config.loss.drop_if = [victim, dropped](const sim::Envelope& e) {
     if (*dropped || e.kind != kDeliverKind || e.to != victim) return false;
-    if (std::any_cast<const GroupDelivery&>(e.payload).seq != 1) return false;
+    if (std::any_cast<const DeliveryPtr&>(e.payload)->seq != 1) return false;
     *dropped = true;
     return true;
   };

@@ -1,0 +1,94 @@
+#include "overlay/grid_knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "analysis/graph_metrics.hpp"
+#include "geometry/distance.hpp"
+#include "geometry/random_points.hpp"
+#include "overlay/empty_rect.hpp"
+#include "overlay/equilibrium.hpp"
+#include "overlay/k_closest.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::overlay {
+namespace {
+
+std::vector<std::vector<PeerId>> brute_knn(const std::vector<geometry::Point>& points,
+                                           std::size_t k) {
+  std::vector<std::vector<PeerId>> result(points.size());
+  std::vector<std::pair<double, PeerId>> by_dist;
+  for (PeerId p = 0; p < points.size(); ++p) {
+    by_dist.clear();
+    for (PeerId q = 0; q < points.size(); ++q)
+      if (q != p) by_dist.emplace_back(geometry::l2_distance_sq(points[p], points[q]), q);
+    std::sort(by_dist.begin(), by_dist.end());
+    if (by_dist.size() > k) by_dist.resize(k);
+    for (const auto& [d, q] : by_dist) result[p].push_back(q);
+  }
+  return result;
+}
+
+TEST(GridKnnTest, MatchesBruteForceAcrossDimsAndSeeds) {
+  for (const std::size_t dims : {2u, 3u}) {
+    for (const std::uint64_t seed : {51u, 52u, 53u}) {
+      util::Rng rng(seed);
+      const auto points = geometry::random_points(rng, 300, dims, 100.0);
+      for (const std::size_t k : {1u, 8u, 16u})
+        EXPECT_EQ(grid_knn(points, k), brute_knn(points, k))
+            << "dims " << dims << " seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(GridKnnTest, DegenerateInputs) {
+  EXPECT_TRUE(grid_knn({}, 4).empty());
+  const std::vector<geometry::Point> one{geometry::Point({1.0, 2.0})};
+  const auto single = grid_knn(one, 4);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_TRUE(single[0].empty());
+}
+
+TEST(GridKnnTest, DuplicatePointsTieBreakById) {
+  // Four coincident points: every peer's neighbour list is the other three
+  // ids in ascending order, regardless of bucket layout.
+  const geometry::Point p({5.0, 5.0});
+  const std::vector<geometry::Point> points{p, p, p, p};
+  const auto knn = grid_knn(points, 3);
+  ASSERT_EQ(knn.size(), 4u);
+  EXPECT_EQ(knn[0], (std::vector<PeerId>{1, 2, 3}));
+  EXPECT_EQ(knn[2], (std::vector<PeerId>{0, 1, 3}));
+}
+
+TEST(GridKnnTest, FullKnowledgeReproducesBuildEquilibrium) {
+  // k >= n-1 degenerates to the paper's full-knowledge I(P); the local
+  // builder must then agree bit-for-bit with build_equilibrium because
+  // selectors are order-independent over their candidate set.
+  util::Rng rng(54);
+  const auto points = geometry::random_points(rng, 250, 2, 100.0);
+  const EmptyRectSelector empty_rect;
+  const KClosestSelector k_closest(5);
+  for (const NeighborSelector* selector :
+       std::initializer_list<const NeighborSelector*>{&empty_rect, &k_closest})
+    EXPECT_EQ(build_equilibrium_local(points, *selector, points.size() - 1),
+              build_equilibrium(points, *selector))
+        << selector->name();
+}
+
+TEST(GridKnnTest, LocalKnowledgeOverlayIsConnectedAtModestK) {
+  // The 100k simulator-core sweep rides this builder; connectivity at small
+  // k is what makes the multicast trees reach every subscriber.
+  for (const std::uint64_t seed : {55u, 56u}) {
+    util::Rng rng(seed);
+    const auto points = geometry::random_points(rng, 500, 2, 100.0);
+    const auto graph = build_equilibrium_local(points, EmptyRectSelector{}, 16);
+    EXPECT_EQ(graph.size(), points.size());
+    EXPECT_TRUE(analysis::is_connected(graph)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace geomcast::overlay

@@ -1,0 +1,194 @@
+// The kWheel event-queue backend must reproduce the binary heap's
+// (time, insertion-sequence) pop order exactly — the heap is the oracle.
+// These tests drive both backends through identical schedules (including
+// ties, cancels, mid-run rescheduling, rung boundaries, and the overflow
+// rung) and pin the equivalence, plus the wheel-specific edge paths.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace geomcast::sim {
+namespace {
+
+using PopLog = std::vector<std::pair<SimTime, int>>;
+
+TEST(SimTimerWheel, RandomizedPopOrderMatchesHeapOracle) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    EventQueue heap(QueueBackend::kHeap);
+    EventQueue wheel(QueueBackend::kWheel);
+    PopLog heap_log;
+    PopLog wheel_log;
+    std::vector<EventId> heap_ids;
+    std::vector<EventId> wheel_ids;
+
+    util::Rng rng(seed);
+    for (int i = 0; i < 4000; ++i) {
+      // Mix of sub-tick clusters (forces ties and shared buckets), the
+      // rung-0/rung-1 span, and a tail beyond the coarse horizon.
+      double when;
+      const double roll = rng.next_double();
+      if (roll < 0.5) {
+        when = rng.uniform(0.0, 1.0);
+      } else if (roll < 0.8) {
+        when = rng.uniform(0.0, 120.0);
+      } else if (roll < 0.9) {
+        when = 0.25;  // exact ties: insertion order must break them
+      } else {
+        when = rng.uniform(4000.0, 20000.0);  // overflow rung
+      }
+      heap_ids.push_back(heap.schedule(when, [&heap_log, when, i] {
+        heap_log.emplace_back(when, i);
+      }));
+      wheel_ids.push_back(wheel.schedule(when, [&wheel_log, when, i] {
+        wheel_log.emplace_back(when, i);
+      }));
+      // Cancel a random earlier event now and then — both queues see the
+      // identical cancellation stream.
+      if (i > 0 && rng.chance(0.3)) {
+        const auto victim = static_cast<std::size_t>(rng.next_below(heap_ids.size()));
+        EXPECT_EQ(heap.cancel(heap_ids[victim]), wheel.cancel(wheel_ids[victim]));
+      }
+    }
+
+    ASSERT_EQ(heap.pending(), wheel.pending());
+    while (heap.run_next()) {
+      ASSERT_TRUE(wheel.run_next());
+      ASSERT_EQ(heap.last_popped_time(), wheel.last_popped_time());
+    }
+    EXPECT_FALSE(wheel.run_next());
+    EXPECT_EQ(heap_log, wheel_log);
+    EXPECT_TRUE(wheel.empty());
+  }
+}
+
+TEST(SimTimerWheel, TiesPopInInsertionOrder) {
+  EventQueue wheel(QueueBackend::kWheel);
+  PopLog log;
+  // Same instant, scheduled out of a larger interleaving; insertion
+  // sequence must decide.
+  for (int i = 0; i < 8; ++i)
+    wheel.schedule(3.125, [&log, i] { log.emplace_back(3.125, i); });
+  while (wheel.run_next()) {
+  }
+  const PopLog expected = {{3.125, 0}, {3.125, 1}, {3.125, 2}, {3.125, 3},
+                           {3.125, 4}, {3.125, 5}, {3.125, 6}, {3.125, 7}};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(SimTimerWheel, MidRunReschedulingMatchesHeapOracle) {
+  // Actions that schedule follow-ups (the retransmit-timer pattern) must
+  // interleave identically on both backends.
+  PopLog logs[2];
+  for (int b = 0; b < 2; ++b) {
+    EventQueue queue(b == 0 ? QueueBackend::kHeap : QueueBackend::kWheel);
+    util::Rng rng(99);
+    std::function<void(int, double)> chain = [&](int depth, double at) {
+      logs[b].emplace_back(at, depth);
+      if (depth < 6) {
+        const double next = at + rng.uniform(0.001, 0.4);
+        queue.schedule(next, [&chain, depth, next] { chain(depth + 1, next); });
+      }
+    };
+    for (int i = 0; i < 64; ++i) {
+      const double at = rng.uniform(0.0, 2.0);
+      queue.schedule(at, [&chain, at] { chain(0, at); });
+    }
+    while (queue.run_next()) {
+    }
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+}
+
+TEST(SimTimerWheel, OverflowRungDrainsThroughWheel) {
+  // Events past the coarse horizon park in the overflow heap and must still
+  // come out in global order once the cascade reaches them.
+  constexpr double kSpan0 = EventQueue::kWheelTick * EventQueue::kFineBuckets;
+  const double horizon = kSpan0 * EventQueue::kCoarseBuckets;
+  EventQueue wheel(QueueBackend::kWheel);
+  PopLog log;
+  const std::vector<double> times = {horizon * 3.0, 0.5, horizon + 1.0,
+                                     horizon + 1.0, kSpan0 * 2.0, horizon * 3.0};
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double when = times[i];
+    wheel.schedule(when, [&log, when, i] { log.emplace_back(when, static_cast<int>(i)); });
+  }
+  while (wheel.run_next()) {
+  }
+  const PopLog expected = {{0.5, 1},
+                           {kSpan0 * 2.0, 4},
+                           {horizon + 1.0, 2},
+                           {horizon + 1.0, 3},
+                           {horizon * 3.0, 0},
+                           {horizon * 3.0, 5}};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(SimTimerWheel, ScheduleBehindPeekedBoundaryStillPopsInOrder) {
+  // next_time() advances the cascade cursor; a subsequent schedule near the
+  // (much older) clock lands behind the boundary and must still pop first.
+  EventQueue wheel(QueueBackend::kWheel);
+  PopLog log;
+  wheel.schedule(500.0, [&log] { log.emplace_back(500.0, 1); });
+  EXPECT_DOUBLE_EQ(wheel.next_time(), 500.0);  // cascades far ahead
+  wheel.schedule(0.25, [&log] { log.emplace_back(0.25, 0); });
+  wheel.schedule(499.0, [&log] { log.emplace_back(499.0, 2); });
+  EXPECT_DOUBLE_EQ(wheel.next_time(), 0.25);
+  while (wheel.run_next()) {
+  }
+  const PopLog expected = {{0.25, 0}, {499.0, 2}, {500.0, 1}};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(SimTimerWheel, CancelHeavyWheelIsCompacted) {
+  EventQueue wheel(QueueBackend::kWheel);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4096; ++i)
+    ids.push_back(wheel.schedule(0.001 * i, [] {}));
+  for (std::size_t i = 0; i < ids.size(); i += 2) wheel.cancel(ids[i]);
+  EXPECT_EQ(wheel.pending(), 2048u);
+  // Same invariant the heap backend pins: corpses never exceed half the
+  // stored entries (plus the small floor).
+  EXPECT_LE(wheel.heap_size(), std::max<std::size_t>(2 * wheel.pending(), 64));
+  std::size_t ran = 0;
+  while (wheel.run_next()) ++ran;
+  EXPECT_EQ(ran, 2048u);
+}
+
+TEST(SimTimerWheel, ErrorsMatchHeapSemantics) {
+  EventQueue wheel(QueueBackend::kWheel);
+  EXPECT_THROW(static_cast<void>(wheel.next_time()), std::logic_error);
+  EXPECT_FALSE(wheel.run_next());
+  EXPECT_THROW(wheel.schedule(1.0, nullptr), std::invalid_argument);
+  wheel.schedule(1.0, [] {});
+  EXPECT_TRUE(wheel.run_next());
+  EXPECT_THROW(wheel.schedule(0.5, [] {}), std::invalid_argument);  // in the past
+  EXPECT_FALSE(wheel.cancel(12345));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(SimTimerWheel, ReschedulingAtLastPoppedTimeIsAllowed) {
+  EventQueue wheel(QueueBackend::kWheel);
+  PopLog log;
+  wheel.schedule(1.0, [&] {
+    log.emplace_back(1.0, 0);
+    wheel.schedule(1.0, [&log] { log.emplace_back(1.0, 1); });  // same instant
+  });
+  while (wheel.run_next()) {
+  }
+  const PopLog expected = {{1.0, 0}, {1.0, 1}};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(SimTimerWheel, BackendIsReported) {
+  EXPECT_EQ(EventQueue{}.backend(), QueueBackend::kHeap);
+  EXPECT_EQ(EventQueue(QueueBackend::kWheel).backend(), QueueBackend::kWheel);
+}
+
+}  // namespace
+}  // namespace geomcast::sim

@@ -175,6 +175,35 @@ void BM_SimCoreQueueDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SimCoreQueueDispatch)->Arg(0)->Arg(1);
 
+// The sparse regime that historically regressed the wheel: few events
+// spread over a long horizon, so most rung buckets are empty and a naive
+// pop walks thousands of dead buckets per event. The per-rung occupancy
+// bitmaps turn that walk into a ctz hop; CI gates wheel >= 1.0x heap here
+// (BM_SimCoreQueueSparseHorizon) so the dense-dispatch win can never be
+// bought back with a sparse regression. 8192 events over a ~800s horizon,
+// scheduled far ahead so every ring level is exercised.
+void BM_SimCoreQueueSparseHorizon(benchmark::State& state) {
+  const auto backend =
+      state.range(0) == 0 ? sim::QueueBackend::kHeap : sim::QueueBackend::kWheel;
+  constexpr int kEvents = 8192;
+  for (auto _ : state) {
+    sim::EventQueue queue(backend);
+    std::uint64_t fired = 0;
+    util::Rng rng(97);
+    for (int i = 0; i < kEvents; ++i)
+      queue.schedule(
+          rng.uniform(0.0, 800.0),
+          [](void* ctx, std::uint64_t arg) {
+            *static_cast<std::uint64_t*>(ctx) += arg;
+          },
+          &fired, 1);
+    while (queue.pending() > 0) queue.run_next();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kEvents);
+}
+BENCHMARK(BM_SimCoreQueueSparseHorizon)->Arg(0)->Arg(1);
+
 // The end-to-end per-event cost of the pub/sub simulation core: one
 // PubSubSystem per iteration running a QoS 1 batched publish workload on a
 // prebuilt overlay, with the pool reset (release_pools) exercised between

@@ -46,7 +46,10 @@ const std::any* RetainedBuffer::find(std::uint64_t seq) const {
 }
 
 GroupManager::GroupManager(const overlay::OverlayGraph& graph, GroupConfig config)
-    : graph_(graph), config_(config), alive_(graph.size(), true) {
+    : graph_(graph),
+      config_(config),
+      alive_(graph.size(), true),
+      retained_(graph.size()) {
   if (graph.size() == 0)
     throw std::invalid_argument("GroupManager: empty overlay");
   // The peer set is immutable for this manager's lifetime; cache its
@@ -370,29 +373,38 @@ std::size_t GroupManager::retain_payload(PeerId peer, GroupId group, std::uint64
                      .try_emplace(group, config_.retention_window)
                      .first->second;
   const std::size_t evicted = buffer.retain(lo, hi, std::move(payload));
+  // Worker lanes track their own peak (a plain max, so the barrier-time
+  // fold commutes); the shared gauge is coordinator-only.
+  if (lane_fn_ != nullptr) {
+    const int lane = lane_fn_();
+    if (lane >= 0) {
+      auto& peak = lane_retained_peak_[static_cast<std::size_t>(lane)];
+      peak = std::max(peak, buffer.size());
+      return evicted;
+    }
+  }
   retained_peak_ = std::max(retained_peak_, buffer.size());
   return evicted;
 }
 
 const std::any* GroupManager::retained_payload(PeerId peer, GroupId group,
                                                std::uint64_t seq) const {
-  const auto pit = retained_.find(peer);
-  if (pit == retained_.end()) return nullptr;
-  const auto git = pit->second.find(group);
-  if (git == pit->second.end()) return nullptr;
+  const auto& buffers = retained_[peer];
+  const auto git = buffers.find(group);
+  if (git == buffers.end()) return nullptr;
   return git->second.find(seq);
 }
 
 std::size_t GroupManager::retained_entry_total() const noexcept {
   std::size_t total = 0;
-  for (const auto& [peer, buffers] : retained_)
+  for (const auto& buffers : retained_)
     for (const auto& [group, buffer] : buffers) total += buffer.size();
   return total;
 }
 
 std::size_t GroupManager::retained_buffer_count() const noexcept {
   std::size_t count = 0;
-  for (const auto& [peer, buffers] : retained_) count += buffers.size();
+  for (const auto& buffers : retained_) count += buffers.size();
   return count;
 }
 
@@ -447,10 +459,9 @@ std::vector<PeerId> GroupManager::subscribers_of(GroupId group) const {
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>> GroupManager::retained_ranges(
     PeerId peer, GroupId group) const {
-  const auto pit = retained_.find(peer);
-  if (pit == retained_.end()) return {};
-  const auto git = pit->second.find(group);
-  if (git == pit->second.end()) return {};
+  const auto& buffers = retained_[peer];
+  const auto git = buffers.find(group);
+  if (git == buffers.end()) return {};
   return git->second.ranges();
 }
 
@@ -477,7 +488,7 @@ GroupManager::DepartureOutcome GroupManager::handle_departure(PeerId peer) {
   alive_[peer] = false;
   // The dead serve no repairs: drop the peer's retained history (NACKs
   // that would have landed here escalate to the next ancestor instead).
-  retained_.erase(peer);
+  retained_[peer].clear();
   for (auto& [group, gs] : groups_) {
     if (gs.subscribers[peer]) {
       gs.subscribers[peer] = false;
@@ -607,6 +618,24 @@ std::vector<GroupId> GroupManager::known_groups() const {
   ids.reserve(groups_.size());
   for (const auto& [group, gs] : groups_) ids.push_back(group);
   return ids;
+}
+
+void GroupManager::configure_lanes(std::size_t lanes, LaneFn lane_fn) {
+  lane_stats_.clear();
+  lane_stats_.resize(lanes);
+  lane_retained_peak_.assign(lanes, 0);
+  lane_fn_ = lane_fn;
+}
+
+void GroupManager::collapse_lane_stats() {
+  for (auto& per_lane : lane_stats_) {
+    for (auto& [group, delta] : per_lane) state_of(group).stats += delta;
+    per_lane.clear();
+  }
+  for (std::size_t& peak : lane_retained_peak_) {
+    retained_peak_ = std::max(retained_peak_, peak);
+    peak = 0;
+  }
 }
 
 }  // namespace geomcast::groups

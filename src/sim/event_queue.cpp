@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -15,8 +16,29 @@ constexpr std::size_t kMinCompactSize = 64;
 
 constexpr std::uint64_t kNoBucket = std::numeric_limits<std::uint64_t>::max();
 
-bool earlier(const std::pair<SimTime, EventId>& a, const std::pair<SimTime, EventId>& b) {
-  return a < b;
+/// Smallest k in [0, span) such that ring slot (start_slot + k) % ring_size
+/// has its occupancy bit set; kNoBucket when the window is all-empty. The
+/// word scan is what lets sparse workloads skip thousands of empty buckets
+/// per pop: 64 buckets per load instead of one bucket per loop iteration.
+std::uint64_t next_occupied(const std::vector<std::uint64_t>& bits,
+                            std::uint64_t start_slot, std::uint64_t span,
+                            std::uint64_t ring_size) {
+  std::uint64_t pos = start_slot;
+  std::uint64_t scanned = 0;
+  while (scanned < span) {
+    const std::uint64_t bit_off = pos & 63;
+    const std::uint64_t in_word =
+        std::min<std::uint64_t>(64 - bit_off, span - scanned);
+    const std::uint64_t word = bits[pos >> 6] >> bit_off;
+    if (word != 0) {
+      const auto tz = static_cast<std::uint64_t>(std::countr_zero(word));
+      if (tz < in_word) return scanned + tz;
+    }
+    scanned += in_word;
+    pos += in_word;
+    if (pos == ring_size) pos = 0;
+  }
+  return kNoBucket;
 }
 }  // namespace
 
@@ -40,6 +62,8 @@ EventQueue::EventQueue(QueueBackend backend) : backend_(backend) {
   if (backend_ == QueueBackend::kWheel) {
     fine_.resize(kFineBuckets);
     coarse_.resize(kCoarseBuckets);
+    fine_bits_.assign(kFineBuckets / 64, 0);
+    coarse_bits_.assign(kCoarseBuckets / 64, 0);
   }
 }
 
@@ -48,7 +72,7 @@ EventId EventQueue::schedule(SimTime when, std::function<void()> action) {
     throw std::invalid_argument("EventQueue::schedule: time is in the past");
   if (!action) throw std::invalid_argument("EventQueue::schedule: empty action");
   const EventId id = ids_.add(std::move(action));
-  place(when, id);
+  place(when, /*order=*/id, id);
   return id;
 }
 
@@ -58,16 +82,59 @@ EventId EventQueue::schedule(SimTime when, RawFn fn, void* ctx, std::uint64_t ar
   if (fn == nullptr)
     throw std::invalid_argument("EventQueue::schedule: null callback");
   const EventId id = ids_.add(fn, ctx, arg);
-  place(when, id);
+  place(when, /*order=*/id, id);
   return id;
 }
 
-void EventQueue::place(SimTime when, EventId id) {
+EventId EventQueue::schedule_ordered(SimTime when, std::uint64_t order,
+                                     std::function<void()> action) {
+  if (when < last_popped_)
+    throw std::invalid_argument("EventQueue::schedule_ordered: time is in the past");
+  if (!action)
+    throw std::invalid_argument("EventQueue::schedule_ordered: empty action");
+  const EventId id = ids_.add(std::move(action));
+  place(when, order, id);
+  return id;
+}
+
+EventId EventQueue::schedule_ordered(SimTime when, std::uint64_t order, RawFn fn,
+                                     void* ctx, std::uint64_t arg) {
+  if (when < last_popped_)
+    throw std::invalid_argument("EventQueue::schedule_ordered: time is in the past");
+  if (fn == nullptr)
+    throw std::invalid_argument("EventQueue::schedule_ordered: null callback");
+  const EventId id = ids_.add(fn, ctx, arg);
+  place(when, order, id);
+  return id;
+}
+
+EventId EventQueue::register_action(std::function<void()> action) {
+  if (!action)
+    throw std::invalid_argument("EventQueue::register_action: empty action");
+  return ids_.add(std::move(action));
+}
+
+EventId EventQueue::register_action(RawFn fn, void* ctx, std::uint64_t arg) {
+  if (fn == nullptr)
+    throw std::invalid_argument("EventQueue::register_action: null callback");
+  return ids_.add(fn, ctx, arg);
+}
+
+void EventQueue::place_registered(SimTime when, std::uint64_t order, EventId id) {
+  // Cancelled between register and place (e.g. an ack landing in the same
+  // window as the retransmit timer it retires): nothing to insert.
+  if (!ids_.contains(id)) return;
+  if (when < last_popped_)
+    throw std::invalid_argument("EventQueue::place_registered: time is in the past");
+  place(when, order, id);
+}
+
+void EventQueue::place(SimTime when, std::uint64_t order, EventId id) {
   if (backend_ == QueueBackend::kHeap) {
-    heap_.push_back(Entry{when, id});
+    heap_.push_back(Entry{when, order, id});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   } else {
-    wheel_insert(Entry{when, id});
+    wheel_insert(Entry{when, order, id});
   }
 }
 
@@ -115,18 +182,36 @@ SimTime EventQueue::next_time() const {
   return front->when;
 }
 
-bool EventQueue::run_next(SimTime* now_out) {
-  Entry entry;
+bool EventQueue::peek_key(SimTime* when, std::uint64_t* order) const {
+  if (backend_ == QueueBackend::kHeap) {
+    heap_drop_stale_head();
+    if (heap_.empty()) return false;
+    if (when != nullptr) *when = heap_.front().when;
+    if (order != nullptr) *order = heap_.front().order;
+    return true;
+  }
+  const Entry* front = wheel_peek();
+  if (front == nullptr) return false;
+  if (when != nullptr) *when = front->when;
+  if (order != nullptr) *order = front->order;
+  return true;
+}
+
+bool EventQueue::pop_front(Entry* out) {
   if (backend_ == QueueBackend::kHeap) {
     heap_drop_stale_head();
     if (heap_.empty()) return false;
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    entry = heap_.back();
+    *out = heap_.back();
     heap_.pop_back();
-  } else {
-    if (wheel_peek() == nullptr) return false;
-    entry = wheel_consume_front();
+    return true;
   }
+  if (wheel_peek() == nullptr) return false;
+  *out = wheel_consume_front();
+  return true;
+}
+
+void EventQueue::dispatch(const Entry& entry, SimTime* now_out) {
   // Copy the slot out before running: the callback may schedule new
   // events, which can reallocate the slot table.
   const ActionTable::Slot slot = ids_.take(entry.id);
@@ -134,6 +219,23 @@ bool EventQueue::run_next(SimTime* now_out) {
   if (now_out != nullptr) *now_out = entry.when;
   if ((++pops_ & 0x3FFF) == 0) ids_.trim();
   slot.fn(slot.ctx, slot.arg);
+}
+
+bool EventQueue::run_next(SimTime* now_out) {
+  Entry entry;
+  if (!pop_front(&entry)) return false;
+  dispatch(entry, now_out);
+  return true;
+}
+
+bool EventQueue::run_next_before(SimTime bound, SimTime* now_out,
+                                 std::uint64_t* order_out) {
+  SimTime when = kTimeZero;
+  if (!peek_key(&when, nullptr) || when >= bound) return false;
+  Entry entry;
+  pop_front(&entry);  // removes the exact entry peek_key surfaced
+  if (order_out != nullptr) *order_out = entry.order;
+  dispatch(entry, now_out);
   return true;
 }
 
@@ -157,6 +259,7 @@ void EventQueue::wheel_insert(Entry entry) {
   if (c < coarse_cursor_ + kCoarseBuckets) {
     Bucket& bucket = coarse_[c % kCoarseBuckets];
     bucket.entries.push_back(std::move(entry));
+    coarse_bit(c % kCoarseBuckets, true);
     ++coarse_count_;
   } else {
     heap_.push_back(std::move(entry));
@@ -168,6 +271,7 @@ void EventQueue::wheel_place_fine(Entry entry) const {
   const std::uint64_t f = fine_index(entry.when);
   Bucket& bucket = fine_[f % kFineBuckets];
   bucket.entries.push_back(std::move(entry));
+  fine_bit(f % kFineBuckets, true);
   if (bucket.entries.size() - bucket.pos > 1) bucket.sorted = false;
   ++fine_count_;
   if (f < fine_cursor_) fine_cursor_ = f;
@@ -178,14 +282,26 @@ EventQueue::Entry* EventQueue::wheel_peek() const {
     const std::uint64_t cascaded = coarse_cursor_ * kFineBuckets;
     // Rung 0: the earliest live entry sits in the first non-empty fine
     // bucket at or after the cursor, because buckets partition the time
-    // axis monotonically and each bucket is sorted by (when, id) before
-    // consumption — exactly the heap's pop order.
+    // axis monotonically and each bucket is sorted by (when, order) before
+    // consumption — exactly the heap's pop order. The occupancy bitmap
+    // jumps the cursor straight to that bucket; a skipped bucket stores
+    // nothing at all, so skipping it cannot change the pop order.
     while (fine_count_ > 0 && fine_cursor_ < cascaded) {
+      const std::uint64_t hop = next_occupied(
+          fine_bits_, fine_cursor_ % kFineBuckets,
+          std::min<std::uint64_t>(cascaded - fine_cursor_, kFineBuckets),
+          kFineBuckets);
+      if (hop == kNoBucket) {
+        fine_cursor_ = cascaded;
+        break;
+      }
+      fine_cursor_ += hop;
       Bucket& bucket = fine_[fine_cursor_ % kFineBuckets];
       if (!bucket.sorted) {
         std::sort(bucket.entries.begin() + static_cast<std::ptrdiff_t>(bucket.pos),
                   bucket.entries.end(), [](const Entry& a, const Entry& b) {
-                    return earlier({a.when, a.id}, {b.when, b.id});
+                    if (a.when != b.when) return a.when < b.when;
+                    return a.order < b.order;
                   });
         bucket.sorted = true;
       }
@@ -198,6 +314,7 @@ EventQueue::Entry* EventQueue::wheel_peek() const {
         bucket.entries.clear();
         bucket.pos = 0;
         bucket.sorted = true;
+        fine_bit(fine_cursor_ % kFineBuckets, false);
         ++fine_cursor_;
         continue;
       }
@@ -214,9 +331,10 @@ EventQueue::Entry* EventQueue::wheel_peek() const {
 
     std::uint64_t coarse_next = kNoBucket;
     if (coarse_count_ > 0) {
-      std::uint64_t c = coarse_cursor_;
-      while (coarse_[c % kCoarseBuckets].entries.empty()) ++c;
-      coarse_next = c;
+      const std::uint64_t hop =
+          next_occupied(coarse_bits_, coarse_cursor_ % kCoarseBuckets,
+                        kCoarseBuckets, kCoarseBuckets);
+      coarse_next = coarse_cursor_ + hop;  // hop valid: coarse_count_ > 0
     }
     const std::uint64_t heap_next =
         heap_.empty() ? kNoBucket : fine_index(heap_.front().when) / kFineBuckets;
@@ -227,6 +345,7 @@ EventQueue::Entry* EventQueue::wheel_peek() const {
       coarse_count_ -= bucket.entries.size();
       for (Entry& entry : bucket.entries) wheel_place_fine(std::move(entry));
       bucket.entries.clear();
+      coarse_bit(target % kCoarseBuckets, false);
     }
     // Overflow entries in the same coarse range form the heap's top prefix
     // (everything earlier was drained by previous cascades).
@@ -249,6 +368,7 @@ EventQueue::Entry EventQueue::wheel_consume_front() {
     bucket.entries.clear();
     bucket.pos = 0;
     bucket.sorted = true;
+    fine_bit(fine_cursor_ % kFineBuckets, false);
   }
   return entry;
 }
@@ -270,6 +390,8 @@ void EventQueue::wheel_rebuild(Entry extra) {
   };
   drain_ring(fine_);
   drain_ring(coarse_);
+  std::fill(fine_bits_.begin(), fine_bits_.end(), 0);
+  std::fill(coarse_bits_.begin(), coarse_bits_.end(), 0);
   for (Entry& entry : heap_) take(entry);
   heap_.clear();
   fine_count_ = coarse_count_ = 0;
@@ -286,8 +408,10 @@ void EventQueue::wheel_rebuild(Entry extra) {
 
 void EventQueue::wheel_compact() {
   const auto dead = [this](const Entry& entry) { return !ids_.contains(entry.id); };
-  const auto sweep_ring = [&](std::vector<Bucket>& ring, std::size_t& count) {
-    for (Bucket& bucket : ring) {
+  const auto sweep_ring = [&](std::vector<Bucket>& ring, std::size_t& count,
+                              auto&& clear_bit) {
+    for (std::size_t slot = 0; slot < ring.size(); ++slot) {
+      Bucket& bucket = ring[slot];
       if (bucket.entries.empty()) continue;
       const std::size_t before = bucket.entries.size() - bucket.pos;
       bucket.entries.erase(
@@ -299,11 +423,13 @@ void EventQueue::wheel_compact() {
         bucket.entries.clear();
         bucket.pos = 0;
         bucket.sorted = true;
+        clear_bit(slot);
       }
     }
   };
-  sweep_ring(fine_, fine_count_);
-  sweep_ring(coarse_, coarse_count_);
+  sweep_ring(fine_, fine_count_, [this](std::size_t slot) { fine_bit(slot, false); });
+  sweep_ring(coarse_, coarse_count_,
+             [this](std::size_t slot) { coarse_bit(slot, false); });
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), Later{});
 }

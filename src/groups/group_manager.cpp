@@ -64,24 +64,37 @@ GroupManager::GroupManager(const overlay::OverlayGraph& graph, GroupConfig confi
     }
 }
 
-PeerId GroupManager::rendezvous_nearest(GroupId group, PeerId exclude) const {
-  // Hash the group id to a point inside the peers' bounding box, then pick
-  // the nearest alive peer — any peer can recompute this locally from the
-  // group id, so the rendezvous needs no directory. With `exclude` set to
-  // the current root, the same scan yields the group's replica: the
-  // deterministic successor a root death would promote.
+geometry::Point GroupManager::hash_point(GroupId group, std::uint32_t slot) const {
+  // Hash the group id to a point inside the peers' bounding box — any peer
+  // can recompute this locally from the group id, so the rendezvous needs
+  // no directory. Replica slots salt the stream before the per-dimension
+  // draws; slot 0's salt is zero, so its point is bit-identical to the
+  // historic single-root rendezvous point.
   const std::size_t dims = graph_.dims();
   std::uint64_t sm = config_.rendezvous_seed ^ (group * 0x9e3779b97f4a7c15ULL);
+  sm ^= static_cast<std::uint64_t>(slot) * 0xbf58476d1ce4e5b9ULL;
   geometry::Point target(dims);
   for (std::size_t d = 0; d < dims; ++d) {
     const double frac =
         static_cast<double>(util::split_mix64(sm) >> 11) * 0x1.0p-53;
     target[d] = bounds_lo_[d] + (bounds_hi_[d] - bounds_lo_[d]) * frac;
   }
+  return target;
+}
+
+PeerId GroupManager::nearest_to(const geometry::Point& target, const PeerId* exclude,
+                                std::size_t exclude_count) const {
   PeerId best = kInvalidPeer;
   double best_dist = 0.0;
   for (PeerId p = 0; p < graph_.size(); ++p) {
-    if (!alive_[p] || p == exclude) continue;
+    if (!alive_[p]) continue;
+    bool excluded = false;
+    for (std::size_t i = 0; i < exclude_count; ++i)
+      if (p == exclude[i]) {
+        excluded = true;
+        break;
+      }
+    if (excluded) continue;
     const double dist = geometry::l1_distance(graph_.point(p), target);
     if (best == kInvalidPeer || dist < best_dist) {
       best = p;
@@ -89,6 +102,12 @@ PeerId GroupManager::rendezvous_nearest(GroupId group, PeerId exclude) const {
     }
   }
   return best;
+}
+
+PeerId GroupManager::rendezvous_nearest(GroupId group, PeerId exclude) const {
+  // With `exclude` set to the current root, the scan yields the group's
+  // replica: the deterministic successor a root death would promote.
+  return nearest_to(hash_point(group, 0), &exclude, 1);
 }
 
 PeerId GroupManager::rendezvous_root(GroupId group) const {
@@ -104,13 +123,94 @@ GroupManager::GroupState& GroupManager::state_of_slow(GroupId group) {
   if (inserted) {
     gs.subscribers.assign(graph_.size(), false);
     gs.root = rendezvous_root(group);
+    if (config_.root_replicas > 1) init_slots(group, gs);
   }
   state_cache_group_ = group;
   state_cache_ = &gs;
   return gs;
 }
 
+void GroupManager::init_slots(GroupId group, GroupState& gs) {
+  const std::size_t replicas = config_.root_replicas;
+  gs.anchors.reserve(replicas);
+  for (std::uint32_t s = 0; s < replicas; ++s)
+    gs.anchors.push_back(hash_point(group, s));
+  gs.slots.resize(replicas);
+  for (ShardSlot& slot : gs.slots) slot.members.assign(graph_.size(), false);
+  // Slot 0's anchor is the legacy rendezvous point, so its root is the
+  // legacy root; later slots exclude the earlier roots so R alive peers
+  // yield R distinct replicas.
+  gs.slots[0].root = gs.root;
+  for (std::uint32_t s = 1; s < replicas; ++s)
+    gs.slots[s].root = recompute_slot_root(gs, s);
+}
+
+std::uint32_t GroupManager::owner_slot_of(const GroupState& gs, PeerId peer) const {
+  const geometry::Point& at = graph_.point(peer);
+  std::uint32_t best = 0;
+  double best_dist = geometry::l1_distance(at, gs.anchors[0]);
+  for (std::uint32_t s = 1; s < gs.anchors.size(); ++s) {
+    const double dist = geometry::l1_distance(at, gs.anchors[s]);
+    if (dist < best_dist) {  // ties go to the lowest slot
+      best = s;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+PeerId GroupManager::recompute_slot_root(const GroupState& gs, std::uint32_t slot) const {
+  PeerId exclude[64];
+  std::size_t exclude_count = 0;
+  for (std::uint32_t s = 0; s < gs.slots.size(); ++s) {
+    if (s == slot) continue;
+    const PeerId other = gs.slots[s].root;
+    if (other != kInvalidPeer && exclude_count < 64) exclude[exclude_count++] = other;
+  }
+  const PeerId best = nearest_to(gs.anchors[slot], exclude, exclude_count);
+  // Fewer alive peers than replicas: double up rather than orphan the slot.
+  if (best != kInvalidPeer) return best;
+  return nearest_to(gs.anchors[slot], nullptr, 0);
+}
+
 PeerId GroupManager::root_of(GroupId group) { return state_of(group).root; }
+
+std::uint32_t GroupManager::owner_slot(GroupId group, PeerId peer) {
+  if (config_.root_replicas <= 1) return 0;
+  return owner_slot_of(state_of(group), peer);
+}
+
+PeerId GroupManager::slot_root(GroupId group, std::uint32_t slot) {
+  GroupState& gs = state_of(group);
+  if (gs.slots.empty()) return gs.root;
+  return gs.slots[slot].root;
+}
+
+PeerId GroupManager::owner_root(GroupId group, PeerId peer) {
+  GroupState& gs = state_of(group);
+  if (gs.slots.empty()) return gs.root;
+  return gs.slots[owner_slot_of(gs, peer)].root;
+}
+
+std::shared_ptr<const GroupTree> GroupManager::slot_tree_snapshot(GroupId group,
+                                                                  std::uint32_t slot) {
+  GroupState& gs = state_of(group);
+  if (gs.slots.empty()) {
+    if (gs.count == 0) return nullptr;
+    refresh_tree(group, gs);
+    return gs.cached;
+  }
+  ShardSlot& s = gs.slots[slot];
+  if (s.count == 0) return nullptr;
+  refresh_slot_tree(group, gs, slot);
+  return s.cached;
+}
+
+std::size_t GroupManager::slot_member_count(GroupId group, std::uint32_t slot) {
+  GroupState& gs = state_of(group);
+  if (gs.slots.empty()) return gs.count;
+  return gs.slots[slot].count;
+}
 
 void GroupManager::subscribe(GroupId group, PeerId peer) {
   if (peer >= graph_.size())
@@ -122,8 +222,28 @@ void GroupManager::subscribe(GroupId group, PeerId peer) {
   gs.subscribers[peer] = true;
   ++gs.count;
   ++gs.stats.subscribes;
+  if (!gs.slots.empty()) {
+    // Sharded: the membership lands in the owner slot's shard; the graft
+    // rule below applies to the shard tree, not a whole-group tree.
+    ShardSlot& slot = gs.slots[owner_slot_of(gs, peer)];
+    slot.members[peer] = true;
+    ++slot.count;
+    if (slot.cached && !slot.dirty && !slot.cached->zones_stale) {
+      const auto graft =
+          graft_subscriber(graph_, writable_tree(slot.cached), peer, config_.tree, alive_);
+      if (graft.attached) {
+        ++gs.stats.grafts;
+        gs.stats.graft_messages += graft.messages;
+      } else {
+        slot.dirty = true;
+      }
+    } else {
+      slot.dirty = true;
+    }
+    return;
+  }
   if (gs.cached && !gs.dirty && !gs.cached->zones_stale) {
-    const auto graft = graft_subscriber(graph_, writable_tree(gs), peer, config_.tree, alive_);
+    const auto graft = graft_subscriber(graph_, writable_tree(gs.cached), peer, config_.tree, alive_);
     if (graft.attached) {
       // Grafts are exact (the tree equals a fresh build), so they do not
       // count toward drift.
@@ -147,11 +267,27 @@ void GroupManager::unsubscribe(GroupId group, PeerId peer) {
   gs.subscribers[peer] = false;
   --gs.count;
   ++gs.stats.unsubscribes;
+  if (!gs.slots.empty()) {
+    ShardSlot& slot = gs.slots[owner_slot_of(gs, peer)];
+    if (slot.members[peer]) {
+      slot.members[peer] = false;
+      --slot.count;
+    }
+    if (slot.cached && !slot.dirty && slot.cached->is_subscriber[peer]) {
+      const bool touched = slot.cached->tree.reached(peer);
+      const std::size_t removed = prune_subscriber(writable_tree(slot.cached), peer);
+      if (touched) {
+        ++gs.stats.prunes;
+        gs.stats.prune_messages += removed;
+      }
+    }
+    return;
+  }
   if (gs.cached && !gs.dirty && gs.cached->is_subscriber[peer]) {
     // Only a spanned subscriber's departure edits the tree; a stranded one
     // is membership-only and must not count toward drift.
     const bool touched = gs.cached->tree.reached(peer);
-    const std::size_t removed = prune_subscriber(writable_tree(gs), peer);
+    const std::size_t removed = prune_subscriber(writable_tree(gs.cached), peer);
     if (touched) {  // prunes are exact too: no drift, just bookkeeping
       ++gs.stats.prunes;
       gs.stats.prune_messages += removed;
@@ -172,6 +308,22 @@ GroupManager::SubscribeNeed GroupManager::subscribe_membership(GroupId group,
     ++gs.count;
     ++gs.stats.subscribes;
   }
+  if (!gs.slots.empty()) {
+    // Sharded: book the shard membership and answer the graft question
+    // against the owner slot's tree — the same rule, scoped to the shard.
+    ShardSlot& slot = gs.slots[owner_slot_of(gs, peer)];
+    if (fresh) {
+      slot.members[peer] = true;
+      ++slot.count;
+    }
+    const bool slot_graftable =
+        slot.cached && !slot.dirty && !slot.cached->zones_stale;
+    if (slot_graftable &&
+        !(slot.cached->is_subscriber[peer] && slot.cached->tree.reached(peer)))
+      return SubscribeNeed::kGraft;
+    if (fresh && !slot_graftable) slot.dirty = true;
+    return SubscribeNeed::kNone;
+  }
   const bool graftable = gs.cached && !gs.dirty && !gs.cached->zones_stale;
   if (graftable &&
       !(gs.cached->is_subscriber[peer] && gs.cached->tree.reached(peer)))
@@ -187,11 +339,16 @@ std::uint64_t GroupManager::graft_begin(GroupId group, PeerId subscriber, PeerId
   if (subscriber >= graph_.size() || !alive_[subscriber] ||
       !gs.subscribers[subscriber])
     return 0;
-  if (gs.root != root || !gs.cached || gs.dirty || gs.cached->zones_stale) return 0;
+  // Sharded groups graft into the subscriber's owner-slot tree; the view
+  // binds the legacy whole-group fields otherwise, so the checks and the
+  // cursor are exactly the historic ones at R == 1.
+  const std::uint32_t slot = gs.slots.empty() ? 0 : owner_slot_of(gs, subscriber);
+  const SlotView v = view_of(gs, slot);
+  if (v.root != root || !*v.cached || *v.dirty || (*v.cached)->zones_stale) return 0;
   if (!grafting_.insert({group, subscriber}).second) return 0;  // one at a time
   const std::uint64_t id = next_graft_id_++;
-  grafts_.emplace(id, InFlightGraft{group, subscriber, root,
-                                    graft_cursor(*gs.cached, subscriber), clock_now()});
+  grafts_.emplace(id, InFlightGraft{group, subscriber, root, slot,
+                                    graft_cursor(**v.cached, subscriber), clock_now()});
   if (tracer_.enabled())
     tracer_.emit({clock_now(), obs::TraceEventType::kGraftBegin, group, id, 0, 0,
                   root, subscriber});
@@ -205,16 +362,17 @@ GroupManager::GraftAdvance GroupManager::graft_advance(std::uint64_t graft_id,
   if (it == grafts_.end()) return advance;  // aborted while the request flew
   InFlightGraft& g = it->second;
   GroupState& gs = groups_.at(g.group);
+  const SlotView v = view_of(gs, g.slot);
   // The cursor is only valid against the exact tree state it left: any
   // rebuild, repair (stale zones), migration, membership change, or death
   // of subscriber/current since the previous step fails the descent here
   // rather than replaying it against a tree it never saw.
-  if (!alive_[g.subscriber] || !gs.subscribers[g.subscriber] || gs.root != g.root ||
-      !gs.cached || gs.dirty || gs.cached->zones_stale ||
-      self != g.cursor.current || !gs.cached->tree.reached(g.cursor.current))
+  if (!alive_[g.subscriber] || !gs.subscribers[g.subscriber] || v.root != g.root ||
+      !*v.cached || *v.dirty || (*v.cached)->zones_stale ||
+      self != g.cursor.current || !(*v.cached)->tree.reached(g.cursor.current))
     return advance;
   const std::size_t decisions_before = g.cursor.steps;
-  const GraftStep step = graft_step(graph_, writable_tree(gs), g.cursor,
+  const GraftStep step = graft_step(graph_, writable_tree(*v.cached), g.cursor,
                                     config_.tree, alive_);
   gs.stats.graft_messages += g.cursor.steps - decisions_before;
   switch (step.status) {
@@ -251,9 +409,11 @@ bool GroupManager::graft_finish(std::uint64_t graft_id) {
   // blocked by the in-flight guard below (graft_begin returns 0) — so a
   // member can end up owed a span no descent will ever provide. Defer to
   // a rebuild rather than leave a clean cache that never delivers.
-  if (gs.subscribers[subscriber] && gs.cached && !gs.dirty &&
-      !(gs.cached->is_subscriber[subscriber] && gs.cached->tree.reached(subscriber)))
-    gs.dirty = true;
+  const SlotView v = view_of(gs, it->second.slot);
+  if (gs.subscribers[subscriber] && *v.cached && !*v.dirty &&
+      !((*v.cached)->is_subscriber[subscriber] &&
+        (*v.cached)->tree.reached(subscriber)))
+    *v.dirty = true;
   grafting_.erase({it->second.group, subscriber});
   grafts_.erase(it);
   return true;
@@ -268,7 +428,7 @@ std::optional<GroupManager::AbortedGraft> GroupManager::graft_abort(
   // The half-grafted relay path (if any) serves nobody: dirty the cache so
   // the next publish rebuilds — spanning the subscriber's membership if it
   // survived — instead of publishing down dangling edges forever.
-  gs.dirty = true;
+  *view_of(gs, it->second.slot).dirty = true;
   ++gs.stats.graft_aborts;
   if (tracer_.enabled())
     tracer_.emit({clock_now(), obs::TraceEventType::kGraftAbort, aborted.group,
@@ -289,15 +449,15 @@ std::size_t GroupManager::subscriber_count(GroupId group) const {
   return it == groups_.end() ? 0 : it->second.count;
 }
 
-GroupTree& GroupManager::writable_tree(GroupState& gs) {
-  if (gs.cached.use_count() > 1)
-    gs.cached = std::make_shared<GroupTree>(*gs.cached);
-  return *gs.cached;
+GroupTree& GroupManager::writable_tree(std::shared_ptr<GroupTree>& cached) {
+  if (cached.use_count() > 1)
+    cached = std::make_shared<GroupTree>(*cached);
+  return *cached;
 }
 
-GroupTree& GroupManager::writable_tree_stale(GroupState& gs) {
-  if (gs.cached.use_count() > 1) {
-    const GroupTree& src = *gs.cached;
+GroupTree& GroupManager::writable_tree_stale(std::shared_ptr<GroupTree>& cached) {
+  if (cached.use_count() > 1) {
+    const GroupTree& src = *cached;
     auto clone = std::make_shared<GroupTree>();
     clone->tree = src.tree;
     clone->is_subscriber = src.is_subscriber;
@@ -305,45 +465,61 @@ GroupTree& GroupManager::writable_tree_stale(GroupState& gs) {
     clone->reached_subscribers = src.reached_subscribers;
     clone->build_messages = src.build_messages;
     clone->zones_stale = true;
-    gs.cached = std::move(clone);
+    cached = std::move(clone);
   } else {
     // Sole owner: no clone needed, but the zones are dead weight now.
-    gs.cached->zones.clear();
-    gs.cached->zones.shrink_to_fit();
-    gs.cached->zones_stale = true;
+    cached->zones.clear();
+    cached->zones.shrink_to_fit();
+    cached->zones_stale = true;
   }
-  return *gs.cached;
+  return *cached;
 }
 
-void GroupManager::refresh_tree(GroupId group, GroupState& gs) {
+void GroupManager::refresh_tree_core(GroupId group, GroupStats& stats, PeerId root,
+                                     const std::vector<bool>& members,
+                                     std::size_t count,
+                                     std::shared_ptr<GroupTree>& cached, bool& dirty,
+                                     std::size_t& repairs_since_build) {
   const bool drifted =
-      gs.repairs_since_build >
-      config_.rebuild_threshold * static_cast<double>(std::max<std::size_t>(gs.count, 1));
-  if (gs.cached && !gs.dirty && !drifted) {
-    ++gs.stats.cache_hits;
+      repairs_since_build >
+      config_.rebuild_threshold * static_cast<double>(std::max<std::size_t>(count, 1));
+  if (cached && !dirty && !drifted) {
+    ++stats.cache_hits;
     return;
   }
-  gs.cached = std::make_shared<GroupTree>(
-      build_group_tree(graph_, gs.root, gs.subscribers, config_.tree, alive_));
-  gs.dirty = false;
-  gs.repairs_since_build = 0;
-  ++gs.stats.tree_builds;
-  gs.stats.build_messages += gs.cached->build_messages;
+  cached = std::make_shared<GroupTree>(
+      build_group_tree(graph_, root, members, config_.tree, alive_));
+  dirty = false;
+  repairs_since_build = 0;
+  ++stats.tree_builds;
+  stats.build_messages += cached->build_messages;
   // seq fields double as build cost / span here (kTreeBuild is not
   // seq-scoped, so the wave query never misreads them).
   if (tracer_.enabled())
     tracer_.emit({clock_now(), obs::TraceEventType::kTreeBuild, group, obs::kNoWave,
-                  gs.cached->build_messages, gs.cached->reached_subscribers, gs.root});
+                  cached->build_messages, cached->reached_subscribers, root});
   // A fresh recursion under churn can strand subscribers a repaired tree
   // kept (a dead delegate walls off their slices); splice them back via
   // greedy routes so a rebuild is never WORSE than the repair it replaced.
   // Rescue paths deviate from the recursion like repairs do, but are not
   // drift: another rebuild would strand — and rescue — identically.
-  const auto rescue = rescue_stranded(graph_, *gs.cached, alive_);
-  gs.stats.stranded_rescues += rescue.rescued;
-  gs.stats.repair_messages += rescue.messages;
-  gs.stats.stranded_subscribers =
-      gs.cached->subscriber_count - gs.cached->reached_subscribers;
+  const auto rescue = rescue_stranded(graph_, *cached, alive_);
+  stats.stranded_rescues += rescue.rescued;
+  stats.repair_messages += rescue.messages;
+  stats.stranded_subscribers =
+      cached->subscriber_count - cached->reached_subscribers;
+}
+
+void GroupManager::refresh_tree(GroupId group, GroupState& gs) {
+  refresh_tree_core(group, gs.stats, gs.root, gs.subscribers, gs.count, gs.cached,
+                    gs.dirty, gs.repairs_since_build);
+}
+
+void GroupManager::refresh_slot_tree(GroupId group, GroupState& gs,
+                                     std::uint32_t slot) {
+  ShardSlot& s = gs.slots[slot];
+  refresh_tree_core(group, gs.stats, s.root, s.members, s.count, s.cached, s.dirty,
+                    s.repairs_since_build);
 }
 
 const GroupTree* GroupManager::tree(GroupId group) {
@@ -409,13 +585,21 @@ std::size_t GroupManager::retained_buffer_count() const noexcept {
 }
 
 PeerId GroupManager::replica_candidate(GroupId group) {
-  return rendezvous_nearest(group, state_of(group).root);
+  GroupState& gs = state_of(group);
+  if (gs.slots.empty()) return rendezvous_nearest(group, gs.root);
+  // Sharded: the warm-failover replica must not double as any slot's root,
+  // or one death would cost two shards at once.
+  PeerId exclude[64];
+  std::size_t n = 0;
+  for (const ShardSlot& slot : gs.slots)
+    if (slot.root != kInvalidPeer && n < 64) exclude[n++] = slot.root;
+  return nearest_to(gs.anchors[0], exclude, n);
 }
 
 PeerId GroupManager::ensure_replica(GroupId group) {
   GroupState& gs = state_of(group);
   if (gs.replica != kInvalidPeer && alive_[gs.replica]) return gs.replica;
-  gs.replica = rendezvous_nearest(group, gs.root);
+  gs.replica = replica_candidate(group);
   // A fresh assignment knows nothing yet; the protocol layer streams the
   // full bootstrap before any delta relies on this copy.
   gs.replica_members.clear();
@@ -470,6 +654,20 @@ GroupManager::PublishReceipt GroupManager::publish(GroupId group) {
   ++gs.stats.publishes;
   PublishReceipt receipt;
   if (gs.count == 0) return receipt;
+  if (!gs.slots.empty()) {
+    // Sharded oracle: one shard tree per non-empty slot, summed.
+    for (std::uint32_t s = 0; s < gs.slots.size(); ++s) {
+      if (gs.slots[s].count == 0) continue;
+      refresh_slot_tree(group, gs, s);
+      const GroupTree& gt = *gs.slots[s].cached;
+      receipt.payload_messages += gt.tree.edge_count();
+      receipt.delivered += gt.reached_subscribers;
+    }
+    gs.stats.payload_messages += receipt.payload_messages;
+    gs.stats.expected_deliveries += receipt.delivered;
+    gs.stats.deliveries += receipt.delivered;
+    return receipt;
+  }
   refresh_tree(group, gs);
   const GroupTree& gt = *gs.cached;
   receipt.payload_messages = gt.tree.edge_count();
@@ -490,6 +688,10 @@ GroupManager::DepartureOutcome GroupManager::handle_departure(PeerId peer) {
   // that would have landed here escalate to the next ancestor instead).
   retained_[peer].clear();
   for (auto& [group, gs] : groups_) {
+    if (!gs.slots.empty()) {
+      handle_departure_sharded_group(group, gs, peer, outcome);
+      continue;
+    }
     if (gs.subscribers[peer]) {
       gs.subscribers[peer] = false;
       --gs.count;
@@ -559,8 +761,8 @@ GroupManager::DepartureOutcome GroupManager::handle_departure(PeerId peer) {
           break;
         }
       if (stranded_member || neighbours_tree) {
-        GroupTree& gt =
-            neighbours_tree ? writable_tree_stale(gs) : writable_tree(gs);
+        GroupTree& gt = neighbours_tree ? writable_tree_stale(gs.cached)
+                                        : writable_tree(gs.cached);
         if (stranded_member) {  // membership only; never spanned
           gt.is_subscriber[peer] = false;
           --gt.subscriber_count;
@@ -571,7 +773,8 @@ GroupManager::DepartureOutcome GroupManager::handle_departure(PeerId peer) {
     }
     // repair_group_tree stales the zones unconditionally, so the COW clone
     // skips copying them.
-    const auto repair = repair_group_tree(graph_, writable_tree_stale(gs), peer, alive_);
+    const auto repair =
+        repair_group_tree(graph_, writable_tree_stale(gs.cached), peer, alive_);
     ++gs.stats.repairs;
     gs.stats.repair_messages += repair.messages;
     if (repair.needs_rebuild) {
@@ -585,20 +788,120 @@ GroupManager::DepartureOutcome GroupManager::handle_departure(PeerId peer) {
   // subscriber died or left, its root migrated, its tree was reset or
   // stale-zoned by the repair above, or its current peer fell out of the
   // tree — aborts now rather than limping on to a reject. The survivors
-  // (groups the departure never touched) keep descending.
+  // (groups the departure never touched) keep descending. For sharded
+  // groups the view binds the owner slot's tuple, so a slot-root
+  // promotion aborts exactly that shard's descents; the protocol layer
+  // re-issues the subscribes, which route to the promoted successor —
+  // the shard handoff leaks no cursor.
   for (auto it = grafts_.begin(); it != grafts_.end();) {
     const InFlightGraft& g = it->second;
-    const GroupState& gs = groups_.at(g.group);
+    GroupState& gs = groups_.at(g.group);
+    const SlotView v = view_of(gs, g.slot);
     const bool valid = alive_[g.subscriber] && gs.subscribers[g.subscriber] &&
-                       gs.root == g.root && gs.cached && !gs.dirty &&
-                       !gs.cached->zones_stale &&
-                       gs.cached->tree.reached(g.cursor.current);
+                       v.root == g.root && *v.cached && !*v.dirty &&
+                       !(*v.cached)->zones_stale &&
+                       (*v.cached)->tree.reached(g.cursor.current);
     const std::uint64_t id = it->first;
     ++it;  // graft_abort erases `id`; advance first
     if (!valid)
       if (const auto a = graft_abort(id)) outcome.aborted_grafts.push_back(*a);
   }
   return outcome;
+}
+
+void GroupManager::handle_departure_sharded_group(GroupId group, GroupState& gs,
+                                                  PeerId peer,
+                                                  DepartureOutcome& outcome) {
+  if (gs.subscribers[peer]) {
+    gs.subscribers[peer] = false;
+    --gs.count;
+    ShardSlot& owner = gs.slots[owner_slot_of(gs, peer)];
+    if (owner.members[peer]) {
+      owner.members[peer] = false;
+      --owner.count;
+    }
+    // The surviving owner-slot root owes the replica an unmember delta; a
+    // dying root cannot send one (the promotion bootstrap covers it).
+    if (owner.root != peer) outcome.member_losses.push_back(group);
+  }
+  if (gs.replica == peer) {
+    outcome.replica_losses.push_back({group, peer});
+    gs.replica = kInvalidPeer;
+    gs.replica_members.clear();
+    gs.replica_count = 0;
+  }
+  for (std::uint32_t s = 0; s < gs.slots.size(); ++s) {
+    ShardSlot& slot = gs.slots[s];
+    if (slot.root == peer) {
+      // Promotion by anchor ownership: the next-nearest alive peer to this
+      // slot's (immutable) anchor inherits the whole shard — membership
+      // bits and graft cursors live in the slot, not at the peer, so the
+      // handoff is a root reassignment, never a cold drop. Only slot 0
+      // participates in the warm-failover replica protocol.
+      const PeerId old_root = slot.root;
+      slot.root = recompute_slot_root(gs, s);
+      const bool warm =
+          s == 0 && gs.replica != kInvalidPeer && gs.replica == slot.root;
+      bool consistent = false;
+      if (warm) {
+        consistent = true;
+        for (PeerId p = 0; p < gs.subscribers.size(); ++p) {
+          const bool copy = p < gs.replica_members.size() &&
+                            gs.replica_members[p] && alive_[p];
+          if (copy != static_cast<bool>(gs.subscribers[p])) {
+            consistent = false;
+            break;
+          }
+        }
+        ++gs.stats.warm_promotions;
+      }
+      slot.cached.reset();
+      slot.dirty = true;
+      slot.repairs_since_build = 0;
+      ++gs.stats.root_migrations;
+      if (s == 0) {
+        gs.root = slot.root;  // root_of stays "the authority's root"
+        gs.replica = kInvalidPeer;
+        gs.replica_members.clear();
+        gs.replica_count = 0;
+      }
+      outcome.promotions.push_back({group, old_root, slot.root, warm, consistent, s});
+      if (tracer_.enabled())
+        tracer_.emit({clock_now(), obs::TraceEventType::kRootMigration, group,
+                      obs::kNoWave, 0, 0, slot.root, peer});
+      continue;
+    }
+    if (!slot.cached || slot.dirty) continue;
+    if (!slot.cached->tree.reached(peer)) {
+      const bool stranded_member = slot.cached->is_subscriber[peer];
+      bool neighbours_tree = false;
+      for (PeerId q : graph_.neighbors(peer))
+        if (slot.cached->tree.reached(q)) {
+          neighbours_tree = true;
+          break;
+        }
+      if (stranded_member || neighbours_tree) {
+        GroupTree& gt = neighbours_tree ? writable_tree_stale(slot.cached)
+                                        : writable_tree(slot.cached);
+        if (stranded_member) {
+          gt.is_subscriber[peer] = false;
+          --gt.subscriber_count;
+        }
+        if (neighbours_tree) gt.zones_stale = true;
+      }
+      continue;
+    }
+    const auto repair =
+        repair_group_tree(graph_, writable_tree_stale(slot.cached), peer, alive_);
+    ++gs.stats.repairs;
+    gs.stats.repair_messages += repair.messages;
+    if (repair.needs_rebuild) {
+      ++gs.stats.repair_failures;
+      slot.dirty = true;
+    } else {
+      ++slot.repairs_since_build;
+    }
+  }
 }
 
 const GroupStats& GroupManager::stats(GroupId group) const {

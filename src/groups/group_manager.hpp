@@ -97,6 +97,15 @@ struct GroupConfig {
   std::size_t retention_window = 64;
   /// Stream tag for hashing group ids to rendezvous points.
   std::uint64_t rendezvous_seed = 0x67656f6d63617374ULL;
+  /// Replica-sharded roots: rendezvous-hash each group to this many anchor
+  /// points in coordinate space and partition the root's state across the
+  /// nearest alive peer to each anchor. 1 (the default) is the historic
+  /// single-root pipeline — the bit-identical oracle; slot 0's anchor is
+  /// exactly the legacy rendezvous point, so root_of() never changes
+  /// meaning. Subscribers are owned by the slot whose ANCHOR is nearest
+  /// their coordinate (anchors are immutable, so churn moves slot roots
+  /// but never reshuffles the shard partition).
+  std::size_t root_replicas = 1;
 };
 
 class GroupManager {
@@ -197,6 +206,39 @@ class GroupManager {
   /// flight is using without perturbing the stats they are measuring.
   [[nodiscard]] const GroupTree* cached_tree(GroupId group) const;
 
+  // -- replica-sharded roots (GroupConfig::root_replicas > 1) --------------
+  // Each group hashes to R immutable anchor points (slot 0's anchor is the
+  // legacy rendezvous point); every slot's root is the alive peer nearest
+  // that slot's anchor, excluding the other slots' roots. Subscribers are
+  // owned by the slot whose anchor is nearest their coordinate, so the
+  // partition is a pure function of geometry and never reshuffles under
+  // churn — a slot-root death promotes the next-nearest peer to the SAME
+  // anchor, which inherits the whole shard (membership bits, graft
+  // cursors, tree) by construction. At R == 1 these collapse to the legacy
+  // accessors and the slot machinery stays entirely dormant.
+
+  /// Whether the replica-sharded pipeline is active (root_replicas > 1).
+  [[nodiscard]] bool sharded() const noexcept { return config_.root_replicas > 1; }
+  [[nodiscard]] std::size_t root_replicas() const noexcept {
+    return config_.root_replicas > 1 ? config_.root_replicas : 1;
+  }
+  /// The slot owning `peer` for this group: argmin over anchors of the L1
+  /// distance from the peer's coordinate (ties to the lowest slot). Always
+  /// 0 when not sharded.
+  [[nodiscard]] std::uint32_t owner_slot(GroupId group, PeerId peer);
+  /// The current root of `slot` (== root_of at slot 0 / when not sharded).
+  [[nodiscard]] PeerId slot_root(GroupId group, std::uint32_t slot);
+  /// slot_root(group, owner_slot(group, peer)) — where this peer's
+  /// control traffic (subscribe / unsubscribe / publish) must land.
+  [[nodiscard]] PeerId owner_root(GroupId group, PeerId peer);
+  /// The slot's shard tree (rooted at the slot root, spanning only the
+  /// slot's members), built lazily like tree_snapshot. nullptr when the
+  /// shard is empty. Falls back to the whole-group snapshot at R == 1.
+  [[nodiscard]] std::shared_ptr<const GroupTree> slot_tree_snapshot(GroupId group,
+                                                                    std::uint32_t slot);
+  /// Members owned by `slot` (the group's subscriber_count at R == 1).
+  [[nodiscard]] std::size_t slot_member_count(GroupId group, std::uint32_t slot);
+
   // -- QoS 2 payload retention -------------------------------------------
   // Retained buffers are per-peer protocol state, not root state: they
   // survive tree rebuilds and root migrations untouched (payload history
@@ -277,6 +319,11 @@ class GroupManager {
     PeerId new_root = kInvalidPeer;
     bool warm = false;
     bool membership_consistent = false;
+    /// Which replica slot migrated (always 0 when not sharded). Only the
+    /// slot-0 (authority) promotion participates in the warm-failover
+    /// protocol; other slots hand their shard to the promoted successor
+    /// through the anchor-ownership rule alone.
+    std::uint32_t slot = 0;
   };
   struct ReplicaLoss {
     GroupId group = 0;
@@ -331,6 +378,18 @@ class GroupManager {
   void collapse_lane_stats();
 
  private:
+  /// One replica slot of a sharded group: its own root, member shard, and
+  /// cached shard tree — the same (root, members, cached, dirty, drift)
+  /// tuple the legacy GroupState keeps for the whole group.
+  struct ShardSlot {
+    PeerId root = kInvalidPeer;
+    std::vector<bool> members;
+    std::size_t count = 0;
+    std::shared_ptr<GroupTree> cached;
+    bool dirty = true;
+    std::size_t repairs_since_build = 0;
+  };
+
   struct GroupState {
     std::vector<bool> subscribers;
     std::size_t count = 0;
@@ -343,6 +402,10 @@ class GroupManager {
     PeerId replica = kInvalidPeer;
     std::vector<bool> replica_members;
     std::size_t replica_count = 0;
+    // Replica sharding (root_replicas > 1 only; both stay empty otherwise).
+    // slots[0].root mirrors `root` so root_of keeps meaning "the authority".
+    std::vector<ShardSlot> slots;
+    std::vector<geometry::Point> anchors;  // immutable slot hash points
     GroupStats stats;
   };
 
@@ -357,23 +420,63 @@ class GroupManager {
   /// Shared rendezvous scan: nearest alive peer to the group's hash point,
   /// skipping `exclude`; kInvalidPeer when no candidate remains.
   [[nodiscard]] PeerId rendezvous_nearest(GroupId group, PeerId exclude) const;
+  /// The deterministic hash point for (group, slot); slot 0 reproduces the
+  /// legacy rendezvous point bit-for-bit.
+  [[nodiscard]] geometry::Point hash_point(GroupId group, std::uint32_t slot) const;
+  /// Nearest alive peer to `target` skipping the `exclude_count` peers at
+  /// `exclude`; kInvalidPeer when no candidate remains.
+  [[nodiscard]] PeerId nearest_to(const geometry::Point& target, const PeerId* exclude,
+                                  std::size_t exclude_count) const;
+  /// Materializes the slot array + anchors for a first-seen sharded group.
+  void init_slots(GroupId group, GroupState& gs);
+  [[nodiscard]] std::uint32_t owner_slot_of(const GroupState& gs, PeerId peer) const;
+  /// Re-elects `slot`'s root: nearest alive peer to its anchor excluding
+  /// the other slots' current roots (falling back to no exclusions when
+  /// the alive set is smaller than R).
+  [[nodiscard]] PeerId recompute_slot_root(const GroupState& gs, std::uint32_t slot) const;
   void refresh_tree(GroupId group, GroupState& gs);
+  void refresh_slot_tree(GroupId group, GroupState& gs, std::uint32_t slot);
+  /// The shared lazy-build core behind refresh_tree / refresh_slot_tree:
+  /// identical statements over whichever (root, members, cached, dirty,
+  /// drift) tuple the caller binds, so the R == 1 path stays bit-exact.
+  void refresh_tree_core(GroupId group, GroupStats& stats, PeerId root,
+                         const std::vector<bool>& members, std::size_t count,
+                         std::shared_ptr<GroupTree>& cached, bool& dirty,
+                         std::size_t& repairs_since_build);
   /// COW gate: clones the cached tree iff publish-wave snapshots still
   /// reference it, then returns it for mutation.
-  [[nodiscard]] GroupTree& writable_tree(GroupState& gs);
+  [[nodiscard]] GroupTree& writable_tree(std::shared_ptr<GroupTree>& cached);
   /// COW gate for callers about to stale the zones (departure repair,
   /// neighbour-set shrink): the clone skips the zones vector — the tree's
   /// largest member — because no reader may consult zones once zones_stale
   /// is set, and nothing resets the flag short of a full rebuild.
-  [[nodiscard]] GroupTree& writable_tree_stale(GroupState& gs);
+  [[nodiscard]] GroupTree& writable_tree_stale(std::shared_ptr<GroupTree>& cached);
 
   struct InFlightGraft {
     GroupId group = 0;
     PeerId subscriber = kInvalidPeer;
     PeerId root = kInvalidPeer;  // initiating root (invalidates on migration)
+    std::uint32_t slot = 0;      // owning shard (0 when not sharded)
     GraftCursor cursor;
     double started_at = 0.0;  // clock_ at graft_begin (graft_latency sample)
   };
+
+  /// Uniform view over "the tree-owning tuple" — the legacy whole-group
+  /// fields at R == 1 (or slot-less groups), a ShardSlot's otherwise.
+  /// Validation/mutation code written against this executes the exact
+  /// legacy statements when bound to the legacy fields.
+  struct SlotView {
+    PeerId root;
+    std::shared_ptr<GroupTree>* cached;
+    bool* dirty;
+  };
+  [[nodiscard]] SlotView view_of(GroupState& gs, std::uint32_t slot) {
+    if (gs.slots.empty()) return {gs.root, &gs.cached, &gs.dirty};
+    ShardSlot& s = gs.slots[slot];
+    return {s.root, &s.cached, &s.dirty};
+  }
+  void handle_departure_sharded_group(GroupId group, GroupState& gs, PeerId peer,
+                                      DepartureOutcome& outcome);
 
   const overlay::OverlayGraph& graph_;
   GroupConfig config_;

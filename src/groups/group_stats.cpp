@@ -84,6 +84,16 @@ GroupStats& GroupStats::operator+=(const GroupStats& other) noexcept {
   graft_retries += other.graft_retries;
   graft_aborts += other.graft_aborts;
   graft_resubscribes += other.graft_resubscribes;
+  graft_prefix_batches += other.graft_prefix_batches;
+  graft_prefix_merged += other.graft_prefix_merged;
+  seq_lease_requests += other.seq_lease_requests;
+  seq_leases_granted += other.seq_leases_granted;
+  seq_grants_lost += other.seq_grants_lost;
+  shard_handoffs += other.shard_handoffs;
+  shard_waves += other.shard_waves;
+  publisher_batches += other.publisher_batches;
+  publisher_batched_publishes += other.publisher_batched_publishes;
+  publisher_envelopes_saved += other.publisher_envelopes_saved;
   stranded_subscribers += other.stranded_subscribers;
   delivery_latency.merge(other.delivery_latency);
   gap_repair_latency.merge(other.gap_repair_latency);
@@ -132,6 +142,17 @@ std::string GroupStats::summary() const {
         << batch_flushes_window << ", full " << batch_flushes_full << ", occupancy "
         << util::format_number(mean_batch_occupancy(), 2) << ", lost "
         << batch_publishes_lost << ") envelopes_saved=" << envelopes_saved;
+  if (shard_waves > 0 || seq_lease_requests > 0)
+    out << " shard_waves=" << shard_waves << " (handoffs " << shard_handoffs
+        << ") seq_leases=" << seq_lease_requests << " (granted "
+        << seq_leases_granted << ", lost " << seq_grants_lost << ")";
+  if (publisher_batches > 0)
+    out << " publisher_batches=" << publisher_batches << " (publishes "
+        << publisher_batched_publishes << ", envelopes_saved "
+        << publisher_envelopes_saved << ")";
+  if (graft_prefix_batches > 0)
+    out << " graft_prefix_batches=" << graft_prefix_batches << " (merged "
+        << graft_prefix_merged << ")";
   return out.str();
 }
 

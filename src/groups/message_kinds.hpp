@@ -27,6 +27,11 @@
 // | kReplicaSyncKind  | 32 | failover| ReplicaSync   | QoS 1 (acked)      |
 // | kReplicaAckKind   | 33 | failover| HopAck        | (ack of 32)        |
 // | kHeartbeatKind    | 34 | failover| GroupHeartbeat| best-effort tree   |
+// | kSeqLeaseKind     | 35 | shard   | SeqLease      | QoS 1 (acked)      |
+// | kSeqGrantKind     | 36 | shard   | SeqGrant      | QoS 1 (acked)      |
+// | kShardWaveKind    | 37 | shard   | ShardWave     | QoS 1 (acked)      |
+// | kCoordAckKind     | 38 | shard   | HopAck        | (ack of 35–37)     |
+// | kGraftBatchKind   | 39 | graft   | GraftBatch    | QoS 1 (ack = 31)   |
 //
 // README.md carries the same table for readers who never open headers.
 #pragma once
@@ -78,6 +83,22 @@ inline constexpr sim::MessageKind kReplicaSyncKind = 32;  // root -> replica del
 inline constexpr sim::MessageKind kReplicaAckKind = 33;   // per-hop replica ack
 inline constexpr sim::MessageKind kHeartbeatKind = 34;    // idle seq beacon
 
+// -- replica-shard coordination plane (PubSubConfig::root_replicas > 1).
+// The R slot roots of a group coordinate over a dedicated ReliableHopLayer
+// at QoS 1 (acked as kCoordAckKind): a non-authority slot root leases a
+// dense (group, seq) range from the slot-0 authority (kSeqLeaseKind ->
+// kSeqGrantKind) so sequence assignment stays globally unique and dense,
+// then hands the committed range to every peer slot root (kShardWaveKind),
+// each of which drives the wave over its own shard tree. kGraftBatchKind
+// is the graft plane's prefix coalescer (PubSubConfig::graft_prefix_batch):
+// several same-instant descents sharing a (from, to) hop ride one acked
+// carrier envelope instead of one each.
+inline constexpr sim::MessageKind kSeqLeaseKind = 35;   // slot root -> authority
+inline constexpr sim::MessageKind kSeqGrantKind = 36;   // authority -> slot root
+inline constexpr sim::MessageKind kShardWaveKind = 37;  // committed-range handoff
+inline constexpr sim::MessageKind kCoordAckKind = 38;   // per-hop ack of 35–37
+inline constexpr sim::MessageKind kGraftBatchKind = 39; // batched descent carrier
+
 namespace detail {
 /// The full registry this simulation family dispatches on: the multicast
 /// build/data/ack band (protocol.hpp / dissemination.hpp pin 10–12) plus
@@ -109,6 +130,11 @@ inline constexpr KindEntry kRegistry[] = {
     {kReplicaSyncKind, "replica_sync"},
     {kReplicaAckKind, "replica_ack"},
     {kHeartbeatKind, "heartbeat"},
+    {kSeqLeaseKind, "seq_lease"},
+    {kSeqGrantKind, "seq_grant"},
+    {kShardWaveKind, "shard_wave"},
+    {kCoordAckKind, "coord_ack"},
+    {kGraftBatchKind, "graft_batch"},
 };
 
 constexpr bool registry_unique() {

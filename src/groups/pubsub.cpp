@@ -9,6 +9,17 @@
 
 namespace geomcast::groups {
 
+namespace {
+/// The façade's root_replicas knob rides into the manager's GroupConfig so
+/// slots/anchors have one source of truth (0 is normalized to 1 — "no
+/// sharding" — like every other off-value in this config family).
+GroupConfig sharded_group_config(const PubSubConfig& config) {
+  GroupConfig groups = config.groups;
+  groups.root_replicas = config.root_replicas > 1 ? config.root_replicas : 1;
+  return groups;
+}
+}  // namespace
+
 void SubscriberWindow::release_run(std::vector<std::uint64_t>& released) {
   while (true) {
     if (held_.erase(next_expected_) > 0) {
@@ -198,6 +209,30 @@ class PubSubSystem::PubSubNode final : public sim::Node {
                              std::any_cast<const GroupHeartbeat&>(envelope.payload));
         return;
       }
+      case kSeqLeaseKind: {
+        system_.on_seq_lease(id(), envelope.from,
+                             std::any_cast<const SeqLease&>(envelope.payload));
+        return;
+      }
+      case kSeqGrantKind: {
+        system_.on_seq_grant(id(), envelope.from,
+                             std::any_cast<const SeqGrant&>(envelope.payload));
+        return;
+      }
+      case kShardWaveKind: {
+        system_.on_shard_wave(id(), envelope.from,
+                              std::any_cast<const ShardWave&>(envelope.payload));
+        return;
+      }
+      case kCoordAckKind: {
+        system_.coord_hop_->on_ack(envelope);
+        return;
+      }
+      case kGraftBatchKind: {
+        system_.on_graft_batch(id(), envelope.from,
+                               std::any_cast<const GraftBatch&>(envelope.payload));
+        return;
+      }
       default:
         throw std::logic_error("PubSubNode: unexpected message kind");
     }
@@ -214,7 +249,7 @@ PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig conf
                                             config_.sim_core
                                                 ? sim::QueueBackend::kWheel
                                                 : sim::QueueBackend::kHeap)),
-      manager_(std::make_unique<GroupManager>(graph, config_.groups)) {
+      manager_(std::make_unique<GroupManager>(graph, sharded_group_config(config_))) {
   // The manager needs the simulated clock for graft latency accounting
   // (begin -> attach). Wired unconditionally — latency histograms are
   // stats, not tracing, so they must be identical with or without a sink.
@@ -265,14 +300,29 @@ PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig conf
     // cache and re-issues the subscribe, so the subscriber converges
     // through the rebuild path instead.
     multicast::ReliableHopLayer::Hooks graft_hooks;
+    // Both hooks type-test for a prefix-batched carrier first: a GraftBatch
+    // retries or dies as a unit, so every member is charged/aborted. With
+    // graft_prefix_batch off no carrier ever exists and the cast is a
+    // guaranteed-miss null test in front of the historic path.
     graft_hooks.on_retransmit = [this](sim::NodeId, sim::NodeId, std::uint64_t,
                                        const std::any& payload) {
+      if (const auto* batch = std::any_cast<GraftBatch>(&payload)) {
+        for (const GraftEnvelope& graft : batch->grafts) {
+          ++manager_->stats(graft.group).graft_retries;
+          sim_->network().note_graft_retry();
+        }
+        return;
+      }
       const auto& graft = std::any_cast<const GraftEnvelope&>(payload);
       ++manager_->stats(graft.group).graft_retries;
       sim_->network().note_graft_retry();
     };
     graft_hooks.on_abandon = [this](sim::NodeId, sim::NodeId, std::uint64_t,
                                     const std::any& payload) {
+      if (const auto* batch = std::any_cast<GraftBatch>(&payload)) {
+        for (const GraftEnvelope& graft : batch->grafts) abort_graft(graft.graft_id);
+        return;
+      }
       abort_graft(std::any_cast<const GraftEnvelope&>(payload).graft_id);
     };
     graft_hooks.sender_alive = [this](sim::NodeId p) { return manager_->alive(p); };
@@ -283,6 +333,29 @@ PubSubSystem::PubSubSystem(const overlay::OverlayGraph& graph, PubSubConfig conf
                                      config_.reliability.max_retries},
         std::move(graft_hooks));
     graft_seen_.resize(graph.size());
+    if (config_.graft_prefix_batch) graft_outbox_.resize(graph.size());
+  }
+
+  if (sharded()) {
+    // Slot-root coordination (seq leases/grants, shard-wave handoffs) is
+    // ALWAYS acked like the graft plane: a committed range must reach its
+    // peer slot roots or be re-dispatched, never silently drop. The abandon
+    // hook is the re-dispatch path — addressee died, retries spent, so the
+    // payload re-routes to the CURRENT authority / slot root.
+    multicast::ReliableHopLayer::Hooks coord_hooks;
+    coord_hooks.on_abandon = [this](sim::NodeId, sim::NodeId, std::uint64_t,
+                                    const std::any& payload) {
+      on_coord_abandon(payload);
+    };
+    coord_hooks.sender_alive = [this](sim::NodeId p) { return manager_->alive(p); };
+    coord_hop_ = std::make_unique<multicast::ReliableHopLayer>(
+        *sim_, kSeqLeaseKind, kCoordAckKind,
+        multicast::ReliabilityConfig{multicast::QoS::kAcked,
+                                     config_.reliability.ack_timeout,
+                                     config_.reliability.max_retries},
+        std::move(coord_hooks));
+    coord_seen_.resize(graph.size());
+    wave_seen_.resize(graph.size());
   }
 
   if (warm()) {
@@ -503,28 +576,70 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
     }
     case kPublishKind: {
       GroupStats& stats = manager_->stats(request.group);
-      ++stats.publishes;
+      // `n` is the publisher-batch factor: 1 on the historic path, the app
+      // message count behind one envelope when the publisher coalesced.
+      const std::uint32_t n = request.count > 0 ? request.count : 1;
+      stats.publishes += n;
+      if (sharded()) {
+        // `self` is the ORIGIN's owner-slot root: it ingests the publish,
+        // coalesces locally, and commits through the seq-lease protocol.
+        shard_publish(self, request.group,
+                      manager_->owner_slot(request.group, request.origin), n);
+        return;
+      }
       if (!batching()) {
-        // Immediate flush: the historic single-seq wave, bit-identical to
-        // the unbatched pipeline (no buffer, no timer, same send order).
+        if (n == 1) {
+          // Immediate flush: the historic single-seq wave, bit-identical to
+          // the unbatched pipeline (no buffer, no timer, same send order).
+          const auto snapshot = manager_->tree_snapshot(request.group);
+          if (snapshot == nullptr) return;  // nobody subscribed
+          stats.expected_deliveries += snapshot->reached_subscribers;
+          const std::uint64_t seq = next_seq_[request.group]++;
+          const std::uint64_t wave = next_wave_++;
+          // Accept-time and wave->group bookkeeping is unconditional: the
+          // latency histograms must be identical with or without a sink.
+          accept_times_[request.group].push_back(sim_->now());
+          wave_groups_.push_back(request.group);
+          if (tracer_.enabled()) {
+            tracer_.emit({sim_->now(), obs::TraceEventType::kPublishAccepted,
+                          request.group, wave, seq, seq, self, request.origin});
+            tracer_.emit({sim_->now(), obs::TraceEventType::kRootFlush,
+                          request.group, wave, seq, seq, self});
+          }
+          disseminate(self, kInvalidPeer,
+                      payload_pool_.make(
+                          GroupDelivery{request.group, seq, seq, wave, snapshot}));
+          if (heartbeats_enabled()) schedule_heartbeat(request.group);
+          return;
+        }
+        // Publisher-batched arrival without root coalescing: the envelope's
+        // n app messages flush as one dense range wave at once.
         const auto snapshot = manager_->tree_snapshot(request.group);
         if (snapshot == nullptr) return;  // nobody subscribed
-        stats.expected_deliveries += snapshot->reached_subscribers;
-        const std::uint64_t seq = next_seq_[request.group]++;
+        stats.expected_deliveries +=
+            static_cast<std::uint64_t>(n) * snapshot->reached_subscribers;
+        std::uint64_t& next = next_seq_[request.group];
+        const std::uint64_t seq_lo = next;
+        next += n;
         const std::uint64_t wave = next_wave_++;
-        // Accept-time and wave->group bookkeeping is unconditional: the
-        // latency histograms must be identical with or without a sink.
-        accept_times_[request.group].push_back(sim_->now());
+        auto& times = accept_times_[request.group];
+        times.insert(times.end(), n, sim_->now());
         wave_groups_.push_back(request.group);
+        const std::uint64_t saved = static_cast<std::uint64_t>(n - 1) *
+                                    snapshot->tree.edge_count() * (acked() ? 2 : 1);
+        stats.envelopes_saved += saved;
+        sim_->network().note_batched_wave(saved);
         if (tracer_.enabled()) {
           tracer_.emit({sim_->now(), obs::TraceEventType::kPublishAccepted,
-                        request.group, wave, seq, seq, self, request.origin});
+                        request.group, wave, seq_lo, seq_lo + n - 1, self,
+                        request.origin});
           tracer_.emit({sim_->now(), obs::TraceEventType::kRootFlush,
-                        request.group, wave, seq, seq, self});
+                        request.group, wave, seq_lo, seq_lo + n - 1, self});
         }
         disseminate(self, kInvalidPeer,
-                    payload_pool_.make(
-                        GroupDelivery{request.group, seq, seq, wave, snapshot}));
+                    payload_pool_.make(GroupDelivery{request.group, seq_lo,
+                                                     seq_lo + n - 1, wave,
+                                                     snapshot}));
         if (heartbeats_enabled()) schedule_heartbeat(request.group);
         return;
       }
@@ -539,18 +654,21 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
         batch.accepted.clear();
         sim_->cancel(batch.timer);
       }
-      ++batch.count;
-      ++stats.batched_publishes;
-      batch.accepted.push_back(sim_->now());
+      const bool first = batch.count == 0;
+      batch.count += n;
+      stats.batched_publishes += n;
+      for (std::uint32_t i = 0; i < n; ++i) batch.accepted.push_back(sim_->now());
       if (warm() && acked()) {
         // The replica shadows the pending buffer join by join, so a warm
         // promotion can adopt the batch instead of dropping it. QoS 0
         // keeps the historic loss — fire-and-forget publishes have no
         // delivery promise a failover would be preserving.
-        ReplicaSync sync;
-        sync.what = ReplicaSync::What::kPendingJoin;
-        sync.accepted_at = sim_->now();
-        replica_send(self, request.group, std::move(sync), false);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          ReplicaSync sync;
+          sync.what = ReplicaSync::What::kPendingJoin;
+          sync.accepted_at = sim_->now();
+          replica_send(self, request.group, std::move(sync), false);
+        }
       }
       if (tracer_.enabled()) {
         tracer_.emit({sim_->now(), obs::TraceEventType::kPublishAccepted,
@@ -559,7 +677,7 @@ void PubSubSystem::handle_at_root(PeerId self, sim::MessageKind kind,
         tracer_.emit({sim_->now(), obs::TraceEventType::kRootBuffer, request.group,
                       obs::kNoWave, batch.count, batch.count, self});
       }
-      if (batch.count == 1) {
+      if (first) {
         batch.root = self;
         batch.timer = sim_->schedule_after(
             config_.batch_window,
@@ -590,6 +708,12 @@ void PubSubSystem::advance_graft(PeerId self, const GraftEnvelope& graft) {
   GroupStats& stats = manager_->stats(graft.group);
   switch (advance.status) {
     case GroupManager::GraftAdvance::Status::kDescend:
+      if (config_.graft_prefix_batch) {
+        // Same-instant descents sharing this (self -> next) hop merge into
+        // one carrier; the zero-delay outbox flush preserves the instant.
+        queue_graft(self, advance.next, graft);
+        return;
+      }
       ++stats.graft_hops;
       sim_->network().note_graft_hop();
       if (tracer_.enabled())
@@ -657,11 +781,75 @@ void PubSubSystem::resubscribe(GroupId group, PeerId subscriber) {
   if (!manager_->alive(subscriber) || !manager_->is_subscribed(group, subscriber))
     return;  // died or unsubscribed mid-graft: nothing owed
   ++manager_->stats(group).graft_resubscribes;
-  const GroupRequest request{group, subscriber, manager_->root_of(group)};
+  const GroupRequest request{group, subscriber,
+                             sharded() ? manager_->owner_root(group, subscriber)
+                                       : manager_->root_of(group)};
   if (subscriber == request.target)
     handle_at_root(subscriber, kSubscribeKind, request);
   else
     forward_control(subscriber, kSubscribeKind, request);
+}
+
+void PubSubSystem::queue_graft(PeerId self, PeerId next, const GraftEnvelope& graft) {
+  auto& outbox = graft_outbox_[self];
+  const bool was_empty = outbox.empty();
+  outbox[next].push_back(graft);
+  // One flush event per (peer, instant): armed when the first step lands,
+  // zero-delay so it runs after every same-instant descent has queued.
+  if (was_empty)
+    sim_->schedule_after(0.0, [this, self]() { flush_graft_outbox(self); });
+}
+
+void PubSubSystem::flush_graft_outbox(PeerId self) {
+  auto outbox = std::move(graft_outbox_[self]);
+  graft_outbox_[self].clear();
+  if (outbox.empty()) return;
+  if (!manager_->alive(self)) {
+    // Died between queueing and the flush: these descents are exactly the
+    // ones a departure sweep would have aborted mid-hop.
+    for (auto& [next, grafts] : outbox)
+      for (const GraftEnvelope& graft : grafts) abort_graft(graft.graft_id);
+    return;
+  }
+  for (auto& [next, grafts] : outbox) {
+    GroupStats& stats = manager_->stats(grafts.front().group);
+    if (grafts.size() == 1) {
+      // Singleton: the historic per-envelope path, identical counters.
+      const GraftEnvelope& graft = grafts.front();
+      ++stats.graft_hops;
+      sim_->network().note_graft_hop();
+      if (tracer_.enabled())
+        tracer_.emit({sim_->now(), obs::TraceEventType::kGraftStep, graft.group,
+                      graft.graft_id, 0, 0, self, next});
+      graft_hop_->send(self, next, graft.graft_id, graft, kGraftRequestKind);
+      continue;
+    }
+    // >= 2 same-instant steps to one target: one carrier, one ack. The hop
+    // is charged once (to the front member's group — it owns the token).
+    ++stats.graft_hops;
+    sim_->network().note_graft_hop();
+    ++stats.graft_prefix_batches;
+    stats.graft_prefix_merged += grafts.size() - 1;
+    if (tracer_.enabled())
+      for (const GraftEnvelope& graft : grafts)
+        tracer_.emit({sim_->now(), obs::TraceEventType::kGraftStep, graft.group,
+                      graft.graft_id, 0, 0, self, next});
+    const std::uint64_t token = grafts.front().graft_id;
+    graft_hop_->send(self, next, token, GraftBatch{std::move(grafts)},
+                     kGraftBatchKind);
+  }
+}
+
+void PubSubSystem::on_graft_batch(PeerId self, PeerId from, const GraftBatch& batch) {
+  if (batch.grafts.empty()) return;
+  // One ack covers the carrier (its token is the front member's graft id);
+  // members dedup individually — a retransmitted carrier must not replay
+  // any member's descent decision.
+  graft_hop_->acknowledge(self, from, batch.grafts.front().graft_id);
+  for (const GraftEnvelope& graft : batch.grafts) {
+    if (!graft_seen_[self].insert(graft.graft_id).second) continue;
+    advance_graft(self, graft);
+  }
 }
 
 void PubSubSystem::flush_batch(GroupId group, bool window_expired) {
@@ -720,8 +908,282 @@ void PubSubSystem::flush_batch(GroupId group, bool window_expired) {
   if (heartbeats_enabled()) schedule_heartbeat(group);
 }
 
+void PubSubSystem::shard_publish(PeerId self, GroupId group, std::uint32_t slot,
+                                 std::uint32_t count) {
+  GroupStats& stats = manager_->stats(group);
+  if (!batching()) {
+    shard_commit(group, slot, self, count,
+                 std::vector<double>(count, sim_->now()));
+    return;
+  }
+  // Per-(group, slot) coalescing buffer — the PR 4 pipeline run locally at
+  // each slot root over the publishes IT ingests.
+  PendingBatch& batch = shard_pending_[{group, slot}];
+  if (batch.count > 0 && !manager_->alive(batch.root)) {
+    stats.batch_publishes_lost += batch.count;
+    batch.count = 0;
+    batch.accepted.clear();
+    sim_->cancel(batch.timer);
+  }
+  const bool first = batch.count == 0;
+  batch.count += count;
+  stats.batched_publishes += count;
+  for (std::uint32_t i = 0; i < count; ++i) batch.accepted.push_back(sim_->now());
+  if (slot == 0 && warm() && acked()) {
+    // Only the authority slot participates in warm failover — its replica
+    // shadows its buffer; other slots' buffers die cold with their root.
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ReplicaSync sync;
+      sync.what = ReplicaSync::What::kPendingJoin;
+      sync.accepted_at = sim_->now();
+      replica_send(self, group, std::move(sync), false);
+    }
+  }
+  if (tracer_.enabled()) {
+    tracer_.emit({sim_->now(), obs::TraceEventType::kPublishAccepted, group,
+                  obs::kNoWave, 0, 0, self});
+    tracer_.emit({sim_->now(), obs::TraceEventType::kRootBuffer, group,
+                  obs::kNoWave, batch.count, batch.count, self});
+  }
+  if (first) {
+    batch.root = self;
+    batch.timer = sim_->schedule_after(
+        config_.batch_window,
+        [this, group, slot]() { flush_shard_batch(group, slot, true); });
+  }
+  if (batch.count >= config_.max_batch) {
+    sim_->cancel(batch.timer);
+    flush_shard_batch(group, slot, false);
+  }
+}
+
+void PubSubSystem::flush_shard_batch(GroupId group, std::uint32_t slot,
+                                     bool window_expired) {
+  const auto it = shard_pending_.find({group, slot});
+  if (it == shard_pending_.end() || it->second.count == 0) return;
+  const std::size_t count = it->second.count;
+  const PeerId root = it->second.root;
+  std::vector<double> accepted = std::move(it->second.accepted);
+  it->second.count = 0;
+  it->second.accepted.clear();
+  GroupStats& stats = manager_->stats(group);
+  if (!manager_->alive(root)) {
+    stats.batch_publishes_lost += count;
+    return;
+  }
+  if (slot == 0 && warm() && acked()) {
+    ReplicaSync sync;
+    sync.what = ReplicaSync::What::kPendingFlush;
+    replica_send(root, group, std::move(sync), false);
+  }
+  ++(window_expired ? stats.batch_flushes_window : stats.batch_flushes_full);
+  stats.batch_occupancy_sum += count;
+  shard_commit(group, slot, root, count, std::move(accepted));
+}
+
+void PubSubSystem::shard_commit(GroupId group, std::uint32_t slot, PeerId root,
+                                std::uint64_t count, std::vector<double> accepted) {
+  if (slot == 0) {
+    // The authority assigns its own dense range locally — no lease round
+    // trip; slot 0 IS the seq counter's home.
+    std::uint64_t& next = next_seq_[group];
+    const std::uint64_t seq_lo = next;
+    next += count;
+    record_accept_times(group, seq_lo, accepted);
+    launch_wave(group, 0, root, seq_lo, seq_lo + count - 1);
+    return;
+  }
+  GroupStats& stats = manager_->stats(group);
+  const PeerId authority = manager_->slot_root(group, 0);
+  if (authority == kInvalidPeer || !manager_->alive(authority)) {
+    // No authority to lease from (degenerate alive set): these publishes
+    // die like publishes addressed to a dead root.
+    stats.batch_publishes_lost += count;
+    return;
+  }
+  const std::uint64_t id = next_coord_id_++;
+  ++stats.seq_lease_requests;
+  if (tracer_.enabled())
+    tracer_.emit({sim_->now(), obs::TraceEventType::kSeqLease, group, id, count,
+                  count, root, authority});
+  lease_pending_.emplace(id, PendingLease{group, slot, root, std::move(accepted)});
+  coord_send(root, authority, id, SeqLease{group, slot, count, id}, kSeqLeaseKind);
+}
+
+void PubSubSystem::coord_send(PeerId from, PeerId to, std::uint64_t token,
+                              std::any payload, sim::MessageKind kind) {
+  sim_->network().note_control_envelope();
+  coord_hop_->send(from, to, token, std::move(payload), kind);
+}
+
+void PubSubSystem::record_accept_times(GroupId group, std::uint64_t seq_lo,
+                                       const std::vector<double>& accepted) {
+  // Grants land out of order across slots, so accept times are assigned by
+  // index into the dense seq space, not appended. Holes left by a lost
+  // grant stay 0.0 — their seqs never flush, so no latency sample reads them.
+  auto& times = accept_times_[group];
+  if (times.size() < seq_lo + accepted.size())
+    times.resize(seq_lo + accepted.size(), 0.0);
+  for (std::size_t i = 0; i < accepted.size(); ++i) times[seq_lo + i] = accepted[i];
+}
+
+void PubSubSystem::on_seq_lease(PeerId self, PeerId from, const SeqLease& lease) {
+  coord_hop_->acknowledge(self, from, lease.coord_id);
+  if (!coord_seen_[self].insert(lease.coord_id).second) return;
+  GroupStats& stats = manager_->stats(lease.group);
+  ++stats.seq_leases_granted;
+  std::uint64_t& next = next_seq_[lease.group];
+  const std::uint64_t seq_lo = next;
+  next += lease.count;
+  const std::uint64_t id = next_coord_id_++;
+  if (tracer_.enabled())
+    tracer_.emit({sim_->now(), obs::TraceEventType::kSeqGrant, lease.group, id,
+                  seq_lo, seq_lo + lease.count - 1, self, from});
+  coord_send(self, from, id,
+             SeqGrant{lease.group, lease.slot, seq_lo, lease.count, lease.coord_id,
+                      id},
+             kSeqGrantKind);
+}
+
+void PubSubSystem::on_seq_grant(PeerId self, PeerId from, const SeqGrant& grant) {
+  coord_hop_->acknowledge(self, from, grant.coord_id);
+  if (!coord_seen_[self].insert(grant.coord_id).second) return;
+  const auto it = lease_pending_.find(grant.lease_id);
+  if (it == lease_pending_.end()) return;  // re-keyed by an abandon, or stale
+  PendingLease lease = std::move(it->second);
+  lease_pending_.erase(it);
+  record_accept_times(lease.group, grant.seq_lo, lease.accepted);
+  launch_wave(lease.group, lease.slot, self, grant.seq_lo,
+              grant.seq_lo + grant.count - 1);
+}
+
+void PubSubSystem::launch_wave(GroupId group, std::uint32_t origin_slot,
+                               PeerId origin_root, std::uint64_t seq_lo,
+                               std::uint64_t seq_hi) {
+  GroupStats& stats = manager_->stats(group);
+  const std::size_t replicas = manager_->root_replicas();
+  for (std::uint32_t s = 0; s < replicas; ++s) {
+    if (s == origin_slot) continue;
+    const PeerId target = manager_->slot_root(group, s);
+    if (target == kInvalidPeer || !manager_->alive(target)) continue;
+    ++stats.shard_handoffs;
+    const std::uint64_t id = next_coord_id_++;
+    if (tracer_.enabled())
+      tracer_.emit({sim_->now(), obs::TraceEventType::kShardWave, group, id,
+                    seq_lo, seq_hi, origin_root, target});
+    coord_send(origin_root, target, id, ShardWave{group, s, seq_lo, seq_hi, id},
+               kShardWaveKind);
+  }
+  drive_shard_wave(group, origin_slot, origin_root, seq_lo, seq_hi);
+}
+
+void PubSubSystem::on_shard_wave(PeerId self, PeerId from, const ShardWave& sw) {
+  coord_hop_->acknowledge(self, from, sw.coord_id);
+  if (!coord_seen_[self].insert(sw.coord_id).second) return;
+  const PeerId current = manager_->slot_root(sw.group, sw.slot);
+  if (current != self) {
+    // Raced a promotion: forward the handoff to the slot's current root so
+    // the range still reaches the shard.
+    if (current != kInvalidPeer && manager_->alive(current)) {
+      const std::uint64_t id = next_coord_id_++;
+      coord_send(self, current, id,
+                 ShardWave{sw.group, sw.slot, sw.seq_lo, sw.seq_hi, id},
+                 kShardWaveKind);
+    }
+    return;
+  }
+  drive_shard_wave(sw.group, sw.slot, self, sw.seq_lo, sw.seq_hi);
+}
+
+void PubSubSystem::drive_shard_wave(GroupId group, std::uint32_t slot, PeerId root,
+                                    std::uint64_t lo, std::uint64_t hi) {
+  // Per-slot heartbeat horizon: one past the highest seq THIS slot root has
+  // driven. A global next_seq_ horizon would advertise seqs a slot has not
+  // received its handoff for yet, tricking subscribers into doomed NACKs.
+  std::uint64_t& horizon = shard_horizon_[{group, slot}];
+  horizon = std::max(horizon, hi + 1);
+  const auto snapshot = manager_->slot_tree_snapshot(group, slot);
+  if (snapshot == nullptr) return;  // shard empty: nobody owed this range
+  GroupStats& stats = manager_->stats(group);
+  const std::uint64_t count = hi - lo + 1;
+  stats.expected_deliveries += count * snapshot->reached_subscribers;
+  ++stats.shard_waves;
+  if (count > 1) {
+    const std::uint64_t saved = (count - 1) * snapshot->tree.edge_count() *
+                                (acked() ? 2 : 1);
+    stats.envelopes_saved += saved;
+    sim_->network().note_batched_wave(saved);
+  }
+  const std::uint64_t wave = next_wave_++;
+  wave_groups_.push_back(group);
+  if (tracer_.enabled())
+    tracer_.emit({sim_->now(), obs::TraceEventType::kRootFlush, group, wave, lo,
+                  hi, root});
+  disseminate(root, kInvalidPeer,
+              payload_pool_.make(GroupDelivery{group, lo, hi, wave, snapshot}));
+  if (heartbeats_enabled()) schedule_heartbeat(group);
+}
+
+void PubSubSystem::on_coord_abandon(const std::any& payload) {
+  if (const auto* lease = std::any_cast<SeqLease>(&payload)) {
+    // The authority died before acking: re-dispatch to the CURRENT
+    // authority (the promoted slot-0 root) under a fresh coord id.
+    const auto it = lease_pending_.find(lease->coord_id);
+    if (it == lease_pending_.end()) return;
+    PendingLease pending = std::move(it->second);
+    lease_pending_.erase(it);
+    const GroupId group = pending.group;
+    const std::uint32_t slot = pending.slot;
+    const PeerId root = pending.root;
+    const std::uint64_t count = pending.accepted.size();
+    GroupStats& stats = manager_->stats(group);
+    const PeerId authority = manager_->slot_root(group, 0);
+    if (!manager_->alive(root) || authority == kInvalidPeer ||
+        !manager_->alive(authority)) {
+      stats.batch_publishes_lost += count;
+      return;
+    }
+    const std::uint64_t id = next_coord_id_++;
+    ++stats.seq_lease_requests;
+    if (tracer_.enabled())
+      tracer_.emit({sim_->now(), obs::TraceEventType::kSeqLease, group, id, count,
+                    count, root, authority});
+    lease_pending_.emplace(id, std::move(pending));
+    coord_send(root, authority, id, SeqLease{group, slot, count, id},
+               kSeqLeaseKind);
+    return;
+  }
+  if (const auto* grant = std::any_cast<SeqGrant>(&payload)) {
+    // The requesting slot root died holding a granted range: the range was
+    // assigned and can never flush — the documented permanent seq hole.
+    ++manager_->stats(grant->group).seq_grants_lost;
+    lease_pending_.erase(grant->lease_id);
+    return;
+  }
+  if (const auto* sw = std::any_cast<ShardWave>(&payload)) {
+    // The addressed slot root died: hand the range to the slot's promoted
+    // root (re-sent nominally from the current authority).
+    const PeerId target = manager_->slot_root(sw->group, sw->slot);
+    if (target == kInvalidPeer || !manager_->alive(target)) return;
+    const PeerId sender = manager_->slot_root(sw->group, 0);
+    if (sender == kInvalidPeer || !manager_->alive(sender)) return;
+    const std::uint64_t id = next_coord_id_++;
+    ++manager_->stats(sw->group).shard_handoffs;
+    if (tracer_.enabled())
+      tracer_.emit({sim_->now(), obs::TraceEventType::kShardWave, sw->group, id,
+                    sw->seq_lo, sw->seq_hi, sender, target});
+    coord_send(sender, target, id,
+               ShardWave{sw->group, sw->slot, sw->seq_lo, sw->seq_hi, id},
+               kShardWaveKind);
+  }
+}
+
 void PubSubSystem::disseminate(PeerId self, PeerId from,
                                const DeliveryPtr& delivery_ptr) {
+  if (sharded()) {
+    disseminate_sharded(self, from, delivery_ptr);
+    return;
+  }
   const GroupDelivery& delivery = *delivery_ptr;
   GroupStats& stats = manager_->stats(delivery.group);
   if (acked() && from != kInvalidPeer) {
@@ -785,6 +1247,64 @@ void PubSubSystem::disseminate(PeerId self, PeerId from,
         window_observe(self, delivery, lo, hi);  // in-order release path
       else
         deliver_range(self, delivery.group, lo, hi);
+    }
+  }
+  for (PeerId child : gt->tree.children(self)) {
+    ++stats.payload_messages;
+    hop_->send(self, child, delivery.wave, delivery_ptr);
+  }
+}
+
+void PubSubSystem::disseminate_sharded(PeerId self, PeerId from,
+                                       const DeliveryPtr& delivery_ptr) {
+  const GroupDelivery& delivery = *delivery_ptr;
+  GroupStats& stats = manager_->stats(delivery.group);
+  if (acked() && from != kInvalidPeer) {
+    ++stats.ack_messages;
+    hop_->acknowledge(self, from, delivery.wave);
+  }
+  // Forwarding dedup is by wave id, not (group, seq): with R shard trees a
+  // peer can sit in several of them, and ranges assigned under one slot's
+  // wave must not starve its relays just because another slot's wave
+  // already delivered those seqs here. Seq-level dedup still guards the
+  // subscriber-delivery step below.
+  if (from != kInvalidPeer && !wave_seen_[self].insert(delivery.wave).second) {
+    ++stats.duplicate_deliveries;
+    sim_->network().note_duplicate();
+    if (tracer_.enabled())
+      tracer_.emit({sim_->now(), obs::TraceEventType::kDuplicateSuppressed,
+                    delivery.group, delivery.wave, delivery.seq, delivery.seq_hi,
+                    self, from});
+    return;
+  }
+  const GroupTree* gt = delivery.tree.get();
+  if (gt == nullptr || !gt->tree.reached(self)) return;
+  if (end_to_end() &&
+      (gt->tree.root() == self || !gt->tree.children(self).empty())) {
+    stats.retained_evictions += manager_->retain_payload(
+        self, delivery.group, delivery.seq, delivery.seq_hi, delivery_ptr);
+    if (warm() && from == kInvalidPeer &&
+        self == manager_->root_of(delivery.group)) {
+      // Only the slot-0 authority has a warm replica; other slot roots
+      // retain locally and fail cold (their shard re-fetches via NACKs).
+      ReplicaSync sync;
+      sync.what = ReplicaSync::What::kRetain;
+      sync.wave = delivery;
+      replica_send(self, delivery.group, std::move(sync), false);
+    }
+  }
+  if (gt->is_subscriber[self]) {
+    if (acked()) {
+      const auto& fresh =
+          fresh_runs(self, delivery.group, delivery.seq, delivery.seq_hi);
+      for (const auto& [lo, hi] : fresh) {
+        if (end_to_end())
+          window_observe(self, delivery, lo, hi);
+        else
+          deliver_range(self, delivery.group, lo, hi);
+      }
+    } else {
+      deliver_range(self, delivery.group, delivery.seq, delivery.seq_hi);
     }
   }
   for (PeerId child : gt->tree.children(self)) {
@@ -1008,8 +1528,11 @@ std::vector<PeerId> PubSubSystem::ancestor_chain(PeerId self, GroupId group,
   if (warm() && !manager_->alive(gt->tree.root())) {
     // The snapshot's root died mid-repair, so the walk above dead-ends
     // below it. The promoted successor holds the replicated history —
-    // append it as the final escalation target.
-    const PeerId current = manager_->root_of(group);
+    // append it as the final escalation target. In sharded mode that is
+    // the subscriber's own slot root: every committed range is driven
+    // through every shard tree, so the promoted slot root retains it.
+    const PeerId current = sharded() ? manager_->owner_root(group, self)
+                                     : manager_->root_of(group);
     if (manager_->alive(current) && current != self &&
         std::find(chain.begin(), chain.end(), current) == chain.end())
       chain.push_back(current);
@@ -1295,10 +1818,18 @@ void PubSubSystem::bootstrap_replica(GroupId group, bool migration) {
     replica_send(root, group, std::move(sync), migration);
   }
   if (acked() && batching()) {
-    const auto it = pending_batch_.find(group);
-    if (it != pending_batch_.end() && it->second.count > 0 &&
-        it->second.root == root) {
-      for (const double accepted_at : it->second.accepted) {
+    // Sharded groups buffer the authority's publishes under {group, slot 0};
+    // only that buffer is warm-replicated, so only it re-joins here.
+    PendingBatch* bp = nullptr;
+    if (sharded()) {
+      const auto it = shard_pending_.find({group, 0u});
+      if (it != shard_pending_.end()) bp = &it->second;
+    } else {
+      const auto it = pending_batch_.find(group);
+      if (it != pending_batch_.end()) bp = &it->second;
+    }
+    if (bp != nullptr && bp->count > 0 && bp->root == root) {
+      for (const double accepted_at : bp->accepted) {
         ReplicaSync sync;
         sync.what = ReplicaSync::What::kPendingJoin;
         sync.accepted_at = accepted_at;
@@ -1319,14 +1850,20 @@ void PubSubSystem::handle_promotion(const GroupManager::RootPromotion& promotion
     // Adopt (or retire) the dead root's pending batch. The façade's buffer
     // count is ground truth for how many publishes were pending; the
     // replica's copy bounds how many the successor may claim — min() keeps
-    // a racing flush/join from inventing phantom publishes.
-    const auto bit = pending_batch_.find(promotion.group);
+    // a racing flush/join from inventing phantom publishes. Sharded groups
+    // keep the authority's buffer under {group, slot 0}.
+    PendingBatch* bp = nullptr;
+    if (sharded()) {
+      const auto bit = shard_pending_.find({promotion.group, 0u});
+      if (bit != shard_pending_.end()) bp = &bit->second;
+    } else {
+      const auto bit = pending_batch_.find(promotion.group);
+      if (bit != pending_batch_.end()) bp = &bit->second;
+    }
     const std::size_t at_root =
-        (bit != pending_batch_.end() && bit->second.root == promotion.old_root)
-            ? bit->second.count
-            : 0;
+        (bp != nullptr && bp->root == promotion.old_root) ? bp->count : 0;
     if (at_root > 0) {
-      sim_->cancel(bit->second.timer);
+      sim_->cancel(bp->timer);
       std::size_t inherited = 0;
       if (promotion.warm) {
         const auto rp = replica_pending_.find(promotion.group);
@@ -1334,18 +1871,22 @@ void PubSubSystem::handle_promotion(const GroupManager::RootPromotion& promotion
           inherited = std::min(rp->second.count, at_root);
       }
       if (at_root > inherited) stats.batch_publishes_lost += at_root - inherited;
-      bit->second.count = inherited;
-      bit->second.accepted.resize(inherited);
+      bp->count = inherited;
+      bp->accepted.resize(inherited);
       if (inherited > 0) {
         const auto& copy = replica_pending_.at(promotion.group).accepted;
-        std::copy_n(copy.begin(), inherited, bit->second.accepted.begin());
-        bit->second.root = promotion.new_root;
+        std::copy_n(copy.begin(), inherited, bp->accepted.begin());
+        bp->root = promotion.new_root;
         stats.pending_publishes_inherited += inherited;
         // A fresh window from the adoption instant: the inherited batch
         // flushes from the successor like any other.
-        bit->second.timer = sim_->schedule_after(
-            config_.batch_window,
-            [this, group = promotion.group]() { flush_batch(group, true); });
+        bp->timer = sim_->schedule_after(
+            config_.batch_window, [this, group = promotion.group]() {
+              if (sharded())
+                flush_shard_batch(group, 0, true);
+              else
+                flush_batch(group, true);
+            });
       }
     }
   }
@@ -1384,6 +1925,28 @@ void PubSubSystem::heartbeat_tick(GroupId group, std::uint64_t epoch) {
 }
 
 void PubSubSystem::send_heartbeat(GroupId group) {
+  if (sharded()) {
+    // One beacon per slot, advertising the slot's OWN horizon: a global
+    // next_seq_ horizon would name seqs whose handoff a lagging slot has
+    // not driven yet, sending its subscribers into doomed NACK rounds.
+    for (std::uint32_t s = 0; s < manager_->root_replicas(); ++s) {
+      const auto hit = shard_horizon_.find({group, s});
+      if (hit == shard_horizon_.end() || hit->second == 0) continue;
+      const PeerId root = manager_->slot_root(group, s);
+      if (root == kInvalidPeer || !manager_->alive(root)) continue;
+      const auto snapshot = manager_->slot_tree_snapshot(group, s);
+      if (snapshot == nullptr) continue;
+      const std::uint64_t wave = next_wave_++;
+      wave_groups_.push_back(group);
+      const GroupHeartbeat hb{group, hit->second - 1, wave, snapshot};
+      ++manager_->stats(group).heartbeats_sent;
+      if (tracer_.enabled())
+        tracer_.emit({sim_->now(), obs::TraceEventType::kHeartbeat, group, wave,
+                      hb.highest_seq, hb.highest_seq, root});
+      on_heartbeat(root, hb);
+    }
+    return;
+  }
   const auto seq_it = next_seq_.find(group);
   if (seq_it == next_seq_.end() || seq_it->second == 0) return;  // nothing flushed
   const PeerId root = manager_->root_of(group);
@@ -1446,12 +2009,52 @@ void PubSubSystem::schedule_control(double time, PeerId peer, GroupId group,
                                     sim::MessageKind kind) {
   sim_->schedule_at(time, [this, peer, group, kind]() {
     if (!manager_->alive(peer)) return;
-    const GroupRequest request{group, peer, manager_->root_of(group)};
+    // Sharded groups address control at the origin's OWN slot root — this
+    // is the load split: each anchor's neighbourhood hits its own replica.
+    const GroupRequest request{group, peer,
+                               sharded() ? manager_->owner_root(group, peer)
+                                         : manager_->root_of(group)};
     if (peer == request.target)
       handle_at_root(peer, kind, request);
     else
       forward_control(peer, kind, request);
   });
+}
+
+void PubSubSystem::publisher_join(PeerId peer, GroupId group) {
+  PublisherBatch& batch = publisher_pending_[{peer, group}];
+  ++batch.count;
+  ++manager_->stats(group).publisher_batched_publishes;
+  if (batch.count == 1) {
+    batch.timer =
+        sim_->schedule_after(config_.publisher_batch_window,
+                             [this, peer, group]() { publisher_flush(peer, group); });
+  }
+  if (batch.count >= config_.publisher_max_batch) {
+    sim_->cancel(batch.timer);
+    publisher_flush(peer, group);
+  }
+}
+
+void PubSubSystem::publisher_flush(PeerId peer, GroupId group) {
+  const auto it = publisher_pending_.find({peer, group});
+  if (it == publisher_pending_.end() || it->second.count == 0) return;
+  const std::uint32_t n = it->second.count;
+  it->second.count = 0;
+  if (!manager_->alive(peer)) return;  // died holding the buffer: publishes die too
+  GroupStats& stats = manager_->stats(group);
+  ++stats.publisher_batches;
+  // One control envelope now carries n publishes; the other n-1 were never
+  // sent (the whole point of source-side coalescing on a hot group).
+  stats.publisher_envelopes_saved += n - 1;
+  const GroupRequest request{group, peer,
+                             sharded() ? manager_->owner_root(group, peer)
+                                       : manager_->root_of(group),
+                             n};
+  if (peer == request.target)
+    handle_at_root(peer, kPublishKind, request);
+  else
+    forward_control(peer, kPublishKind, request);
 }
 
 void PubSubSystem::subscribe_at(double time, PeerId peer, GroupId group) {
@@ -1463,6 +2066,13 @@ void PubSubSystem::unsubscribe_at(double time, PeerId peer, GroupId group) {
 }
 
 void PubSubSystem::publish_at(double time, PeerId peer, GroupId group) {
+  if (publisher_batching()) {
+    sim_->schedule_at(time, [this, peer, group]() {
+      if (!manager_->alive(peer)) return;
+      publisher_join(peer, group);
+    });
+    return;
+  }
   schedule_control(time, peer, group, kPublishKind);
 }
 
@@ -1480,8 +2090,14 @@ void PubSubSystem::depart_now(PeerId peer) {
   }
   if (!warm()) return;
   // Promotions first: a promoted root re-establishes its own replication
-  // before any same-instant membership delta relies on it.
-  for (const auto& promotion : outcome.promotions) handle_promotion(promotion);
+  // before any same-instant membership delta relies on it. Non-authority
+  // slot promotions carry no replica state — GroupManager already handed
+  // the shard (members + cursors) to the successor; their pending buffers
+  // fail cold by design.
+  for (const auto& promotion : outcome.promotions) {
+    if (promotion.slot != 0) continue;
+    handle_promotion(promotion);
+  }
   for (const auto& loss : outcome.replica_losses) {
     // The dead replica's pending-batch copy dies with it. replica_pending_
     // is keyed by group (one replica per group), so without this erase the

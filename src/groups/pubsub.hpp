@@ -170,6 +170,9 @@ struct GroupRequest {
   GroupId group = 0;
   PeerId origin = kInvalidPeer;  // subscriber / publisher
   PeerId target = kInvalidPeer;  // rendezvous root at send time
+  /// App messages this publish envelope carries (publisher-side batching,
+  /// PubSubConfig::publisher_batch_window; always 1 on the historic path).
+  std::uint32_t count = 1;
 };
 
 /// Payload envelope travelling down a group tree. Each wave carries an
@@ -256,6 +259,51 @@ struct ReplicaSync {
   std::uint64_t sync_id = 0;
 };
 
+// -- replica-shard coordination payloads (root_replicas > 1) ---------------
+// All three ride the dedicated coord hop layer at QoS 1 (kCoordAckKind
+// acks); `coord_id` is the globally unique reliability token AND the
+// receiver-side dedup key, so a retransmitted lease cannot double-assign a
+// range and a retransmitted handoff cannot drive a shard wave twice.
+
+/// Slot root -> slot-0 authority: "assign me `count` dense seqs of `group`".
+struct SeqLease {
+  GroupId group = 0;
+  std::uint32_t slot = 0;  // requesting slot
+  std::uint64_t count = 0;
+  std::uint64_t coord_id = 0;
+};
+
+/// Authority -> requesting slot root: the granted dense range. `lease_id`
+/// echoes the lease's coord_id so the requester finds its buffered accept
+/// times; `coord_id` is this grant's own token.
+struct SeqGrant {
+  GroupId group = 0;
+  std::uint32_t slot = 0;
+  std::uint64_t seq_lo = 0;
+  std::uint64_t count = 0;
+  std::uint64_t lease_id = 0;
+  std::uint64_t coord_id = 0;
+};
+
+/// Committing slot root -> peer slot root: "drive [seq_lo, seq_hi] over
+/// YOUR shard tree". One per non-origin slot per flush — the whole-group
+/// wave becomes R shard waves, one per slot's pruned subtree.
+struct ShardWave {
+  GroupId group = 0;
+  std::uint32_t slot = 0;  // the addressee's slot
+  std::uint64_t seq_lo = 0;
+  std::uint64_t seq_hi = 0;
+  std::uint64_t coord_id = 0;
+};
+
+/// Prefix-batched graft carrier (PubSubConfig::graft_prefix_batch): several
+/// same-instant descent steps sharing a (from, to) hop ride one acked
+/// envelope. The first member's graft_id is the reliability token; the
+/// receiver acks once and advances every member in order.
+struct GraftBatch {
+  std::vector<GraftEnvelope> grafts;
+};
+
 /// Root-driven idle beacon (kHeartbeatKind, fire-and-forget): the group's
 /// highest flushed seq, forwarded down the carried tree snapshot like a
 /// wave. `wave` is a real wave id (same dense space) so per-peer dedup and
@@ -299,6 +347,30 @@ struct PubSubConfig {
   /// must not wait out the window); also caps the range an envelope,
   /// a pending hop entry, and a retained-buffer slot can cover.
   std::size_t max_batch = 16;
+  /// Replica-sharded roots: rendezvous-hash each group to this many anchor
+  /// points and partition the root role across the nearest alive peer to
+  /// each. Subscribers are owned by their nearest anchor's slot; control
+  /// traffic targets the owner slot's root; each flush drives one pruned
+  /// shard tree per slot, with a seq-lease protocol keeping (group, seq)
+  /// globally unique and dense. 1 (the default) is the historic
+  /// single-root pipeline, bit-identical to it on every seed — the oracle
+  /// the R > 1 delivered sets are pinned against.
+  std::size_t root_replicas = 1;
+  /// Publisher-side batching: app messages published by one peer to one
+  /// group within this window ride ONE kPublishKind envelope (carrying a
+  /// count) to the root, multiplying with root-side coalescing. 0 (the
+  /// default) disables it — bit-passive, the historic per-publish path.
+  double publisher_batch_window = 0.0;
+  /// App messages per publish envelope before the publisher's buffer
+  /// flushes early (mirrors max_batch on the root side).
+  std::size_t publisher_max_batch = 16;
+  /// Graft prefix batching: same-instant routed descent steps sharing a
+  /// (from, to) hop coalesce into one kGraftBatchKind carrier (one
+  /// envelope, one ack) instead of one kGraftRequestKind each. Off (the
+  /// default) keeps the historic one-envelope-per-descent path; the
+  /// resulting trees are identical either way — only envelope counts
+  /// change.
+  bool graft_prefix_batch = false;
   sim::LatencyModel latency = sim::LatencyModel::constant(0.01);
   /// Extra stochastic loss on top of the always-on "departed peers drop
   /// everything" rule.
@@ -547,6 +619,47 @@ class PubSubSystem {
   void schedule_control(double time, PeerId peer, GroupId group, sim::MessageKind kind);
   void handle_at_root(PeerId self, sim::MessageKind kind, const GroupRequest& request);
   void forward_control(PeerId self, sim::MessageKind kind, const GroupRequest& request);
+  /// Books `count` publishes accepted at `self` (a slot root) and commits
+  /// or buffers them per the batching knobs — the sharded (R > 1)
+  /// counterpart of handle_at_root's publish arm.
+  void shard_publish(PeerId self, GroupId group, std::uint32_t slot,
+                     std::uint32_t count);
+  void flush_shard_batch(GroupId group, std::uint32_t slot, bool window_expired);
+  /// Commits `count` accepted publishes at `root` (slot `slot`): slot 0
+  /// assigns the dense seq range locally (it IS the authority), any other
+  /// slot leases one via kSeqLeaseKind and launches on the grant.
+  void shard_commit(GroupId group, std::uint32_t slot, PeerId root,
+                    std::uint64_t count, std::vector<double> accepted);
+  /// A committed range fans out: every other alive slot root gets a
+  /// kShardWaveKind handoff, then the origin drives its own shard tree.
+  void launch_wave(GroupId group, std::uint32_t origin_slot, PeerId origin_root,
+                   std::uint64_t seq_lo, std::uint64_t seq_hi);
+  /// Drives [lo, hi] over `slot`'s shard tree from its root: fresh wave
+  /// id, expected-delivery booking, dissemination, heartbeat re-arm.
+  void drive_shard_wave(GroupId group, std::uint32_t slot, PeerId root,
+                        std::uint64_t lo, std::uint64_t hi);
+  void on_seq_lease(PeerId self, PeerId from, const SeqLease& lease);
+  void on_seq_grant(PeerId self, PeerId from, const SeqGrant& grant);
+  void on_shard_wave(PeerId self, PeerId from, const ShardWave& wave);
+  /// Retry-budget exhaustion on the coord hop: a lease or handoff whose
+  /// addressee died re-dispatches to the CURRENT authority / slot root
+  /// (the promotion path), a lost grant is a documented seq hole.
+  void on_coord_abandon(const std::any& payload);
+  /// One coord-plane unicast (kind 35–37) on coord_hop_, charged as a
+  /// control envelope.
+  void coord_send(PeerId from, PeerId to, std::uint64_t token, std::any payload,
+                  sim::MessageKind kind);
+  /// Writes `accepted` into accept_times_[group] at [seq_lo, ...): grants
+  /// land out of order across slots, so this assigns by index rather than
+  /// appending.
+  void record_accept_times(GroupId group, std::uint64_t seq_lo,
+                           const std::vector<double>& accepted);
+  // -- publisher-side batching ---------------------------------------------
+  [[nodiscard]] bool publisher_batching() const noexcept {
+    return config_.publisher_batch_window > 0.0 && config_.publisher_max_batch > 1;
+  }
+  void publisher_join(PeerId peer, GroupId group);
+  void publisher_flush(PeerId peer, GroupId group);
 
   // -- routed graft control plane -----------------------------------------
   /// Root half of a graftable subscribe: registers the in-flight cursor
@@ -560,6 +673,15 @@ class PubSubSystem {
   void on_graft_request(PeerId self, PeerId from, const GraftEnvelope& graft);
   void on_graft_accept(PeerId self, PeerId from, const GraftEnvelope& graft);
   void on_graft_reject(PeerId self, PeerId from, const GraftEnvelope& graft);
+  /// Prefix batching (graft_prefix_batch): queues a descent step for the
+  /// per-instant (self -> next) outbox instead of sending immediately...
+  void queue_graft(PeerId self, PeerId next, const GraftEnvelope& graft);
+  /// ...and flushes `self`'s outbox at the same instant: singleton steps
+  /// go out on the historic per-envelope path, >= 2 steps to one target
+  /// merge into one kGraftBatchKind carrier.
+  void flush_graft_outbox(PeerId self);
+  /// Carrier receiver: ack once, advance every member in order.
+  void on_graft_batch(PeerId self, PeerId from, const GraftBatch& batch);
   /// Abort + abort-and-resubscribe: gives the graft up through the
   /// manager (cache dirtied) and re-issues the subscribe from the
   /// subscriber when it survived — the liveness half of the state machine.
@@ -577,6 +699,13 @@ class PubSubSystem {
   /// partially-duplicate range (a repair filled part of it first) delivers
   /// only the fresh seqs but still forwards the whole envelope.
   void disseminate(PeerId self, PeerId from, const DeliveryPtr& delivery_ptr);
+  /// R > 1 wave handling. Differs from the legacy path in ONE load-bearing
+  /// way: with R shard trees a peer can relay for several slots, so
+  /// forwarding dedup is by wave id (unique per shard drive), while the
+  /// (group, seq) dedup governs only local delivery — a subscriber is in
+  /// exactly one shard tree, so delivery stays exact, and a second slot's
+  /// tree is still forwarded instead of starved.
+  void disseminate_sharded(PeerId self, PeerId from, const DeliveryPtr& delivery_ptr);
   /// Marks [lo, hi] of `group` seen at `self` and returns the contiguous
   /// runs of first-sighted seqs — the dedup step shared by the data plane
   /// and the repair plane (whole range fresh on the common path; empty
@@ -721,6 +850,7 @@ class PubSubSystem {
   [[nodiscard]] bool batching() const noexcept {
     return config_.batch_window > 0.0 && config_.max_batch > 1;
   }
+  [[nodiscard]] bool sharded() const noexcept { return config_.root_replicas > 1; }
 
   const overlay::OverlayGraph& graph_;
   PubSubConfig config_;
@@ -743,9 +873,48 @@ class PubSubSystem {
   /// stream), sync ids keying the (from, to, seq) space. Built only when
   /// warm_failover is on.
   std::unique_ptr<multicast::ReliableHopLayer> replica_hop_;
+  /// Replica-shard coordination stream (root_replicas > 1 only): seq
+  /// leases/grants and shard-wave handoffs among a group's slot roots,
+  /// always QoS 1 like the graft plane — coordination must retry, not
+  /// silently drop a committed range.
+  std::unique_ptr<multicast::ReliableHopLayer> coord_hop_;
   std::vector<std::unique_ptr<PubSubNode>> nodes_;
   std::map<GroupId, std::uint64_t> next_seq_;
   std::map<GroupId, PendingBatch> pending_batch_;
+  /// R > 1 counterpart of pending_batch_, one buffer per (group, slot):
+  /// each slot root coalesces the publishes IT ingests; the legacy map
+  /// stays untouched so the R == 1 path is bit-identical.
+  std::map<std::pair<GroupId, std::uint32_t>, PendingBatch> shard_pending_;
+  /// A non-authority slot root's accepted publishes awaiting their seq
+  /// grant, keyed by the lease's coord_id.
+  struct PendingLease {
+    GroupId group = 0;
+    std::uint32_t slot = 0;
+    PeerId root = kInvalidPeer;
+    std::vector<double> accepted;
+  };
+  std::map<std::uint64_t, PendingLease> lease_pending_;
+  /// Highest seq each slot root has driven over its shard tree — the
+  /// per-slot heartbeat horizon. A global next_seq_ horizon would advertise
+  /// seqs a slot root has not yet received via its kShardWaveKind handoff,
+  /// tricking subscribers into NACKs that miss at the root and abandon.
+  std::map<std::pair<GroupId, std::uint32_t>, std::uint64_t> shard_horizon_;
+  std::uint64_t next_coord_id_ = 1;
+  /// Per-peer coord ids already applied (lease/grant/handoff dedup). Sized
+  /// only when sharded.
+  std::vector<std::set<std::uint64_t>> coord_seen_;
+  /// Per-peer wave ids already forwarded — the sharded data plane's
+  /// forwarding dedup (see disseminate_sharded). Sized only when sharded.
+  std::vector<std::set<std::uint64_t>> wave_seen_;
+  /// Publisher-side batching buffers, keyed (publisher, group).
+  struct PublisherBatch {
+    std::size_t count = 0;
+    sim::EventId timer = 0;
+  };
+  std::map<std::pair<PeerId, GroupId>, PublisherBatch> publisher_pending_;
+  /// Per-peer same-instant graft outbox (graft_prefix_batch only): descent
+  /// steps queued by next-hop target, flushed by a zero-delay event.
+  std::vector<std::map<PeerId, std::vector<GraftEnvelope>>> graft_outbox_;
   std::uint64_t next_wave_ = 0;
   /// Per-peer (group, seq) pairs already processed — the QoS 1+ dedup that
   /// tells a retransmission (or duplicate repair) from fresh data. Unused

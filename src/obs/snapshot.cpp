@@ -122,6 +122,17 @@ std::string to_json(const groups::GroupStats& stats) {
   field(out, first, "graft_retries", stats.graft_retries);
   field(out, first, "graft_aborts", stats.graft_aborts);
   field(out, first, "graft_resubscribes", stats.graft_resubscribes);
+  field(out, first, "graft_prefix_batches", stats.graft_prefix_batches);
+  field(out, first, "graft_prefix_merged", stats.graft_prefix_merged);
+  field(out, first, "seq_lease_requests", stats.seq_lease_requests);
+  field(out, first, "seq_leases_granted", stats.seq_leases_granted);
+  field(out, first, "seq_grants_lost", stats.seq_grants_lost);
+  field(out, first, "shard_handoffs", stats.shard_handoffs);
+  field(out, first, "shard_waves", stats.shard_waves);
+  field(out, first, "publisher_batches", stats.publisher_batches);
+  field(out, first, "publisher_batched_publishes",
+        stats.publisher_batched_publishes);
+  field(out, first, "publisher_envelopes_saved", stats.publisher_envelopes_saved);
   field(out, first, "stranded_rescues", stats.stranded_rescues);
   field(out, first, "stranded_subscribers", stats.stranded_subscribers);
   field(out, first, "delivery_ratio", stats.delivery_ratio());

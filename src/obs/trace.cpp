@@ -35,6 +35,9 @@ const char* trace_event_name(TraceEventType type) noexcept {
     case TraceEventType::kReplicaSync: return "replica_sync";
     case TraceEventType::kPromotion: return "promotion";
     case TraceEventType::kHeartbeat: return "heartbeat";
+    case TraceEventType::kSeqLease: return "seq_lease";
+    case TraceEventType::kSeqGrant: return "seq_grant";
+    case TraceEventType::kShardWave: return "shard_wave";
   }
   return "unknown";
 }

@@ -63,6 +63,10 @@ enum class TraceEventType : std::uint8_t {
   kReplicaSync,  ///< root `peer` streamed one delta to replica `other` (`wave`=sync id)
   kPromotion,    ///< successor `peer` took over from dead root `other` (warm in seq_lo)
   kHeartbeat,    ///< root `peer` issued an idle beacon (highest seq in seq_lo/seq_hi)
+  // Replica-shard coordination (root_replicas > 1; `wave` carries the coord id).
+  kSeqLease,   ///< slot root `peer` asked authority `other` for seq_lo seqs
+  kSeqGrant,   ///< authority `peer` granted [seq_lo, seq_hi] to slot root `other`
+  kShardWave,  ///< committed range [seq_lo, seq_hi] handed `peer` -> slot root `other`
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEventType type) noexcept;
